@@ -1,0 +1,37 @@
+// Helpers shared by the application-level benches (Table 2, Figures 6, 7):
+// construct an in-process cluster, run one of the paper's applications on
+// it, and return the collected statistics.
+
+#ifndef BENCH_APP_BENCH_UTIL_H_
+#define BENCH_APP_BENCH_UTIL_H_
+
+#include <memory>
+
+#include "src/apps/app.h"
+#include "src/common/logging.h"
+#include "src/dsm/cluster.h"
+
+namespace millipage {
+
+inline DsmConfig AppBenchConfig(uint16_t hosts, uint32_t chunking = 1,
+                                bool page_based = false) {
+  DsmConfig cfg;
+  cfg.num_hosts = hosts;
+  cfg.object_size = 32 << 20;
+  cfg.num_views = 32;
+  cfg.chunking_level = chunking;
+  cfg.page_based = page_based;
+  return cfg;
+}
+
+inline AppRunResult RunAppOnCluster(const DsmConfig& cfg, App& app) {
+  auto cluster = DsmCluster::Create(cfg);
+  MP_CHECK(cluster.ok()) << cluster.status().ToString();
+  AppRunResult result = RunApp(**cluster, app);
+  MP_CHECK(result.validation.ok()) << app.name() << ": " << result.validation.ToString();
+  return result;
+}
+
+}  // namespace millipage
+
+#endif  // BENCH_APP_BENCH_UTIL_H_

@@ -1,0 +1,141 @@
+// Figure 6 reproduction: speedups of the five applications on 1-8 hosts
+// (left chart) and the execution-time breakdown at 8 hosts (right chart).
+//
+// Protocol events (faults, bytes, invalidations, barriers, locks) are
+// measured from real executions on the in-process cluster; times are
+// modeled with the paper-calibrated cost model (Table 1 / Section 4.2
+// parameters, including the ~500 us polling-delay the paper describes in
+// Section 3.5.1). Expected shape: IS and SOR near-linear; LU good (thin
+// protocol + prefetch); WATER decent with chunking; TSP good.
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bench/app_bench_util.h"
+#include "bench/bench_util.h"
+#include "src/apps/is.h"
+#include "src/apps/lu.h"
+#include "src/apps/sor.h"
+#include "src/apps/tsp.h"
+#include "src/apps/water.h"
+#include "src/model/cost_model.h"
+
+namespace millipage {
+namespace {
+
+struct AppSpec {
+  const char* name;
+  uint32_t chunking;
+  std::function<std::unique_ptr<App>()> make;
+  const char* paper_shape;
+};
+
+std::vector<AppSpec> Suite() {
+  return {
+      {"SOR", 1,
+       [] {
+         SorConfig cfg;  // the paper's input: 32768x64 floats, 256 B rows
+         cfg.rows = 32768;
+         cfg.cols = 64;
+         cfg.iterations = 10;
+         return std::make_unique<SorApp>(cfg);
+       },
+       "close to linear"},
+      {"LU", 1,
+       [] {
+         LuConfig cfg;  // paper: 1024x1024; 768 keeps the same block grain
+         cfg.n = 768;
+         cfg.block = 32;
+         return std::make_unique<LuApp>(cfg);
+       },
+       "good (thin layer + prefetch)"},
+      {"WATER", 4,
+       [] {
+         WaterConfig cfg;  // the paper's input: 512 molecules
+         cfg.num_molecules = 512;
+         cfg.iterations = 3;
+         return std::make_unique<WaterApp>(cfg);
+       },
+       "comparable to relaxed-consistency systems (chunked)"},
+      {"IS", 1,
+       [] {
+         IsConfig cfg;  // the paper's input: 2^23 keys, 2^9 values
+         cfg.num_keys = 1 << 23;
+         cfg.iterations = 5;
+         return std::make_unique<IsApp>(cfg);
+       },
+       "close to linear"},
+      {"TSP", 1,
+       [] {
+         TspConfig cfg;  // paper: 19 cities, depth 12; same tasks-per-host
+         cfg.num_cities = 13;  // shape with a tractable search space
+         cfg.prefix_depth = 3;  // ~130 coarse tasks: compute-dominated, as
+                                // the paper's depth-12/19-city input is
+         return std::make_unique<TspApp>(cfg);
+       },
+       "good"},
+  };
+}
+
+}  // namespace
+}  // namespace millipage
+
+int main() {
+  using namespace millipage;
+  const CostModel model;
+  const std::vector<uint16_t> host_counts = {1, 2, 4, 8};
+
+  PrintHeader("Figure 6 (left): speedups on 1-8 hosts (modeled from measured events)");
+  std::printf("  %-7s", "app");
+  for (uint16_t h : host_counts) {
+    std::printf("   p=%-5u", h);
+  }
+  std::printf("  paper shape\n");
+
+  std::vector<std::pair<std::string, Breakdown>> breakdowns;
+  std::vector<std::pair<std::string, std::pair<double, double>>> fast_predictions;
+  const CostModel fast = model.WithFastService();
+  for (const AppSpec& spec : Suite()) {
+    std::printf("  %-7s", spec.name);
+    double serial_us = 0;
+    double serial_fast_us = 0;
+    for (uint16_t hosts : host_counts) {
+      auto app = spec.make();
+      const AppRunResult r = RunAppOnCluster(AppBenchConfig(hosts, spec.chunking), *app);
+      const ModeledRun run = ModelRun(model, r.timing);
+      const ModeledRun run_fast = ModelRun(fast, r.timing);
+      if (hosts == 1) {
+        serial_us = run.total_us;
+        serial_fast_us = run_fast.total_us;
+        std::printf("   %6.2f", 1.0);
+      } else {
+        std::printf("   %6.2f", serial_us / run.total_us);
+      }
+      if (hosts == 8) {
+        breakdowns.emplace_back(spec.name, run.breakdown);
+        fast_predictions.emplace_back(
+            spec.name,
+            std::make_pair(serial_us / run.total_us, serial_fast_us / run_fast.total_us));
+      }
+    }
+    std::printf("  %s\n", spec.paper_shape);
+  }
+
+  PrintHeader("Figure 6 (right): breakdown at 8 hosts (% of modeled time)");
+  for (const auto& [name, b] : breakdowns) {
+    std::printf("  %-7s %s\n", name.c_str(), b.ToString().c_str());
+  }
+  PrintNote("paper: computation dominates SOR/IS/TSP; LU shows a visible prefetch slice;");
+  PrintNote("WATER carries the largest fault+synch share.");
+
+  PrintHeader("Section 3.5 prediction: speedups once the polling problem is solved");
+  std::printf("  %-7s %18s %22s\n", "app", "p=8 (as measured)", "p=8 (fast service)");
+  for (const auto& [name, pair] : fast_predictions) {
+    std::printf("  %-7s %18.2f %22.2f\n", name.c_str(), pair.first, pair.second);
+  }
+  PrintNote("the paper expects the fault-service delay (timer/polling) to shrink once");
+  PrintNote("resolved; same measured events priced without the ~500 us response delay.");
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Google-benchmark micro-suite over the substrate primitives: protection
+// control, MPT translation scaling, allocator throughput, diff costs by
+// size and dirtiness, address packing. Complements the paper-table benches
+// with statistically robust per-op numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/diff/diff.h"
+#include "src/multiview/allocator.h"
+#include "src/multiview/minipage.h"
+#include "src/multiview/view_set.h"
+#include "src/net/message.h"
+#include "src/os/page.h"
+
+namespace millipage {
+namespace {
+
+void BM_SetProtection(benchmark::State& state) {
+  auto vs = ViewSet::Create(64 * PageSize(), 8);
+  MP_CHECK(vs.ok());
+  Minipage mp;
+  mp.view = 1;
+  mp.offset = 3 * PageSize();
+  mp.length = static_cast<uint64_t>(state.range(0));
+  bool flip = false;
+  for (auto _ : state) {
+    flip = !flip;
+    MP_CHECK_OK(
+        (*vs)->SetProtection(mp, flip ? Protection::kReadOnly : Protection::kReadWrite));
+  }
+}
+BENCHMARK(BM_SetProtection)->Arg(128)->Arg(4096)->Arg(16384);
+
+void BM_GetProtection(benchmark::State& state) {
+  auto vs = ViewSet::Create(64 * PageSize(), 8);
+  MP_CHECK(vs.ok());
+  Minipage mp;
+  mp.view = 2;
+  mp.offset = 5 * PageSize();
+  mp.length = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*vs)->GetProtection(mp));
+  }
+}
+BENCHMARK(BM_GetProtection);
+
+void BM_MptLookup(benchmark::State& state) {
+  const size_t entries = static_cast<size_t>(state.range(0));
+  MinipageTable mpt;
+  MinipageAllocator alloc(&mpt, entries * 512, 16);
+  for (size_t i = 0; i < entries; ++i) {
+    MP_CHECK(alloc.Allocate(256).ok());
+  }
+  uint64_t probe = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mpt.Lookup(static_cast<uint32_t>(probe % 16), (probe * 7919) % (entries * 256)));
+    probe++;
+  }
+}
+BENCHMARK(BM_MptLookup)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_AllocatorThroughput(benchmark::State& state) {
+  const uint32_t chunking = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    MinipageTable mpt;
+    AllocatorOptions opts;
+    opts.chunking_level = chunking;
+    MinipageAllocator alloc(&mpt, 64 << 20, 16, opts);
+    state.ResumeTiming();
+    for (int i = 0; i < 4096; ++i) {
+      MP_CHECK(alloc.Allocate(160).ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_AllocatorThroughput)->Arg(1)->Arg(4);
+
+void BM_DiffCreate(benchmark::State& state) {
+  const size_t bytes = static_cast<size_t>(state.range(0));
+  const int dirty_permille = static_cast<int>(state.range(1));
+  std::vector<char> page(bytes);
+  for (size_t i = 0; i < bytes; ++i) {
+    page[i] = static_cast<char>(i);
+  }
+  Twin twin(page.data(), bytes);
+  for (size_t i = 0; i < bytes; ++i) {
+    if (static_cast<int>((i * 997) % 1000) < dirty_permille) {
+      page[i] = static_cast<char>(page[i] + 1);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CreateDiff(twin, page.data(), bytes));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_DiffCreate)
+    ->Args({4096, 0})
+    ->Args({4096, 100})
+    ->Args({4096, 500})
+    ->Args({16384, 100});
+
+void BM_DiffApply(benchmark::State& state) {
+  const size_t bytes = 4096;
+  std::vector<char> page(bytes, 0);
+  Twin twin(page.data(), bytes);
+  for (size_t i = 0; i < bytes; i += 8) {
+    page[i] = 1;
+  }
+  const Diff d = CreateDiff(twin, page.data(), bytes);
+  std::vector<char> target(bytes, 0);
+  for (auto _ : state) {
+    MP_CHECK_OK(ApplyDiff(d, target.data(), bytes));
+  }
+}
+BENCHMARK(BM_DiffApply);
+
+void BM_TwinCreate(benchmark::State& state) {
+  std::vector<char> page(4096, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Twin(page.data(), page.size()));
+  }
+}
+BENCHMARK(BM_TwinCreate);
+
+void BM_GlobalAddrPack(benchmark::State& state) {
+  uint64_t x = 0;
+  for (auto _ : state) {
+    const GlobalAddr a{static_cast<uint32_t>(x % 16), x % (1ULL << 40)};
+    benchmark::DoNotOptimize(GlobalAddr::Unpack(a.Pack()));
+    x += 1234577;
+  }
+}
+BENCHMARK(BM_GlobalAddrPack);
+
+}  // namespace
+}  // namespace millipage
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Shared helpers for the paper-reproduction benchmark binaries: simple
+// best-of-k timing and aligned table printing with paper-vs-measured
+// columns.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/time_util.h"
+
+namespace millipage {
+
+// Runs `fn` `iters` times and returns the average time per call in
+// microseconds, taking the best of `repeats` batches to suppress scheduler
+// noise.
+inline double MeasureUs(const std::function<void()>& fn, int iters = 1000, int repeats = 3) {
+  double best = 1e100;
+  for (int r = 0; r < repeats; ++r) {
+    const uint64_t t0 = MonotonicNowNs();
+    for (int i = 0; i < iters; ++i) {
+      fn();
+    }
+    const double us = static_cast<double>(MonotonicNowNs() - t0) / 1000.0 / iters;
+    if (us < best) {
+      best = us;
+    }
+  }
+  return best;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintRow(const std::string& label, double measured_us, const char* paper) {
+  std::printf("  %-44s %10.2f us   (paper: %s)\n", label.c_str(), measured_us, paper);
+}
+
+inline void PrintNote(const std::string& note) { std::printf("  %s\n", note.c_str()); }
+
+}  // namespace millipage
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,54 @@
+// Parallel branch-and-bound TSP on the DSM (the paper's TSP workload as an
+// interactive example): partial tours live in 148-byte minipages, hosts draw
+// work from a lock-protected shared queue index, and improvements to the
+// shared best tour are pushed to all hosts (the paper's single-line change
+// that resolves TSP's read-mostly data race).
+//
+// Build & run:  ./build/examples/tsp_search [cities] [hosts]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/apps/tsp.h"
+#include "src/common/time_util.h"
+#include "src/dsm/cluster.h"
+
+using namespace millipage;
+
+int main(int argc, char** argv) {
+  const uint32_t cities = argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 11;
+  const uint16_t hosts = argc > 2 ? static_cast<uint16_t>(std::atoi(argv[2])) : 4;
+
+  DsmConfig config;
+  config.num_hosts = hosts;
+  config.object_size = 8 << 20;
+  config.num_views = 32;
+  auto cluster = DsmCluster::Create(config);
+  MP_CHECK(cluster.ok()) << cluster.status().ToString();
+
+  TspConfig tsp_config;
+  tsp_config.num_cities = cities;
+  tsp_config.prefix_depth = cities >= 12 ? 4 : 3;
+  TspApp app(tsp_config);
+
+  std::printf("solving %u-city TSP with %u DSM hosts (prefix depth %u)...\n", cities, hosts,
+              tsp_config.prefix_depth);
+  const uint64_t t0 = MonotonicNowNs();
+  const AppRunResult result = RunApp(**cluster, app);
+  const double ms = static_cast<double>(MonotonicNowNs() - t0) / 1e6;
+
+  if (!result.validation.ok()) {
+    std::fprintf(stderr, "validation FAILED: %s\n", result.validation.ToString().c_str());
+    return 1;
+  }
+  std::printf("optimal tour length: %d (matches serial branch-and-bound)\n",
+              app.best_length());
+  std::printf("wall time: %.1f ms on one core running all %u hosts\n", ms, hosts);
+  std::printf("shared tours: %lu minipages of 148 bytes across %u views\n",
+              static_cast<unsigned long>(result.num_minipages - 2), result.num_views);
+  std::printf("DSM traffic: %lu read faults, %lu write faults, %lu lock acquires\n",
+              static_cast<unsigned long>(result.read_faults),
+              static_cast<unsigned long>(result.write_faults),
+              static_cast<unsigned long>(result.locks));
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Common harness for the five paper applications (Section 4.3): SOR, LU,
+// WATER, IS, TSP. Each app allocates its shared data on the manager, runs
+// one worker per host, and validates the result. The harness also collects
+// the Table 2 quantities (shared size, views, granularity, barriers, locks)
+// and the epoch records the cost model prices for Figures 6 and 7.
+
+#ifndef SRC_APPS_APP_H_
+#define SRC_APPS_APP_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/dsm/cluster.h"
+#include "src/model/cost_model.h"
+
+namespace millipage {
+
+class App {
+ public:
+  virtual ~App() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::string input_desc() const = 0;
+  virtual std::string granularity_desc() const = 0;
+  // Calibration constant for the cost model (ns of 300 MHz-class compute
+  // per reported work unit).
+  virtual double ns_per_work_unit() const = 0;
+  // Epochs at the start of Worker that only distribute data (excluded from
+  // modeled time, as in the SPLASH-2 methodology).
+  virtual uint32_t warmup_epochs() const { return 1; }
+
+  // Allocates and initializes shared state (manager thread, before workers).
+  virtual void Setup(DsmNode& manager) = 0;
+  // Parallel body; must end with a barrier.
+  virtual void Worker(DsmNode& node, HostId host) = 0;
+  // Result check (manager thread, after workers).
+  virtual Status Validate(DsmNode& manager) = 0;
+};
+
+// Table 2 row plus everything the model needs.
+struct AppRunResult {
+  std::string name;
+  std::string input_desc;
+  std::string granularity_desc;
+  uint64_t shared_bytes = 0;   // bytes handed out by the shared allocator
+  uint32_t num_views = 0;      // distinct application views in use
+  uint64_t num_minipages = 0;
+  uint64_t barriers = 0;       // per-host barrier count
+  uint64_t locks = 0;          // cluster-wide lock acquisitions
+  uint64_t read_faults = 0;    // cluster-wide
+  uint64_t write_faults = 0;   // cluster-wide
+  uint64_t competing_requests = 0;
+  Status validation = Status::Ok();
+
+  AppTimingInput timing;  // epochs + calibration, ready for ModelRun
+};
+
+// Runs `app` on `cluster` (Setup -> Workers -> Validate) and gathers stats.
+AppRunResult RunApp(DsmCluster& cluster, App& app);
+
+}  // namespace millipage
+
+#endif  // SRC_APPS_APP_H_

@@ -1,0 +1,112 @@
+#include "src/apps/is.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+
+namespace millipage {
+
+std::string IsApp::input_desc() const {
+  std::ostringstream os;
+  os << "2^" << (31 - __builtin_clz(config_.num_keys)) << " keys, 2^" << config_.key_log2
+     << " values, " << config_.iterations << " iterations";
+  return os.str();
+}
+
+std::string IsApp::granularity_desc() const {
+  std::ostringstream os;
+  os << buckets_per_region_ * sizeof(uint32_t) << " bytes";
+  return os.str();
+}
+
+void IsApp::Setup(DsmNode& manager) {
+  num_regions_ = manager.num_hosts();
+  MP_CHECK(num_buckets() % num_regions_ == 0);
+  buckets_per_region_ = num_buckets() / num_regions_;
+  regions_.clear();
+  for (uint16_t r = 0; r < num_regions_; ++r) {
+    regions_.push_back(SharedAlloc<uint32_t>(buckets_per_region_));
+    std::memset(regions_.back().get(), 0, buckets_per_region_ * sizeof(uint32_t));
+  }
+}
+
+void IsApp::Worker(DsmNode& node, HostId host) {
+  const uint16_t hosts = node.num_hosts();
+  const uint32_t keys_per_host = config_.num_keys / hosts;
+  // Private keys, deterministic per host.
+  Rng rng(config_.seed * 1000003 + host);
+  std::vector<uint32_t> keys(keys_per_host);
+  for (uint32_t& k : keys) {
+    k = static_cast<uint32_t>(rng.Below(num_buckets()));
+  }
+  // Private histogram, reused each iteration.
+  std::vector<uint32_t> local(num_buckets());
+
+  // Distribution pass (excluded warmup epoch): each host takes the region it
+  // will write first.
+  {
+    volatile uint32_t* region = regions_[host % num_regions_].get();
+    region[0] = region[0];
+  }
+  node.Barrier();
+  for (uint32_t it = 0; it < config_.iterations; ++it) {
+    std::fill(local.begin(), local.end(), 0);
+    for (uint32_t k : keys) {
+      local[k]++;
+    }
+    node.AddWorkUnits(keys_per_host);
+    node.Barrier();
+    // Rotate over the shared regions so each step has disjoint writers:
+    // at step s, host h updates region (h + s) mod H.
+    for (uint16_t s = 0; s < hosts; ++s) {
+      const uint16_t r = static_cast<uint16_t>((host + s) % hosts);
+      uint32_t* shared = regions_[r].get();
+      const uint32_t base = r * buckets_per_region_;
+      for (uint32_t b = 0; b < buckets_per_region_; ++b) {
+        shared[b] += local[base + b];
+      }
+      node.AddWorkUnits(buckets_per_region_);
+      node.Barrier();
+    }
+    // Everybody ranks its keys against the completed global counts.
+    uint64_t rank_sum = 0;
+    for (uint16_t r = 0; r < hosts; ++r) {
+      const uint32_t* shared = regions_[r].get();
+      for (uint32_t b = 0; b < buckets_per_region_; ++b) {
+        rank_sum += shared[b];
+      }
+    }
+    MP_CHECK(rank_sum == static_cast<uint64_t>(keys_per_host) * hosts * (it + 1))
+        << "IS: global counts incomplete";
+    node.AddWorkUnits(num_buckets());
+    node.Barrier();
+  }
+}
+
+Status IsApp::Validate(DsmNode& manager) {
+  // The global histogram accumulated `iterations` copies of every host's
+  // keys; check the totals and recompute the expected histogram.
+  const uint16_t hosts = manager.num_hosts();
+  const uint32_t keys_per_host = config_.num_keys / hosts;
+  std::vector<uint32_t> expected(num_buckets(), 0);
+  for (uint16_t h = 0; h < hosts; ++h) {
+    Rng rng(config_.seed * 1000003 + h);
+    for (uint32_t i = 0; i < keys_per_host; ++i) {
+      expected[rng.Below(num_buckets())] += config_.iterations;
+    }
+  }
+  for (uint16_t r = 0; r < num_regions_; ++r) {
+    const uint32_t* shared = regions_[r].get();
+    for (uint32_t b = 0; b < buckets_per_region_; ++b) {
+      if (shared[b] != expected[r * buckets_per_region_ + b]) {
+        return Status::Internal("IS histogram mismatch at bucket " +
+                                std::to_string(r * buckets_per_region_ + b));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace millipage

@@ -1,0 +1,53 @@
+// IS — integer sort (NAS parallel benchmarks, bucket-counting kernel). The
+// shared state is the global bucket-count array (paper: 2^9 = 512 buckets,
+// 2 KB), split into one 256-byte region per host, each region a separate
+// minipage (paper Table 2: 8 views, 256-byte granularity). Hosts rotate
+// over the regions adding their private histograms — with fine-grain
+// minipages the writers never collide; in page-based mode the single page
+// ping-pongs.
+
+#ifndef SRC_APPS_IS_H_
+#define SRC_APPS_IS_H_
+
+#include <vector>
+
+#include "src/apps/app.h"
+#include "src/dsm/global_ptr.h"
+
+namespace millipage {
+
+struct IsConfig {
+  uint32_t num_keys = 1 << 16;   // paper: 2^23
+  uint32_t key_log2 = 9;         // 2^9 bucket values, as in the paper
+  uint32_t iterations = 10;      // ranking repetitions
+  uint64_t seed = 42;
+};
+
+class IsApp : public App {
+ public:
+  explicit IsApp(const IsConfig& config) : config_(config) {}
+
+  std::string name() const override { return "IS"; }
+  std::string input_desc() const override;
+  std::string granularity_desc() const override;
+  // One key counted/ranked (load + increment + store) on a 300 MHz P-II.
+  double ns_per_work_unit() const override { return 30.0; }
+
+  uint32_t warmup_epochs() const override { return 1; }
+
+  void Setup(DsmNode& manager) override;
+  void Worker(DsmNode& node, HostId host) override;
+  Status Validate(DsmNode& manager) override;
+
+ private:
+  uint32_t num_buckets() const { return 1u << config_.key_log2; }
+
+  IsConfig config_;
+  std::vector<GlobalPtr<uint32_t>> regions_;  // per-host slice of the counts
+  uint32_t buckets_per_region_ = 0;
+  uint16_t num_regions_ = 0;
+};
+
+}  // namespace millipage
+
+#endif  // SRC_APPS_IS_H_

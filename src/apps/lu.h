@@ -1,0 +1,55 @@
+// LU — blocked dense LU factorization without pivoting (SPLASH-2
+// LU-contiguous). The matrix is built from contiguously allocated BxB
+// blocks; with B=32 and 4-byte elements a block is exactly one 4 KB page,
+// so the sharing unit equals the page and a single view suffices (paper
+// Table 2). Two prefetch calls overlap the fetch of the pivot row/column
+// blocks with computation (Section 4.3.1).
+
+#ifndef SRC_APPS_LU_H_
+#define SRC_APPS_LU_H_
+
+#include <vector>
+
+#include "src/apps/app.h"
+#include "src/dsm/global_ptr.h"
+
+namespace millipage {
+
+struct LuConfig {
+  uint32_t n = 256;        // matrix dimension
+  uint32_t block = 32;     // 32x32 floats = 4 KB
+  bool use_prefetch = true;
+};
+
+class LuApp : public App {
+ public:
+  explicit LuApp(const LuConfig& config) : config_(config) {}
+
+  std::string name() const override { return "LU"; }
+  std::string input_desc() const override;
+  std::string granularity_desc() const override;
+  // One inner-loop multiply-add of the blocked kernel on a 300 MHz P-II.
+  double ns_per_work_unit() const override { return 13.0; }
+
+  uint32_t warmup_epochs() const override { return 1; }
+
+  void Setup(DsmNode& manager) override;
+  void Worker(DsmNode& node, HostId host) override;
+  Status Validate(DsmNode& manager) override;
+
+ private:
+  uint32_t nb() const { return config_.n / config_.block; }
+  // Round-robin block ownership over anti-diagonals.
+  HostId Owner(uint32_t bi, uint32_t bj, uint16_t hosts) const {
+    return static_cast<HostId>((bi + bj * nb()) % hosts);
+  }
+  float* Block(uint32_t bi, uint32_t bj) const { return blocks_[bi * nb() + bj].get(); }
+
+  LuConfig config_;
+  std::vector<GlobalPtr<float>> blocks_;
+  std::vector<float> original_;  // copy of the input for validation
+};
+
+}  // namespace millipage
+
+#endif  // SRC_APPS_LU_H_

@@ -1,0 +1,52 @@
+// SOR — red/black successive over-relaxation (from the TreadMarks suite).
+// The matrix is allocated row by row; a row is the natural sharing unit, so
+// each row is one minipage (paper: 32768x64 floats, 256-byte rows, 16
+// views). Hosts own contiguous row bands and read the two boundary rows of
+// their neighbors every phase.
+
+#ifndef SRC_APPS_SOR_H_
+#define SRC_APPS_SOR_H_
+
+#include <vector>
+
+#include "src/apps/app.h"
+#include "src/dsm/global_ptr.h"
+
+namespace millipage {
+
+struct SorConfig {
+  uint32_t rows = 256;
+  uint32_t cols = 64;  // 64 floats = 256 bytes, the paper's row granularity
+  uint32_t iterations = 10;
+};
+
+class SorApp : public App {
+ public:
+  explicit SorApp(const SorConfig& config) : config_(config) {}
+
+  std::string name() const override { return "SOR"; }
+  std::string input_desc() const override;
+  std::string granularity_desc() const override;
+  // One 4-flop stencil cell on the paper's 300 MHz Pentium II (~30 cycles).
+  double ns_per_work_unit() const override { return 100.0; }
+
+  uint32_t warmup_epochs() const override { return 1; }
+
+  void Setup(DsmNode& manager) override;
+  void Worker(DsmNode& node, HostId host) override;
+  Status Validate(DsmNode& manager) override;
+
+  // Reference value computed serially (for validation).
+  double expected_checksum() const { return expected_checksum_; }
+
+ private:
+  float* Row(uint32_t r) const { return rows_[r].get(); }
+
+  SorConfig config_;
+  std::vector<GlobalPtr<float>> rows_;
+  double expected_checksum_ = 0;
+};
+
+}  // namespace millipage
+
+#endif  // SRC_APPS_SOR_H_

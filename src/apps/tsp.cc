@@ -1,0 +1,184 @@
+#include "src/apps/tsp.h"
+
+#include <algorithm>
+#include <climits>
+#include <cstring>
+#include <sstream>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+
+namespace millipage {
+
+namespace {
+
+constexpr uint32_t kQueueLock = 0;
+constexpr uint32_t kMinLock = 1;
+constexpr int32_t kInfinity = INT32_MAX / 4;
+
+std::vector<int32_t> MakeDistances(uint32_t n, uint64_t seed) {
+  std::vector<int32_t> d(static_cast<size_t>(n) * n, 0);
+  Rng rng(seed);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) {
+      const int32_t w = static_cast<int32_t>(rng.Range(1, 99));
+      d[i * n + j] = w;
+      d[j * n + i] = w;
+    }
+  }
+  return d;
+}
+
+// Serial exhaustive branch-and-bound, the validation reference.
+void SerialDfs(const int32_t* dist, uint32_t n, uint32_t city, int32_t len,
+               uint32_t visited, uint32_t depth, int32_t* best) {
+  if (len >= *best) {
+    return;
+  }
+  if (depth == n) {
+    const int32_t total = len + dist[city * n + 0];
+    *best = std::min(*best, total);
+    return;
+  }
+  for (uint32_t next = 1; next < n; ++next) {
+    if ((visited & (1u << next)) != 0) {
+      continue;
+    }
+    SerialDfs(dist, n, next, len + dist[city * n + next], visited | (1u << next), depth + 1,
+              best);
+  }
+}
+
+}  // namespace
+
+std::string TspApp::input_desc() const {
+  std::ostringstream os;
+  os << config_.num_cities << " cities, prefix depth " << config_.prefix_depth;
+  return os.str();
+}
+
+void TspApp::Setup(DsmNode& manager) {
+  (void)manager;
+  const uint32_t n = config_.num_cities;
+  MP_CHECK(n >= 3 && n <= 24);
+  MP_CHECK(config_.prefix_depth >= 2 && config_.prefix_depth < n);
+  dist_ = MakeDistances(n, config_.seed);
+
+  // Expand every prefix of length prefix_depth starting at city 0 into the
+  // shared tour array (one minipage per TourElement).
+  tours_.clear();
+  std::vector<int32_t> path(config_.prefix_depth, 0);
+  std::vector<bool> used(n, false);
+  used[0] = true;
+  auto enumerate = [&](auto&& self, uint32_t depth, int32_t len) -> void {
+    if (depth == config_.prefix_depth) {
+      GlobalPtr<TourElement> t = SharedAlloc<TourElement>(1);
+      TourElement* te = t.get();
+      std::memset(te, 0, sizeof(*te));
+      for (uint32_t i = 0; i < depth; ++i) {
+        te->city[i] = path[i];
+      }
+      te->count = static_cast<int32_t>(depth);
+      te->length = len;
+      tours_.push_back(t);
+      return;
+    }
+    for (uint32_t c = 1; c < n; ++c) {
+      if (used[c]) {
+        continue;
+      }
+      used[c] = true;
+      path[depth] = static_cast<int32_t>(c);
+      self(self, depth + 1, len + dist_[static_cast<uint32_t>(path[depth - 1]) * n + c]);
+      used[c] = false;
+    }
+  };
+  enumerate(enumerate, 1, 0);
+
+  next_tour_ = SharedAlloc<int32_t>(1);
+  *next_tour_ = 0;
+  min_len_ = SharedAlloc<int32_t>(1);
+  *min_len_ = kInfinity;
+
+  int32_t best = kInfinity;
+  SerialDfs(dist_.data(), n, 0, 0, 1u, 1, &best);
+  serial_best_ = best;
+}
+
+void TspApp::Dfs(const int32_t* dist, uint32_t n, int32_t* path, uint32_t depth, int32_t len,
+                 uint32_t visited_mask, int32_t* local_best, DsmNode& node,
+                 uint64_t* expanded) {
+  ++*expanded;
+  // Prune against the shared best (unprotected frequent read, as in the
+  // paper); keep a local floor to avoid re-reading when it cannot help.
+  const int32_t global_best = *min_len_;
+  *local_best = std::min(*local_best, global_best);
+  if (len >= *local_best) {
+    return;
+  }
+  const int32_t city = path[depth - 1];
+  if (depth == n) {
+    const int32_t total = len + dist[city * n + 0];
+    if (total < *local_best) {
+      *local_best = total;
+      node.Lock(kMinLock);
+      if (total < *min_len_) {
+        *min_len_ = total;
+        node.PushToAll(min_len_.addr());
+      }
+      node.Unlock(kMinLock);
+    }
+    return;
+  }
+  for (uint32_t next = 1; next < n; ++next) {
+    if ((visited_mask & (1u << next)) != 0) {
+      continue;
+    }
+    path[depth] = static_cast<int32_t>(next);
+    Dfs(dist, n, path, depth + 1, len + dist[city * n + next], visited_mask | (1u << next),
+        local_best, node, expanded);
+  }
+}
+
+void TspApp::Worker(DsmNode& node, HostId host) {
+  (void)host;
+  const uint32_t n = config_.num_cities;
+  const int32_t total_tours = static_cast<int32_t>(tours_.size());
+  node.Barrier();
+  uint64_t expanded = 0;
+  int32_t local_best = kInfinity;
+  int32_t path[32];
+  while (true) {
+    node.Lock(kQueueLock);
+    const int32_t idx = *next_tour_;
+    if (idx < total_tours) {
+      *next_tour_ = idx + 1;
+    }
+    node.Unlock(kQueueLock);
+    if (idx >= total_tours) {
+      break;
+    }
+    const TourElement* te = tours_[static_cast<size_t>(idx)].get();
+    uint32_t visited = 0;
+    for (int32_t i = 0; i < te->count; ++i) {
+      path[i] = te->city[i];
+      visited |= 1u << static_cast<uint32_t>(te->city[i]);
+    }
+    Dfs(dist_.data(), n, path, static_cast<uint32_t>(te->count), te->length, visited,
+        &local_best, node, &expanded);
+  }
+  node.AddWorkUnits(expanded);
+  node.Barrier();
+}
+
+Status TspApp::Validate(DsmNode& manager) {
+  (void)manager;
+  best_len_result_ = *min_len_;
+  if (best_len_result_ != serial_best_) {
+    return Status::Internal("TSP best tour mismatch: got " + std::to_string(best_len_result_) +
+                            " want " + std::to_string(serial_best_));
+  }
+  return Status::Ok();
+}
+
+}  // namespace millipage

@@ -1,0 +1,66 @@
+// TSP — branch-and-bound traveling salesperson (TreadMarks suite). Partial
+// tours are expanded to a fixed depth into a shared tour array; each
+// TourElement is 148 bytes and is manipulated exclusively by one task, so
+// each tour gets its own minipage (paper Table 2: 148-byte granularity, 27
+// views). Workers draw tour indices from a lock-protected shared counter,
+// solve the remainder by exhaustive DFS, and update the shared minimum; the
+// minimum's update pushes readable copies to all hosts (Section 4.3.1's
+// single-line change), because it is read far more often than written.
+
+#ifndef SRC_APPS_TSP_H_
+#define SRC_APPS_TSP_H_
+
+#include <vector>
+
+#include "src/apps/app.h"
+#include "src/dsm/global_ptr.h"
+
+namespace millipage {
+
+// 148 bytes, as in the paper.
+struct TourElement {
+  int32_t city[32];    // prefix path
+  int32_t count;       // cities in the prefix
+  int32_t length;      // prefix length
+  uint8_t pad[148 - 34 * sizeof(int32_t)];
+};
+static_assert(sizeof(TourElement) == 148);
+
+struct TspConfig {
+  uint32_t num_cities = 11;  // paper: 19 (exponential: keep modest by default)
+  uint32_t prefix_depth = 4; // tours are expanded to this depth up front
+  uint64_t seed = 7;
+};
+
+class TspApp : public App {
+ public:
+  explicit TspApp(const TspConfig& config) : config_(config) {}
+
+  std::string name() const override { return "TSP"; }
+  std::string input_desc() const override;
+  std::string granularity_desc() const override { return "a tour, 148 bytes"; }
+  // One branch-and-bound node expansion on a 300 MHz P-II.
+  double ns_per_work_unit() const override { return 300.0; }
+
+  void Setup(DsmNode& manager) override;
+  void Worker(DsmNode& node, HostId host) override;
+  Status Validate(DsmNode& manager) override;
+
+  int32_t best_length() const { return best_len_result_; }
+
+ private:
+  void Dfs(const int32_t* dist, uint32_t n, int32_t* path, uint32_t depth, int32_t len,
+           uint32_t visited_mask, int32_t* local_best, DsmNode& node, uint64_t* expanded);
+
+  TspConfig config_;
+  std::vector<int32_t> dist_;            // private, replicated distance matrix
+  std::vector<GlobalPtr<TourElement>> tours_;
+  GlobalPtr<int32_t> next_tour_;         // shared work-queue index
+  GlobalPtr<int32_t> min_len_;           // shared best-so-far (pushed on update)
+  int32_t serial_best_ = 0;              // reference from exhaustive search
+  int32_t best_len_result_ = 0;
+};
+
+}  // namespace millipage
+
+#endif  // SRC_APPS_TSP_H_

@@ -1,0 +1,72 @@
+// Minimal leveled logging plus CHECK macros.
+//
+// The DSM fault path must stay allocation-free, so hot-path code never logs;
+// logging is for setup, teardown, tests, benches and fatal invariant
+// violations.
+
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace millipage {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+// Global minimum level; messages below it are dropped. Default kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the level is disabled.
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+
+#define MP_LOG(level)                                                         \
+  (::millipage::LogLevel::k##level < ::millipage::GetLogLevel())             \
+      ? (void)0                                                               \
+      : ::millipage::internal::LogVoidify() &                                 \
+            ::millipage::internal::LogMessage(::millipage::LogLevel::k##level, \
+                                              __FILE__, __LINE__)             \
+                .stream()
+
+// CHECK macros abort on failure regardless of log level.
+#define MP_CHECK(cond)                                                        \
+  (cond) ? (void)0                                                            \
+         : ::millipage::internal::LogVoidify() &                              \
+               ::millipage::internal::LogMessage(                             \
+                   ::millipage::LogLevel::kFatal, __FILE__, __LINE__)         \
+                   .stream()                                                  \
+                   << "Check failed: " #cond " "
+
+#define MP_CHECK_OK(expr)                                                     \
+  do {                                                                        \
+    ::millipage::Status _st_chk = (expr);                                     \
+    MP_CHECK(_st_chk.ok()) << _st_chk.ToString();                             \
+  } while (0)
+
+#define MP_DCHECK(cond) MP_CHECK(cond)
+
+}  // namespace millipage
+
+#endif  // SRC_COMMON_LOGGING_H_

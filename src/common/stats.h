@@ -1,0 +1,136 @@
+// Statistics primitives: per-host counter blocks, latency histograms, and
+// per-epoch snapshots. Epochs are closed at barriers; the model library
+// prices epoch deltas to produce the Figure 6 / Figure 7 series.
+
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace millipage {
+
+// Event counters for a single DSM host. Fields mirror the quantities the
+// paper reports: fault counts by kind, message/byte volume, synchronization
+// activity, and application work units (the deterministic compute proxy).
+struct HostCounters {
+  uint64_t read_faults = 0;
+  uint64_t write_faults = 0;
+  uint64_t read_fault_bytes = 0;   // minipage bytes fetched by read faults
+  uint64_t write_fault_bytes = 0;  // minipage bytes fetched by write faults
+  uint64_t invalidations_received = 0;
+  uint64_t messages_sent = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t barriers = 0;
+  uint64_t lock_acquires = 0;
+  uint64_t prefetches = 0;
+  uint64_t prefetch_bytes = 0;
+  uint64_t work_units = 0;  // app-reported deterministic compute units
+  // Requests that queued behind an in-service minipage (manager host only).
+  uint64_t competing_requests = 0;
+
+  HostCounters& operator+=(const HostCounters& o) {
+    read_faults += o.read_faults;
+    write_faults += o.write_faults;
+    read_fault_bytes += o.read_fault_bytes;
+    write_fault_bytes += o.write_fault_bytes;
+    invalidations_received += o.invalidations_received;
+    messages_sent += o.messages_sent;
+    bytes_sent += o.bytes_sent;
+    barriers += o.barriers;
+    lock_acquires += o.lock_acquires;
+    prefetches += o.prefetches;
+    prefetch_bytes += o.prefetch_bytes;
+    work_units += o.work_units;
+    competing_requests += o.competing_requests;
+    return *this;
+  }
+
+  HostCounters operator-(const HostCounters& o) const {
+    HostCounters r = *this;
+    r.read_faults -= o.read_faults;
+    r.write_faults -= o.write_faults;
+    r.read_fault_bytes -= o.read_fault_bytes;
+    r.write_fault_bytes -= o.write_fault_bytes;
+    r.invalidations_received -= o.invalidations_received;
+    r.messages_sent -= o.messages_sent;
+    r.bytes_sent -= o.bytes_sent;
+    r.barriers -= o.barriers;
+    r.lock_acquires -= o.lock_acquires;
+    r.prefetches -= o.prefetches;
+    r.prefetch_bytes -= o.prefetch_bytes;
+    r.work_units -= o.work_units;
+    r.competing_requests -= o.competing_requests;
+    return r;
+  }
+};
+
+// Counters kept only at the manager host.
+struct ManagerCounters {
+  uint64_t requests_served = 0;
+  uint64_t competing_requests = 0;  // requests queued behind an in-flight one
+  uint64_t invalidation_rounds = 0;
+  uint64_t mpt_lookups = 0;
+
+  ManagerCounters& operator+=(const ManagerCounters& o) {
+    requests_served += o.requests_served;
+    competing_requests += o.competing_requests;
+    invalidation_rounds += o.invalidation_rounds;
+    mpt_lookups += o.mpt_lookups;
+    return *this;
+  }
+};
+
+// One closed epoch (barrier-to-barrier interval) for one host.
+struct EpochRecord {
+  uint32_t epoch = 0;
+  uint32_t host = 0;
+  HostCounters delta;
+};
+
+// Fixed-boundary latency histogram (nanoseconds). Cheap enough to update on
+// the fault path.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Record(uint64_t ns);
+  uint64_t count() const { return count_; }
+  uint64_t sum_ns() const { return sum_ns_; }
+  uint64_t min_ns() const { return count_ == 0 ? 0 : min_ns_; }
+  uint64_t max_ns() const { return max_ns_; }
+  double mean_ns() const { return count_ == 0 ? 0.0 : static_cast<double>(sum_ns_) / count_; }
+  // Approximate quantile from bucket boundaries, q in [0,1].
+  uint64_t QuantileNs(double q) const;
+
+  void Merge(const LatencyHistogram& other);
+  std::string ToString() const;
+
+ private:
+  static constexpr int kBuckets = 64;
+  static uint64_t BucketUpperBound(int i);
+  static int BucketFor(uint64_t ns);
+
+  uint64_t buckets_[kBuckets];
+  uint64_t count_ = 0;
+  uint64_t sum_ns_ = 0;
+  uint64_t min_ns_ = ~0ULL;
+  uint64_t max_ns_ = 0;
+};
+
+// Simple descriptive statistics over a sample vector.
+struct SampleStats {
+  double mean = 0;
+  double median = 0;
+  double min = 0;
+  double max = 0;
+  double stddev = 0;
+
+  static SampleStats FromSamples(std::vector<double> samples);
+};
+
+}  // namespace millipage
+
+#endif  // SRC_COMMON_STATS_H_

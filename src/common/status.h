@@ -1,0 +1,136 @@
+// Lightweight, exception-free error model used throughout millipage.
+//
+// Status carries an error code and a human-readable message; Result<T> is a
+// Status-or-value union. Both are modeled after absl::Status/StatusOr but are
+// self-contained so the project has no external dependencies beyond the
+// standard library.
+
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace millipage {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kUnavailable,
+};
+
+const char* StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Exhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Precondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  // Builds an error from the current errno, in the style of perror().
+  static Status Errno(const std::string& what) {
+    return Status(StatusCode::kInternal, what + ": " + std::strerror(errno));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) {
+      return "OK";
+    }
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    if (ok()) {
+      return kOkStatus;
+    }
+    return std::get<Status>(data_);
+  }
+
+  T& value() & { return std::get<T>(data_); }
+  const T& value() const& { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<Status, T> data_;
+};
+
+// Propagates a non-OK Status from an expression returning Status.
+#define MP_RETURN_IF_ERROR(expr)          \
+  do {                                    \
+    ::millipage::Status _st = (expr);     \
+    if (!_st.ok()) {                      \
+      return _st;                         \
+    }                                     \
+  } while (0)
+
+// Assigns the value of a Result expression or propagates its error.
+#define MP_ASSIGN_OR_RETURN(lhs, expr)    \
+  auto MP_CONCAT_(_res_, __LINE__) = (expr);              \
+  if (!MP_CONCAT_(_res_, __LINE__).ok()) {                \
+    return MP_CONCAT_(_res_, __LINE__).status();          \
+  }                                                       \
+  lhs = std::move(MP_CONCAT_(_res_, __LINE__)).value()
+
+#define MP_CONCAT_INNER_(a, b) a##b
+#define MP_CONCAT_(a, b) MP_CONCAT_INNER_(a, b)
+
+}  // namespace millipage
+
+#endif  // SRC_COMMON_STATUS_H_

@@ -1,0 +1,39 @@
+// Clock helpers. MonotonicNowNs is the benchmark timebase; ThreadCpuNs is
+// used when a per-thread compute measurement is wanted on a loaded machine.
+
+#ifndef SRC_COMMON_TIME_UTIL_H_
+#define SRC_COMMON_TIME_UTIL_H_
+
+#include <time.h>
+
+#include <cstdint>
+
+namespace millipage {
+
+inline uint64_t MonotonicNowNs() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ULL + static_cast<uint64_t>(ts.tv_nsec);
+}
+
+inline uint64_t ThreadCpuNs() {
+  struct timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ULL + static_cast<uint64_t>(ts.tv_nsec);
+}
+
+class StopWatch {
+ public:
+  StopWatch() : start_ns_(MonotonicNowNs()) {}
+  void Reset() { start_ns_ = MonotonicNowNs(); }
+  uint64_t ElapsedNs() const { return MonotonicNowNs() - start_ns_; }
+  double ElapsedUs() const { return static_cast<double>(ElapsedNs()) / 1000.0; }
+  double ElapsedMs() const { return static_cast<double>(ElapsedNs()) / 1e6; }
+
+ private:
+  uint64_t start_ns_;
+};
+
+}  // namespace millipage
+
+#endif  // SRC_COMMON_TIME_UTIL_H_

@@ -1,0 +1,110 @@
+#include "src/diff/diff.h"
+
+#include <cstring>
+
+namespace millipage {
+
+namespace {
+
+void PutU32(std::vector<std::byte>* out, uint32_t v) {
+  const size_t at = out->size();
+  out->resize(at + sizeof(v));
+  std::memcpy(out->data() + at, &v, sizeof(v));
+}
+
+bool GetU32(const std::vector<std::byte>& in, size_t* pos, uint32_t* v) {
+  if (*pos + sizeof(*v) > in.size()) {
+    return false;
+  }
+  std::memcpy(v, in.data() + *pos, sizeof(*v));
+  *pos += sizeof(*v);
+  return true;
+}
+
+}  // namespace
+
+Twin::Twin(const void* src, size_t len) : copy_(len) {
+  std::memcpy(copy_.data(), src, len);
+}
+
+Diff CreateDiff(const Twin& twin, const void* current, size_t len, size_t merge_gap) {
+  Diff diff;
+  const auto* cur = static_cast<const std::byte*>(current);
+  const std::byte* old = twin.data();
+  const size_t n = len < twin.size() ? len : twin.size();
+
+  size_t i = 0;
+  while (i < n) {
+    if (cur[i] == old[i]) {
+      ++i;
+      continue;
+    }
+    // Start of a run; extend while changed, bridging gaps < merge_gap.
+    const size_t start = i;
+    size_t last_changed = i;
+    ++i;
+    while (i < n) {
+      if (cur[i] != old[i]) {
+        last_changed = i;
+        ++i;
+      } else if (i - last_changed < merge_gap) {
+        ++i;
+      } else {
+        break;
+      }
+    }
+    const size_t run_len = last_changed - start + 1;
+    PutU32(&diff.encoded, static_cast<uint32_t>(start));
+    PutU32(&diff.encoded, static_cast<uint32_t>(run_len));
+    const size_t at = diff.encoded.size();
+    diff.encoded.resize(at + run_len);
+    std::memcpy(diff.encoded.data() + at, cur + start, run_len);
+  }
+  return diff;
+}
+
+Status ApplyDiff(const Diff& diff, void* target, size_t len) {
+  auto* dst = static_cast<std::byte*>(target);
+  size_t pos = 0;
+  uint64_t prev_end = 0;
+  while (pos < diff.encoded.size()) {
+    uint32_t offset = 0;
+    uint32_t run_len = 0;
+    if (!GetU32(diff.encoded, &pos, &offset) || !GetU32(diff.encoded, &pos, &run_len)) {
+      return Status::Invalid("ApplyDiff: truncated record header");
+    }
+    if (run_len == 0) {
+      return Status::Invalid("ApplyDiff: zero-length run");
+    }
+    if (offset < prev_end) {
+      return Status::Invalid("ApplyDiff: offsets not strictly increasing");
+    }
+    if (static_cast<uint64_t>(offset) + run_len > len) {
+      return Status::OutOfRange("ApplyDiff: run exceeds target");
+    }
+    if (pos + run_len > diff.encoded.size()) {
+      return Status::Invalid("ApplyDiff: truncated run payload");
+    }
+    std::memcpy(dst + offset, diff.encoded.data() + pos, run_len);
+    pos += run_len;
+    prev_end = offset + run_len;
+  }
+  return Status::Ok();
+}
+
+size_t DiffRunCount(const Diff& diff) {
+  size_t pos = 0;
+  size_t runs = 0;
+  while (pos < diff.encoded.size()) {
+    uint32_t offset = 0;
+    uint32_t run_len = 0;
+    if (!GetU32(diff.encoded, &pos, &offset) || !GetU32(diff.encoded, &pos, &run_len)) {
+      break;
+    }
+    pos += run_len;
+    ++runs;
+  }
+  return runs;
+}
+
+}  // namespace millipage

@@ -1,0 +1,58 @@
+// Twin/diff machinery in the style of Munin/TreadMarks, referenced by the
+// paper as the cost it avoids: "a run-length diff operation for a 4KB page
+// takes 250 us ... this time is not negligible, and would have dominated the
+// overhead if it were required in the dsm protocol" (Section 4.2).
+//
+// A twin is a pristine copy taken before writes; a diff is a run-length
+// encoding of the words that changed relative to the twin; ApplyDiff patches
+// a remote copy.
+
+#ifndef SRC_DIFF_DIFF_H_
+#define SRC_DIFF_DIFF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace millipage {
+
+// Pristine pre-write copy of a memory region.
+class Twin {
+ public:
+  Twin(const void* src, size_t len);
+
+  const std::byte* data() const { return copy_.data(); }
+  size_t size() const { return copy_.size(); }
+
+ private:
+  std::vector<std::byte> copy_;
+};
+
+// Run-length diff record stream. Wire format: repeated
+//   { uint32 offset; uint32 length; length bytes }
+// with offsets strictly increasing.
+struct Diff {
+  std::vector<std::byte> encoded;
+
+  size_t size_bytes() const { return encoded.size(); }
+  bool empty() const { return encoded.empty(); }
+};
+
+// Encodes the run-length diff of `current` against `twin` (same length).
+// Comparison granularity is one byte; adjacent changed bytes coalesce into
+// runs, and runs separated by fewer than `merge_gap` unchanged bytes are
+// merged (classic diff compaction trade-off).
+Diff CreateDiff(const Twin& twin, const void* current, size_t len, size_t merge_gap = 4);
+
+// Applies `diff` onto `target` (length `len`). Fails on malformed input or
+// out-of-range records.
+Status ApplyDiff(const Diff& diff, void* target, size_t len);
+
+// Number of distinct runs in a diff (diagnostics).
+size_t DiffRunCount(const Diff& diff);
+
+}  // namespace millipage
+
+#endif  // SRC_DIFF_DIFF_H_

@@ -1,0 +1,56 @@
+// Millipage runtime configuration.
+
+#ifndef SRC_DSM_CONFIG_H_
+#define SRC_DSM_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/multiview/allocator.h"
+
+namespace millipage {
+
+// How a host's DSM server thread waits for messages (Section 3.5.1). The
+// paper's poller busy-loops at low priority and its sweeper wakes on a 1 ms
+// multimedia timer; on a general-purpose kernel a blocking wait with a short
+// timeout is both. kPeriodic reproduces the NT-timer ablation: the server
+// only looks at the network every `period_us`.
+enum class ServiceMode {
+  kBlocking,  // block on the transport with a short timeout (default)
+  kBusyPoll,  // spin on non-blocking polls
+  kPeriodic,  // poll, then sleep period_us (models coarse timers)
+};
+
+struct DsmConfig {
+  uint16_t num_hosts = 2;
+  size_t object_size = 16 << 20;  // shared memory object bytes
+  uint32_t num_views = 8;         // application views (max minipages/page)
+
+  uint32_t chunking_level = 1;    // Section 4.4 aggregation switch
+  bool page_based = false;        // Ivy-style full-page baseline
+
+  ServiceMode service_mode = ServiceMode::kBlocking;
+  uint64_t service_period_us = 1000;  // used by kPeriodic
+
+  // The paper's post-service ACK (Section 3.3) serializes every request per
+  // minipage at the manager, which is what keeps the non-manager protocol
+  // buffer- and state-free. Setting this to false elides the ACK for *read*
+  // transactions (writes stay serialized): reads then race with writes, and
+  // the runtime needs exactly the machinery the paper avoids — bounced
+  // requests re-routed by the manager and in-flight fetches poisoned by
+  // crossing invalidations and retried. Ablation knob; default on.
+  bool enable_ack = true;
+
+  uint32_t max_app_threads_per_host = 8;
+
+  AllocatorOptions MakeAllocatorOptions() const {
+    AllocatorOptions o;
+    o.chunking_level = chunking_level;
+    o.page_based = page_based;
+    return o;
+  }
+};
+
+}  // namespace millipage
+
+#endif  // SRC_DSM_CONFIG_H_

@@ -1,0 +1,104 @@
+// Manager-side directory: per-minipage copyset/ownership, in-service
+// serialization with request queueing (the source of the paper's "competing
+// requests" statistic), pending-write invalidation rounds, plus the lock and
+// barrier tables. All state is touched exclusively by the manager host's
+// server thread, so no locking is needed.
+
+#ifndef SRC_DSM_DIRECTORY_H_
+#define SRC_DSM_DIRECTORY_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/stats.h"
+#include "src/multiview/minipage.h"
+#include "src/net/message.h"
+
+namespace millipage {
+
+// Directory entry for one minipage.
+struct DirEntry {
+  uint64_t copyset = 0;     // bitmask of hosts holding a copy
+  bool writable = false;    // single copyset member holds ReadWrite
+  bool in_service = false;  // a request is being serviced (until ACK)
+  HostId in_service_for = 0;      // requester of the in-service transaction
+  std::deque<MsgHeader> pending;  // competing requests, FIFO
+
+  // Outstanding invalidation round for a write request.
+  bool write_pending = false;
+  MsgHeader pending_write{};
+  HostId write_remaining = 0;  // host that will supply the data
+  uint32_t invalidates_outstanding = 0;
+
+  // Outstanding confirmations for an in-service push-update broadcast.
+  uint32_t push_outstanding = 0;
+
+  bool HasCopy(HostId h) const { return (copyset & (1ULL << h)) != 0; }
+  void AddCopy(HostId h) { copyset |= (1ULL << h); }
+  void RemoveCopy(HostId h) { copyset &= ~(1ULL << h); }
+  int CopyCount() const { return __builtin_popcountll(copyset); }
+  // Any copyset member, preferring one different from `avoid`. `hint`
+  // rotates the starting position: when read ACKs are elided the copyset can
+  // transiently contain members whose copy is still inbound, and a rotating
+  // choice guarantees a re-routed request eventually reaches the (always
+  // existing) member with stable data.
+  HostId PickReplica(HostId avoid, uint32_t hint = 0) const {
+    const uint64_t others = copyset & ~(1ULL << avoid);
+    const uint64_t pool = others != 0 ? others : copyset;
+    const int n = __builtin_popcountll(pool);
+    int skip = static_cast<int>(hint % static_cast<uint32_t>(n));
+    uint64_t bits = pool;
+    while (skip-- > 0) {
+      bits &= bits - 1;  // drop lowest set bit
+    }
+    return static_cast<HostId>(__builtin_ctzll(bits));
+  }
+};
+
+struct LockEntry {
+  bool held = false;
+  HostId holder = 0;
+  std::deque<MsgHeader> waiters;
+};
+
+struct BarrierState {
+  uint32_t generation = 0;
+  uint32_t arrived = 0;
+  std::vector<MsgHeader> waiters;
+};
+
+class Directory {
+ public:
+  DirEntry& Entry(MinipageId id) {
+    MP_CHECK(id != kInvalidMinipage) << "directory access with invalid minipage id";
+    if (id >= entries_.size()) {
+      entries_.resize(id + 1);
+    }
+    return entries_[id];
+  }
+
+  LockEntry& Lock(uint32_t lock_id) {
+    if (lock_id >= locks_.size()) {
+      locks_.resize(lock_id + 1);
+    }
+    return locks_[lock_id];
+  }
+
+  BarrierState& barrier() { return barrier_; }
+  ManagerCounters& counters() { return counters_; }
+  const ManagerCounters& counters() const { return counters_; }
+
+  size_t num_entries() const { return entries_.size(); }
+
+ private:
+  std::vector<DirEntry> entries_;
+  std::vector<LockEntry> locks_;
+  BarrierState barrier_;
+  ManagerCounters counters_;
+};
+
+}  // namespace millipage
+
+#endif  // SRC_DSM_DIRECTORY_H_

@@ -1,0 +1,68 @@
+// GlobalPtr<T>: a typed handle to shared memory, valid on every host.
+//
+// The paper configures the views at the same virtual addresses in every
+// process so raw pointers travel as-is. Our canonical (view, offset) pairs
+// achieve the same portability in both deployment modes; GlobalPtr resolves
+// to the current host's application-view address on use, so `*p` and `p[i]`
+// are plain loads/stores that hit the vpage protection exactly like raw
+// pointers would.
+//
+// Pointer arithmetic stays inside one allocation (one minipage run); like
+// the paper's malloc-like API, crossing into a different allocation's
+// minipage through arithmetic is undefined.
+
+#ifndef SRC_DSM_GLOBAL_PTR_H_
+#define SRC_DSM_GLOBAL_PTR_H_
+
+#include <cstddef>
+
+#include "src/dsm/node.h"
+#include "src/net/message.h"
+
+namespace millipage {
+
+// Thread-bound current host; set by the cluster/process runtime before
+// application code runs.
+void SetCurrentNode(DsmNode* node);
+DsmNode* CurrentNode();
+
+template <typename T>
+class GlobalPtr {
+ public:
+  GlobalPtr() = default;
+  explicit GlobalPtr(GlobalAddr a) : addr_(a) {}
+
+  GlobalAddr addr() const { return addr_; }
+
+  T* get() const { return reinterpret_cast<T*>(CurrentNode()->AppPtr(addr_)); }
+  T& operator*() const { return *get(); }
+  T* operator->() const { return get(); }
+  T& operator[](size_t i) const { return get()[i]; }
+
+  GlobalPtr<T> operator+(ptrdiff_t n) const {
+    GlobalAddr a = addr_;
+    a.offset += static_cast<uint64_t>(n * static_cast<ptrdiff_t>(sizeof(T)));
+    GlobalPtr<T> p(a);
+    return p;
+  }
+
+  template <typename U>
+  GlobalPtr<U> cast() const {
+    return GlobalPtr<U>(addr_);
+  }
+
+ private:
+  GlobalAddr addr_{};
+};
+
+// Allocates `count` objects of type T on the current host's DSM.
+template <typename T>
+GlobalPtr<T> SharedAlloc(size_t count = 1) {
+  Result<GlobalAddr> a = CurrentNode()->SharedMalloc(count * sizeof(T));
+  MP_CHECK(a.ok()) << a.status().ToString();
+  return GlobalPtr<T>(*a);
+}
+
+}  // namespace millipage
+
+#endif  // SRC_DSM_GLOBAL_PTR_H_

@@ -1,0 +1,892 @@
+#include "src/dsm/node.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/time_util.h"
+#include "src/os/page.h"
+
+namespace millipage {
+
+namespace {
+
+// Per-thread (node -> wait slot) cache. A thread may talk to several nodes
+// in one process (the in-process cluster), so the cache is a tiny map.
+struct ThreadSlotCache {
+  static constexpr int kMax = 16;
+  const DsmNode* node[kMax] = {};
+  uint32_t slot[kMax] = {};
+  int n = 0;
+};
+thread_local ThreadSlotCache tls_slots;
+
+}  // namespace
+
+Result<std::unique_ptr<DsmNode>> DsmNode::Create(const DsmConfig& config, HostId me,
+                                                 Transport* transport) {
+  if (me >= config.num_hosts) {
+    return Status::Invalid("DsmNode: host id out of range");
+  }
+  if (config.num_hosts > 64) {
+    return Status::Invalid("DsmNode: copyset bitmask supports up to 64 hosts");
+  }
+  auto node = std::unique_ptr<DsmNode>(new DsmNode(config, me, transport));
+  MP_ASSIGN_OR_RETURN(node->views_, ViewSet::Create(config.object_size, config.num_views));
+  if (me == kManagerHost) {
+    node->mpt_ = std::make_unique<MinipageTable>();
+    node->allocator_ = std::make_unique<MinipageAllocator>(
+        node->mpt_.get(), node->views_->object_size(), config.num_views,
+        config.MakeAllocatorOptions());
+    node->directory_ = std::make_unique<Directory>();
+  }
+  return node;
+}
+
+DsmNode::DsmNode(const DsmConfig& config, HostId me, Transport* transport)
+    : config_(config), me_(me), transport_(transport) {}
+
+DsmNode::~DsmNode() { Stop(); }
+
+void DsmNode::Start() {
+  MP_CHECK(!server_.joinable()) << "server already started";
+  stop_.store(false, std::memory_order_release);
+  server_ = std::thread([this] { ServerLoop(); });
+}
+
+void DsmNode::Stop() {
+  if (!server_.joinable()) {
+    return;
+  }
+  stop_.store(true, std::memory_order_release);
+  server_.join();
+}
+
+uint32_t DsmNode::ThreadSlot() {
+  ThreadSlotCache& c = tls_slots;
+  for (int i = 0; i < c.n; ++i) {
+    if (c.node[i] == this) {
+      return c.slot[i];
+    }
+  }
+  MP_CHECK(c.n < ThreadSlotCache::kMax) << "thread uses too many nodes";
+  const uint32_t slot = slots_.Acquire();
+  c.node[c.n] = this;
+  c.slot[c.n] = slot;
+  c.n++;
+  return slot;
+}
+
+void DsmNode::AddWorkUnits(uint64_t n) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  counters_.work_units += n;
+}
+
+HostCounters DsmNode::counters() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return counters_;
+}
+
+std::vector<EpochRecord> DsmNode::epochs() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return epochs_;
+}
+
+LatencyHistogram DsmNode::read_fault_latency() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return read_lat_;
+}
+
+LatencyHistogram DsmNode::write_fault_latency() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return write_lat_;
+}
+
+uint64_t DsmNode::bounced_requests() const {
+  return bounced_.load(std::memory_order_relaxed);
+}
+
+void DsmNode::SendMsg(HostId to, const MsgHeader& h, const void* payload, size_t len) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    counters_.messages_sent++;
+    counters_.bytes_sent += sizeof(MsgHeader) + len;
+  }
+  MP_CHECK_OK(transport_->Send(to, h, payload, len));
+}
+
+Minipage DsmNode::MinipageFromHeader(const MsgHeader& h) const {
+  // Non-manager hosts never consult an MPT (the "thin layer" property):
+  // everything needed to adjust protection travels in the header.
+  Minipage mp;
+  mp.id = h.minipage;
+  mp.view = h.global_addr().view;
+  mp.offset = h.privbase;
+  mp.length = h.pgsize;
+  return mp;
+}
+
+// ---- Application API -----------------------------------------------------
+
+Result<GlobalAddr> DsmNode::SharedMalloc(uint64_t size) {
+  if (size == 0 || size > ~0u) {
+    return Status::Invalid("SharedMalloc: size must be in (0, 4GiB)");
+  }
+  MsgHeader h;
+  h.set_type(MsgType::kAllocRequest);
+  h.from = me_;
+  h.seq = ThreadSlot();
+  h.pgsize = static_cast<uint32_t>(size);
+  SendMsg(kManagerHost, h);
+  const MsgHeader reply = slots_.Wait(h.seq);
+  if (reply.msg_type() != MsgType::kAllocReply) {
+    return Status::Internal("SharedMalloc: unexpected reply");
+  }
+  if ((reply.flags & kFlagAbort) != 0) {
+    return Status::Exhausted("SharedMalloc: shared memory exhausted");
+  }
+  return reply.global_addr();
+}
+
+void DsmNode::CloseChunk() {
+  MsgHeader h;
+  h.set_type(MsgType::kAllocRequest);
+  h.from = me_;
+  h.seq = kNoWaitSlot;
+  h.pgsize = 0;  // size 0 means "close the open chunk"
+  SendMsg(kManagerHost, h);
+}
+
+void DsmNode::Barrier() {
+  MsgHeader h;
+  h.set_type(MsgType::kBarrierEnter);
+  h.from = me_;
+  h.seq = ThreadSlot();
+  SendMsg(kManagerHost, h);
+  (void)slots_.Wait(h.seq);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  counters_.barriers++;
+  EpochRecord rec;
+  rec.epoch = epoch_++;
+  rec.host = me_;
+  rec.delta = counters_ - epoch_snapshot_;
+  epoch_snapshot_ = counters_;
+  epochs_.push_back(rec);
+}
+
+void DsmNode::Lock(uint32_t lock_id) {
+  MsgHeader h;
+  h.set_type(MsgType::kLockAcquire);
+  h.from = me_;
+  h.seq = ThreadSlot();
+  h.minipage = lock_id;
+  SendMsg(kManagerHost, h);
+  (void)slots_.Wait(h.seq);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  counters_.lock_acquires++;
+}
+
+void DsmNode::Unlock(uint32_t lock_id) {
+  MsgHeader h;
+  h.set_type(MsgType::kLockRelease);
+  h.from = me_;
+  h.seq = kNoWaitSlot;
+  h.minipage = lock_id;
+  SendMsg(kManagerHost, h);
+}
+
+void DsmNode::Prefetch(GlobalAddr a) {
+  if (!config_.enable_ack) {
+    return;  // without read serialization a prefetched copy could be stale
+  }
+  const uint64_t vpage = a.offset / PageSize();
+  if (views_->GetVpageProtection(a.view, vpage) != Protection::kNoAccess) {
+    return;  // copy already present (or being installed)
+  }
+  MsgHeader h;
+  h.set_type(MsgType::kReadRequest);
+  h.flags = kFlagPrefetch;
+  h.from = me_;
+  h.seq = kNoWaitSlot;
+  h.addr = a.Pack();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    counters_.prefetches++;
+  }
+  SendMsg(kManagerHost, h);
+}
+
+size_t DsmNode::FetchGroup(const GlobalAddr* addrs, size_t count) {
+  const uint32_t slot = ThreadSlot();
+  size_t issued = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t vpage = addrs[i].offset / PageSize();
+    if (views_->GetVpageProtection(addrs[i].view, vpage) != Protection::kNoAccess) {
+      continue;  // already readable (or a duplicate already issued: the
+                 // protection flips only on reply, so same-vpage duplicates
+                 // within one group are filtered by the manager's queueing)
+    }
+    MsgHeader h;
+    h.set_type(MsgType::kReadRequest);
+    h.from = me_;
+    h.seq = slot;
+    h.addr = addrs[i].Pack();
+    SendMsg(kManagerHost, h);
+    issued++;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    counters_.prefetches += issued;
+  }
+  // Split transaction: collect the replies (any order) and ACK each one so
+  // the manager releases the minipages.
+  for (size_t i = 0; i < issued; ++i) {
+    const MsgHeader reply = slots_.Wait(slot);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      counters_.prefetch_bytes += reply.has_payload() ? reply.pgsize : 0;
+    }
+    if (config_.enable_ack) {
+      MsgHeader ack;
+      ack.set_type(MsgType::kAck);
+      ack.from = me_;
+      ack.seq = kNoWaitSlot;
+      ack.addr = reply.addr;
+      ack.minipage = reply.minipage;
+      SendMsg(kManagerHost, ack);
+    }
+  }
+  return issued;
+}
+
+void DsmNode::PushToAll(GlobalAddr a) {
+  if (config_.num_hosts == 1) {
+    return;
+  }
+  MsgHeader h;
+  h.set_type(MsgType::kPushUpdate);
+  h.from = me_;
+  h.seq = kNoWaitSlot;
+  h.addr = a.Pack();
+  SendMsg(kManagerHost, h);
+}
+
+// ---- Fault path ------------------------------------------------------------
+
+bool DsmNode::OnFault(uint32_t view, uint64_t offset, bool is_write) {
+  const uint64_t t0 = MonotonicNowNs();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (is_write) {
+      counters_.write_faults++;
+    } else {
+      counters_.read_faults++;
+    }
+  }
+  MsgHeader h;
+  h.set_type(is_write ? MsgType::kWriteRequest : MsgType::kReadRequest);
+  h.from = me_;
+  h.seq = ThreadSlot();
+  h.addr = GlobalAddr{view, offset}.Pack();
+  if (!config_.enable_ack) {
+    inflight_[h.seq].poisoned.store(false, std::memory_order_relaxed);
+    inflight_[h.seq].addr.store(h.addr, std::memory_order_release);
+  }
+  SendMsg(kManagerHost, h);
+  const MsgHeader reply = slots_.Wait(h.seq);
+
+  if (config_.enable_ack || is_write) {
+    MsgHeader ack;
+    ack.set_type(MsgType::kAck);
+    ack.from = me_;
+    ack.seq = kNoWaitSlot;
+    ack.addr = reply.addr;
+    ack.minipage = reply.minipage;
+    SendMsg(kManagerHost, ack);
+  }
+
+  const uint64_t dt = MonotonicNowNs() - t0;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    const uint64_t data_bytes = reply.has_payload() ? reply.pgsize : 0;
+    if (is_write) {
+      counters_.write_fault_bytes += data_bytes;
+      write_lat_.Record(dt);
+    } else {
+      counters_.read_fault_bytes += data_bytes;
+      read_lat_.Record(dt);
+    }
+  }
+  return true;
+}
+
+// ---- Server thread ---------------------------------------------------------
+
+void DsmNode::ServerLoop() {
+  const PayloadSink sink = [this](const MsgHeader& h) -> std::byte* {
+    if (h.privbase + h.pgsize > views_->object_size()) {
+      return nullptr;
+    }
+    return views_->PrivAddr(h.privbase);
+  };
+  while (!stop_.load(std::memory_order_acquire)) {
+    MsgHeader h;
+    uint64_t timeout_us = 0;
+    switch (config_.service_mode) {
+      case ServiceMode::kBlocking:
+        timeout_us = 2000;
+        break;
+      case ServiceMode::kBusyPoll:
+      case ServiceMode::kPeriodic:
+        timeout_us = 0;
+        break;
+    }
+    Result<bool> got = transport_->Poll(me_, &h, sink, timeout_us);
+    MP_CHECK(got.ok()) << got.status().ToString();
+    if (*got) {
+      HandleMessage(h);
+      continue;
+    }
+    if (config_.service_mode == ServiceMode::kPeriodic) {
+      ::usleep(static_cast<useconds_t>(config_.service_period_us));
+    }
+  }
+}
+
+namespace {
+// Protocol tracing: set MP_TRACE=<n> in the environment to dump the first n
+// messages each server thread handles (type, sender, translation fields) to
+// stderr — invaluable when diagnosing protocol interleavings.
+std::atomic<int> g_trace_budget{-1};
+bool TraceOn() {
+  int b = g_trace_budget.load(std::memory_order_relaxed);
+  if (b == -1) {
+    b = getenv("MP_TRACE") != nullptr ? atoi(getenv("MP_TRACE")) : 0;
+    g_trace_budget.store(b);
+  }
+  return b > 0 && g_trace_budget.fetch_sub(1) > 0;
+}
+}  // namespace
+
+void DsmNode::HandleMessage(const MsgHeader& h) {
+  if (TraceOn()) {
+    fprintf(stderr, "[h%u] %s from=%u seq=%x mp=%u flags=%x priv=%lu len=%u\n", me_,
+            MsgTypeName(h.msg_type()), h.from, h.seq, h.minipage, h.flags,
+            (unsigned long)h.privbase, h.pgsize);
+  }
+  switch (h.msg_type()) {
+    case MsgType::kReadRequest:
+    case MsgType::kWriteRequest:
+      if ((h.flags & kFlagBounced) != 0) {
+        // A serving host returned the request unserved; re-route it. This
+        // check must precede the forwarded-flag check: bounced requests
+        // still carry it.
+        MP_CHECK(is_manager()) << "bounced request received by non-manager";
+        MsgHeader copy = h;
+        copy.flags &= static_cast<uint8_t>(~(kFlagForwarded | kFlagBounced));
+        MgrHandleBounced(copy);
+      } else if ((h.flags & kFlagForwarded) != 0) {
+        if (h.msg_type() == MsgType::kReadRequest) {
+          ServeReadRequest(h);
+        } else {
+          ServeWriteRequest(h);
+        }
+      } else {
+        MP_CHECK(is_manager()) << "request received by non-manager";
+        // Any protocol traffic means sharing has begun: stop aggregating
+        // allocations so open chunks can no longer grow (see MgrHandleAlloc).
+        allocator_->CloseChunk();
+        MsgHeader copy = h;
+        if (MgrTranslate(&copy)) {
+          MgrStartService(copy);
+        }
+      }
+      break;
+    case MsgType::kReadReply:
+    case MsgType::kWriteReply:
+      HandleReply(h);
+      break;
+    case MsgType::kInvalidateRequest:
+      HandleInvalidateRequest(h);
+      break;
+    case MsgType::kInvalidateReply:
+      MP_CHECK(is_manager());
+      MgrHandleInvalidateReply(h);
+      break;
+    case MsgType::kAck:
+      MP_CHECK(is_manager());
+      MgrHandleAck(h);
+      break;
+    case MsgType::kAllocRequest:
+      MP_CHECK(is_manager());
+      MgrHandleAlloc(h);
+      break;
+    case MsgType::kAllocReply:
+    case MsgType::kBarrierRelease:
+    case MsgType::kLockGrant:
+      slots_.Post(h.seq, h);
+      break;
+    case MsgType::kBarrierEnter:
+      MP_CHECK(is_manager());
+      allocator_->CloseChunk();
+      MgrHandleBarrierEnter(h);
+      break;
+    case MsgType::kLockAcquire:
+      MP_CHECK(is_manager());
+      allocator_->CloseChunk();
+      MgrHandleLockAcquire(h);
+      break;
+    case MsgType::kLockRelease:
+      MP_CHECK(is_manager());
+      MgrHandleLockRelease(h);
+      break;
+    case MsgType::kPushUpdate:
+      if (h.has_payload()) {
+        ApplyPush(h);
+      } else if ((h.flags & kFlagForwarded) != 0) {
+        PusherBroadcast(h);
+      } else {
+        MP_CHECK(is_manager());
+        allocator_->CloseChunk();
+        MsgHeader copy = h;
+        if (MgrTranslate(&copy)) {
+          MgrStartService(copy);
+        }
+      }
+      break;
+    case MsgType::kShutdown:
+      break;
+  }
+}
+
+// ---- Manager role ----------------------------------------------------------
+
+bool DsmNode::MgrTranslate(MsgHeader* h) {
+  const GlobalAddr a = h->global_addr();
+  const Minipage* mp = mpt_->Lookup(a.view, a.offset);
+  directory_->counters().mpt_lookups++;
+  if (mp == nullptr) {
+    MP_LOG(Fatal) << "fault at unmapped shared address view=" << a.view
+                  << " offset=" << a.offset << " (wild pointer into a layout gap?)";
+    return false;
+  }
+  h->minipage = mp->id;
+  h->pgsize = static_cast<uint32_t>(mp->length);
+  h->privbase = mp->offset;
+  return true;
+}
+
+void DsmNode::MgrStartService(MsgHeader h) {
+  DirEntry& e = directory_->Entry(h.minipage);
+  directory_->counters().requests_served++;
+  if (e.in_service) {
+    // A request queued behind another HOST's transaction is contention (the
+    // paper's "competing requests"). Queued behind the same host's own
+    // in-flight prefetch it is just a pipelined duplicate, and a queued
+    // PREFETCH blocks nobody (its issuer is not waiting) — neither is
+    // priced as contention.
+    if (h.from != e.in_service_for && (h.flags & kFlagPrefetch) == 0) {
+      directory_->counters().competing_requests++;
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      counters_.competing_requests++;
+    }
+    e.pending.push_back(h);
+    return;
+  }
+  e.in_service = true;
+  e.in_service_for = h.from;
+  MgrProcess(h);
+}
+
+void DsmNode::MgrProcess(const MsgHeader& h) {
+  DirEntry& e = directory_->Entry(h.minipage);
+  switch (h.msg_type()) {
+    case MsgType::kReadRequest:
+      MgrProcessRead(h, e);
+      break;
+    case MsgType::kWriteRequest:
+      MgrProcessWrite(h, e);
+      break;
+    case MsgType::kPushUpdate:
+      MgrProcessPush(h, e);
+      break;
+    default:
+      MP_LOG(Fatal) << "MgrProcess: unexpected type " << MsgTypeName(h.msg_type());
+  }
+}
+
+void DsmNode::MgrProcessRead(const MsgHeader& h, DirEntry& e) {
+  MP_CHECK(e.copyset != 0) << "minipage with empty copyset";
+  if (e.copyset == (1ULL << h.from)) {
+    // Requester already holds the only copy (prefetch/fault race): grant
+    // access without data.
+    MsgHeader reply = h;
+    reply.set_type(MsgType::kReadReply);
+    reply.flags = static_cast<uint8_t>((h.flags & kFlagPrefetch) | kFlagUpgrade);
+    SendMsg(h.from, reply);
+    if (!config_.enable_ack) {
+      MgrFinishService(h.minipage);
+    }
+    return;
+  }
+  const HostId replica = e.PickReplica(h.from, replica_rotation_++);
+  e.AddCopy(h.from);
+  e.writable = false;  // the serving host downgrades itself to ReadOnly
+  MsgHeader fwd = h;
+  fwd.flags |= kFlagForwarded;
+  SendMsg(replica, fwd);
+  if (!config_.enable_ack) {
+    MgrFinishService(h.minipage);
+  }
+}
+
+void DsmNode::MgrProcessWrite(const MsgHeader& h, DirEntry& e) {
+  MP_CHECK(e.copyset != 0) << "minipage with empty copyset";
+  if (e.copyset == (1ULL << h.from)) {
+    // Sole holder asks for exclusivity: upgrade in place.
+    e.writable = true;
+    MsgHeader reply = h;
+    reply.set_type(MsgType::kWriteReply);
+    reply.flags = kFlagUpgrade;
+    SendMsg(h.from, reply);
+    if (!config_.enable_ack) {
+      MgrFinishService(h.minipage);
+    }
+    return;
+  }
+  const HostId remaining =
+      e.HasCopy(h.from) ? h.from : e.PickReplica(h.from, replica_rotation_++);
+  const uint64_t others = e.copyset & ~(1ULL << remaining) & ~(1ULL << h.from);
+  e.copyset = 1ULL << h.from;
+  e.writable = true;
+  if (others == 0) {
+    MP_CHECK(remaining != h.from);
+    MsgHeader fwd = h;
+    fwd.flags |= kFlagForwarded;
+    SendMsg(remaining, fwd);
+    if (!config_.enable_ack) {
+      MgrFinishService(h.minipage);
+    }
+    return;
+  }
+  // Invalidate every other replica; the write is forwarded (or upgraded)
+  // once all invalidation replies are in (Figure 3, Manager paths).
+  e.write_pending = true;
+  e.pending_write = h;
+  e.write_remaining = remaining;
+  e.invalidates_outstanding = static_cast<uint32_t>(__builtin_popcountll(others));
+  directory_->counters().invalidation_rounds++;
+  for (uint16_t host = 0; host < config_.num_hosts; ++host) {
+    if ((others & (1ULL << host)) != 0) {
+      MsgHeader inv = h;
+      inv.set_type(MsgType::kInvalidateRequest);
+      inv.flags = kFlagForwarded;
+      SendMsg(host, inv);
+    }
+  }
+}
+
+void DsmNode::MgrHandleInvalidateReply(const MsgHeader& h) {
+  DirEntry& e = directory_->Entry(h.minipage);
+  MP_CHECK(e.write_pending) << "stray invalidate reply";
+  MP_CHECK(e.invalidates_outstanding > 0);
+  if (--e.invalidates_outstanding > 0) {
+    return;
+  }
+  e.write_pending = false;
+  const MsgHeader& w = e.pending_write;
+  if (e.write_remaining == w.from) {
+    MsgHeader reply = w;
+    reply.set_type(MsgType::kWriteReply);
+    reply.flags = kFlagUpgrade;
+    SendMsg(w.from, reply);
+  } else {
+    MsgHeader fwd = w;
+    fwd.flags |= kFlagForwarded;
+    SendMsg(e.write_remaining, fwd);
+  }
+  if (!config_.enable_ack) {
+    MgrFinishService(h.minipage);
+  }
+}
+
+void DsmNode::MgrProcessPush(const MsgHeader& h, DirEntry& e) {
+  // The pusher must still hold the writable copy; it broadcasts and every
+  // host (pusher included) confirms with an ACK before the minipage leaves
+  // service and the copyset becomes all-hosts.
+  e.push_outstanding = config_.num_hosts;
+  MsgHeader fwd = h;
+  fwd.flags |= kFlagForwarded;
+  SendMsg(h.from, fwd);
+}
+
+void DsmNode::MgrHandleAck(const MsgHeader& h) {
+  DirEntry& e = directory_->Entry(h.minipage);
+  if (e.push_outstanding > 0) {
+    if ((h.flags & kFlagAbort) != 0) {
+      e.push_outstanding = 0;  // pusher lost the copy; leave copyset alone
+      MgrFinishService(h.minipage);
+      return;
+    }
+    if (--e.push_outstanding > 0) {
+      return;
+    }
+    e.copyset = (config_.num_hosts == 64) ? ~0ULL : ((1ULL << config_.num_hosts) - 1);
+    e.writable = false;
+    MgrFinishService(h.minipage);
+    return;
+  }
+  MgrFinishService(h.minipage);
+}
+
+void DsmNode::MgrHandleBounced(const MsgHeader& h) {
+  DirEntry& e = directory_->Entry(h.minipage);
+  if (h.msg_type() == MsgType::kWriteRequest) {
+    // Writes are still ACK-serialized, so the transaction that chose the
+    // bounced target is the one in service; retry the same target — its
+    // inbound copy is on the wire.
+    MsgHeader fwd = h;
+    fwd.flags |= kFlagForwarded;
+    SendMsg(e.write_remaining, fwd);
+    return;
+  }
+  // Reads: re-route from the current copyset.
+  MgrStartService(h);
+}
+
+void DsmNode::MgrFinishService(MinipageId id) {
+  DirEntry& e = directory_->Entry(id);
+  e.in_service = false;
+  if (e.pending.empty()) {
+    return;
+  }
+  MsgHeader next = e.pending.front();
+  e.pending.pop_front();
+  e.in_service = true;
+  e.in_service_for = next.from;
+  MgrProcess(next);
+}
+
+void DsmNode::MgrHandleAlloc(const MsgHeader& h) {
+  if (h.pgsize == 0) {
+    allocator_->CloseChunk();
+    return;
+  }
+  Result<Allocation> alloc = allocator_->Allocate(h.pgsize);
+  MsgHeader reply = h;
+  reply.set_type(MsgType::kAllocReply);
+  if (!alloc.ok()) {
+    MP_LOG(Error) << "SharedMalloc failed: " << alloc.status().ToString();
+    reply.flags = kFlagAbort;
+    SendMsg(h.from, reply);
+    return;
+  }
+  for (MinipageId id : alloc->minipages) {
+    DirEntry& e = directory_->Entry(id);
+    if (e.copyset == 0) {
+      e.copyset = 1ULL << kManagerHost;
+      e.writable = true;
+    }
+    // Cover newly added vpages of a growing chunk; safe because chunks close
+    // on any non-alloc traffic, so a growing minipage is still manager-held.
+    if (e.copyset == (1ULL << kManagerHost) && e.writable) {
+      MP_CHECK_OK(views_->SetProtection(mpt_->Get(id), Protection::kReadWrite));
+    }
+  }
+  reply.addr = GlobalAddr{alloc->view, alloc->offset}.Pack();
+  reply.pgsize = static_cast<uint32_t>(alloc->size);
+  reply.privbase = alloc->offset;
+  SendMsg(h.from, reply);
+}
+
+void DsmNode::MgrHandleBarrierEnter(const MsgHeader& h) {
+  BarrierState& b = directory_->barrier();
+  b.arrived++;
+  b.waiters.push_back(h);
+  if (b.arrived < config_.num_hosts) {
+    return;
+  }
+  for (const MsgHeader& w : b.waiters) {
+    MsgHeader release = w;
+    release.set_type(MsgType::kBarrierRelease);
+    release.minipage = b.generation;
+    SendMsg(w.from, release);
+  }
+  b.generation++;
+  b.arrived = 0;
+  b.waiters.clear();
+}
+
+void DsmNode::MgrHandleLockAcquire(const MsgHeader& h) {
+  LockEntry& l = directory_->Lock(h.minipage);
+  if (!l.held) {
+    l.held = true;
+    l.holder = h.from;
+    MsgHeader grant = h;
+    grant.set_type(MsgType::kLockGrant);
+    SendMsg(h.from, grant);
+    return;
+  }
+  l.waiters.push_back(h);
+}
+
+void DsmNode::MgrHandleLockRelease(const MsgHeader& h) {
+  LockEntry& l = directory_->Lock(h.minipage);
+  MP_CHECK(l.held && l.holder == h.from) << "unlock by non-holder";
+  if (l.waiters.empty()) {
+    l.held = false;
+    return;
+  }
+  MsgHeader next = l.waiters.front();
+  l.waiters.pop_front();
+  l.holder = next.from;
+  next.set_type(MsgType::kLockGrant);
+  SendMsg(next.from, next);
+}
+
+// ---- Serving side ------------------------------------------------------------
+
+void DsmNode::ServeReadRequest(const MsgHeader& h) {
+  const Minipage mp = MinipageFromHeader(h);
+  const Protection have = views_->GetProtection(mp);
+  if (have == Protection::kNoAccess) {
+    Bounce(h);
+    return;
+  }
+  if (have == Protection::kReadWrite) {
+    MP_CHECK_OK(views_->SetProtection(mp, Protection::kReadOnly));
+  }
+  MsgHeader reply = h;
+  reply.set_type(MsgType::kReadReply);
+  reply.flags = static_cast<uint8_t>(h.flags & kFlagPrefetch);
+  SendMsg(h.from, reply, views_->PrivAddr(mp.offset), mp.length);
+}
+
+void DsmNode::ServeWriteRequest(const MsgHeader& h) {
+  const Minipage mp = MinipageFromHeader(h);
+  if (views_->GetProtection(mp) == Protection::kNoAccess) {
+    Bounce(h);
+    return;
+  }
+  MP_CHECK_OK(views_->SetProtection(mp, Protection::kNoAccess));
+  MsgHeader reply = h;
+  reply.set_type(MsgType::kWriteReply);
+  reply.flags = 0;
+  SendMsg(h.from, reply, views_->PrivAddr(mp.offset), mp.length);
+}
+
+void DsmNode::HandleInvalidateRequest(const MsgHeader& h) {
+  const Minipage mp = MinipageFromHeader(h);
+  MP_CHECK_OK(views_->SetProtection(mp, Protection::kNoAccess));
+  if (!config_.enable_ack) {
+    // Any fetch of this minipage still in flight will deliver pre-write
+    // data: poison it so the reply is retried instead of installed.
+    const GlobalAddr ga = h.global_addr();
+    for (auto& f : inflight_) {
+      const uint64_t packed = f.addr.load(std::memory_order_acquire);
+      if (packed == ~0ULL) {
+        continue;
+      }
+      const GlobalAddr in = GlobalAddr::Unpack(packed);
+      if (in.view == ga.view && in.offset >= h.privbase &&
+          in.offset < h.privbase + h.pgsize) {
+        f.poisoned.store(true, std::memory_order_release);
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    counters_.invalidations_received++;
+  }
+  MsgHeader reply = h;
+  reply.set_type(MsgType::kInvalidateReply);
+  reply.flags = 0;
+  SendMsg(kManagerHost, reply);
+}
+
+void DsmNode::HandleReply(const MsgHeader& h) {
+  if (!config_.enable_ack && h.seq != kNoWaitSlot) {
+    InflightFetch& f = inflight_[h.seq];
+    if (f.poisoned.exchange(false, std::memory_order_acq_rel)) {
+      // The fetched copy was invalidated in flight; leave the vpage
+      // inaccessible and re-issue the request for fresh data.
+      fault_retries_.fetch_add(1, std::memory_order_relaxed);
+      MsgHeader retry;
+      retry.set_type(h.msg_type() == MsgType::kReadReply ? MsgType::kReadRequest
+                                                         : MsgType::kWriteRequest);
+      retry.from = me_;
+      retry.seq = h.seq;
+      retry.addr = f.addr.load(std::memory_order_acquire);
+      SendMsg(kManagerHost, retry);
+      return;
+    }
+    f.addr.store(~0ULL, std::memory_order_release);
+  }
+  const Minipage mp = MinipageFromHeader(h);
+  const Protection prot = h.msg_type() == MsgType::kReadReply ? Protection::kReadOnly
+                                                              : Protection::kReadWrite;
+  MP_CHECK_OK(views_->SetProtection(mp, prot));
+  if (h.seq == kNoWaitSlot) {
+    // Prefetch completion: account and ACK on behalf of the (absent) waiter.
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      counters_.prefetch_bytes += h.has_payload() ? h.pgsize : 0;
+    }
+    if (config_.enable_ack) {
+      MsgHeader ack = h;
+      ack.set_type(MsgType::kAck);
+      ack.from = me_;
+      ack.flags = 0;
+      SendMsg(kManagerHost, ack);
+    }
+    return;
+  }
+  slots_.Post(h.seq, h);
+}
+
+void DsmNode::ApplyPush(const MsgHeader& h) {
+  const Minipage mp = MinipageFromHeader(h);
+  MP_CHECK_OK(views_->SetProtection(mp, Protection::kReadOnly));
+  MsgHeader ack = h;
+  ack.set_type(MsgType::kAck);
+  ack.from = me_;
+  ack.flags = 0;
+  SendMsg(kManagerHost, ack);
+}
+
+void DsmNode::PusherBroadcast(const MsgHeader& h) {
+  const Minipage mp = MinipageFromHeader(h);
+  MsgHeader ack = h;
+  ack.set_type(MsgType::kAck);
+  ack.from = me_;
+  if (views_->GetProtection(mp) != Protection::kReadWrite) {
+    // Lost the writable copy since the push was issued; abort.
+    ack.flags = kFlagAbort;
+    SendMsg(kManagerHost, ack);
+    return;
+  }
+  // Downgrade first so no local writer can tear the broadcast contents.
+  MP_CHECK_OK(views_->SetProtection(mp, Protection::kReadOnly));
+  MsgHeader push = h;
+  push.set_type(MsgType::kPushUpdate);
+  push.flags = kFlagForwarded;
+  for (uint16_t host = 0; host < config_.num_hosts; ++host) {
+    if (host != me_) {
+      SendMsg(host, push, views_->PrivAddr(mp.offset), mp.length);
+    }
+  }
+  ack.flags = 0;
+  SendMsg(kManagerHost, ack);
+}
+
+void DsmNode::Bounce(MsgHeader h) {
+  // This host cannot serve the forwarded request (its copy is gone or has
+  // not arrived) — a window that only opens when read ACKs are elided.
+  // Return it to the manager for re-routing against current directory state.
+  bounced_.fetch_add(1, std::memory_order_relaxed);
+  h.flags |= kFlagBounced;
+  SendMsg(kManagerHost, h);
+}
+
+}  // namespace millipage

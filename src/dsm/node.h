@@ -1,0 +1,195 @@
+// DsmNode: one millipage host. Owns the host's memory object and views, the
+// SW/MR sequential-consistency protocol endpoint, the DSM server thread, and
+// (on host 0) the manager role: MPT, allocator, directory, locks, barriers.
+//
+// The protocol is the paper's Figure 3, message for message:
+//   * faults send a 32-byte request to the manager and block on an event;
+//   * the manager translates (MPT lookup), updates the copyset, and forwards;
+//   * serving hosts adjust their own vpage protection and send the minipage
+//     contents directly from the privileged view (no buffering, no lookup);
+//   * the requester's server thread receives the data straight into the
+//     privileged view, raises protection, and wakes the faulting thread;
+//   * the faulting thread posts an ACK to the manager, which serializes
+//     per-minipage service and makes non-manager queueing unnecessary.
+
+#ifndef SRC_DSM_NODE_H_
+#define SRC_DSM_NODE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/stats.h"
+#include "src/dsm/config.h"
+#include "src/dsm/directory.h"
+#include "src/dsm/wait_slots.h"
+#include "src/multiview/allocator.h"
+#include "src/multiview/minipage.h"
+#include "src/multiview/view_set.h"
+#include "src/net/transport.h"
+
+namespace millipage {
+
+class DsmNode {
+ public:
+  // `transport` must outlive the node and already know all hosts.
+  static Result<std::unique_ptr<DsmNode>> Create(const DsmConfig& config, HostId me,
+                                                 Transport* transport);
+  ~DsmNode();
+
+  DsmNode(const DsmNode&) = delete;
+  DsmNode& operator=(const DsmNode&) = delete;
+
+  void Start();  // launches the DSM server thread
+  void Stop();   // stops and joins it
+
+  HostId id() const { return me_; }
+  uint16_t num_hosts() const { return config_.num_hosts; }
+  bool is_manager() const { return me_ == kManagerHost; }
+  const DsmConfig& config() const { return config_; }
+  ViewSet& views() { return *views_; }
+
+  // ---- Application API -------------------------------------------------
+
+  // Allocates `size` bytes of shared memory (manager-coordinated). The
+  // returned canonical address is valid on every host.
+  Result<GlobalAddr> SharedMalloc(uint64_t size);
+
+  // Ends the open aggregation chunk (Section 4.4) so the next allocation
+  // starts a new minipage.
+  void CloseChunk();
+
+  // Local pointer for a canonical address on this host.
+  std::byte* AppPtr(GlobalAddr a) const {
+    MP_CHECK(a.view < views_->num_app_views() && a.offset < views_->object_size())
+        << "bad canonical address view=" << a.view << " offset=" << a.offset;
+    return views_->AppAddr(a.view, a.offset);
+  }
+
+  void Barrier();
+  void Lock(uint32_t lock_id);
+  void Unlock(uint32_t lock_id);
+
+  // Asynchronous read prefetch of the minipage containing `a` (Section 4.3.1,
+  // the LU prefetch calls). No-op if a copy is already present.
+  void Prefetch(GlobalAddr a);
+
+  // Composed-view coarse read (Section 5, "Composed-Views"): fetches read
+  // copies of every minipage containing one of `addrs` as one batched,
+  // split-transaction operation — all requests are issued before any reply
+  // is awaited, so the fetch latencies pipeline instead of serializing as
+  // they would through individual faults. After the call the group is
+  // readable at fine granularity; writes still operate per minipage.
+  // Returns the number of minipages actually fetched.
+  size_t FetchGroup(const GlobalAddr* addrs, size_t count);
+
+  // Pushes readable copies of the minipage containing `a` to all hosts (the
+  // TSP best-tour update). Fire-and-forget; serialized at the manager.
+  void PushToAll(GlobalAddr a);
+
+  // Deterministic compute proxy reported by applications (priced by the
+  // cost model when reproducing Figure 6/7).
+  void AddWorkUnits(uint64_t n);
+
+  // ---- Fault path --------------------------------------------------------
+
+  // Full fault service; called from the SIGSEGV handler on the faulting
+  // thread. Returns true when the access may be retried.
+  bool OnFault(uint32_t view, uint64_t offset, bool is_write);
+
+  // Registers the calling thread (assigns its wait slot). Implicit on first
+  // use; exposed for tests.
+  uint32_t ThreadSlot();
+
+  // ---- Introspection -----------------------------------------------------
+
+  HostCounters counters() const;
+  std::vector<EpochRecord> epochs() const;
+  LatencyHistogram read_fault_latency() const;
+  LatencyHistogram write_fault_latency() const;
+  uint64_t bounced_requests() const;
+  uint64_t fault_retries() const { return fault_retries_.load(std::memory_order_relaxed); }
+
+  // Manager-only state (null/empty elsewhere).
+  Directory* directory() { return directory_.get(); }
+  const MinipageTable* mpt() const { return mpt_.get(); }
+  const MinipageAllocator* allocator() const { return allocator_.get(); }
+
+ private:
+  DsmNode(const DsmConfig& config, HostId me, Transport* transport);
+
+  // Server thread.
+  void ServerLoop();
+  void HandleMessage(const MsgHeader& h);
+
+  // Manager role.
+  bool MgrTranslate(MsgHeader* h);
+  void MgrStartService(MsgHeader h);
+  void MgrProcess(const MsgHeader& h);
+  void MgrProcessRead(const MsgHeader& h, DirEntry& e);
+  void MgrProcessWrite(const MsgHeader& h, DirEntry& e);
+  void MgrProcessPush(const MsgHeader& h, DirEntry& e);
+  void MgrHandleBounced(const MsgHeader& h);
+  void MgrFinishService(MinipageId id);
+  void MgrHandleInvalidateReply(const MsgHeader& h);
+  void MgrHandleAck(const MsgHeader& h);
+  void MgrHandleAlloc(const MsgHeader& h);
+  void MgrHandleBarrierEnter(const MsgHeader& h);
+  void MgrHandleLockAcquire(const MsgHeader& h);
+  void MgrHandleLockRelease(const MsgHeader& h);
+
+  // Serving side (any host).
+  void ServeReadRequest(const MsgHeader& h);
+  void ServeWriteRequest(const MsgHeader& h);
+  void HandleInvalidateRequest(const MsgHeader& h);
+  void HandleReply(const MsgHeader& h);
+  void ApplyPush(const MsgHeader& h);
+  void PusherBroadcast(const MsgHeader& h);
+  // Returns the request to the manager when this host cannot serve it
+  // (reachable only with the ACK disabled — the race the ACK prevents).
+  void Bounce(MsgHeader h);
+
+  Minipage MinipageFromHeader(const MsgHeader& h) const;
+  void SendMsg(HostId to, const MsgHeader& h, const void* payload = nullptr, size_t len = 0);
+
+  const DsmConfig config_;
+  const HostId me_;
+  Transport* const transport_;
+  std::unique_ptr<ViewSet> views_;
+  WaitSlots slots_;
+
+  // Manager-only.
+  std::unique_ptr<MinipageTable> mpt_;
+  std::unique_ptr<MinipageAllocator> allocator_;
+  std::unique_ptr<Directory> directory_;
+
+  std::thread server_;
+  std::atomic<bool> stop_{false};
+
+  // In-flight fetch tracking, used only when read ACKs are elided: a fetch
+  // whose minipage is invalidated mid-flight is poisoned and retried instead
+  // of installing stale data. Indexed by wait slot.
+  struct InflightFetch {
+    std::atomic<uint64_t> addr{~0ULL};  // packed GlobalAddr, ~0 = none
+    std::atomic<bool> poisoned{false};
+  };
+  InflightFetch inflight_[WaitSlots::kMaxSlots];
+  std::atomic<uint64_t> fault_retries_{0};
+  uint32_t replica_rotation_ = 0;  // manager server thread only
+
+  mutable std::mutex stats_mu_;
+  HostCounters counters_;
+  HostCounters epoch_snapshot_;
+  std::vector<EpochRecord> epochs_;
+  uint32_t epoch_ = 0;
+  LatencyHistogram read_lat_;
+  LatencyHistogram write_lat_;
+  std::atomic<uint64_t> bounced_{0};
+};
+
+}  // namespace millipage
+
+#endif  // SRC_DSM_NODE_H_

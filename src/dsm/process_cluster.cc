@@ -1,0 +1,158 @@
+#include "src/dsm/process_cluster.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/logging.h"
+#include "src/dsm/global_ptr.h"
+#include "src/net/socket_transport.h"
+#include "src/os/fault_handler.h"
+
+namespace millipage {
+
+namespace {
+
+struct ChildFaultCtx {
+  DsmNode* node = nullptr;
+};
+
+bool ChildFaultTrampoline(void* ctx, void* addr, bool is_write) {
+  DsmNode* node = static_cast<ChildFaultCtx*>(ctx)->node;
+  uint32_t view;
+  uint64_t offset;
+  if (!node->views().Resolve(addr, &view, &offset)) {
+    return false;
+  }
+  return node->OnFault(view, offset, is_write);
+}
+
+[[noreturn]] void ChildMain(const DsmConfig& config, HostId me, std::vector<int> fds,
+                            const std::function<void(DsmNode&, HostId)>& fn) {
+  SocketTransport transport(me, std::move(fds));
+  Result<std::unique_ptr<DsmNode>> node = DsmNode::Create(config, me, &transport);
+  if (!node.ok()) {
+    MP_LOG(Error) << "host " << me << ": " << node.status().ToString();
+    _exit(2);
+  }
+  static ChildFaultCtx fault_ctx;
+  fault_ctx.node = node->get();
+  MP_CHECK_OK(FaultHandler::Instance().Install());
+  const int slot = FaultHandler::Instance().Register(&ChildFaultTrampoline, &fault_ctx);
+  MP_CHECK(slot >= 0);
+  (*node)->Start();
+
+  SetCurrentNode(node->get());
+  fn(**node, me);
+  // Keep serving until every host is done with the protocol.
+  (*node)->Barrier();
+  SetCurrentNode(nullptr);
+  // Give fire-and-forget traffic (lock releases, final acks) a moment to
+  // drain before the server thread goes away.
+  ::usleep(20 * 1000);
+  (*node)->Stop();
+  FaultHandler::Instance().Unregister(slot);
+  std::fflush(nullptr);  // _exit skips stdio flush
+  _exit(0);
+}
+
+}  // namespace
+
+Status RunForkedCluster(const DsmConfig& config,
+                        const std::function<void(DsmNode&, HostId)>& fn,
+                        uint64_t timeout_ms) {
+  MP_ASSIGN_OR_RETURN(SocketMesh mesh, SocketMesh::Create(config.num_hosts));
+  std::vector<pid_t> pids;
+  pids.reserve(config.num_hosts);
+  for (uint16_t h = 0; h < config.num_hosts; ++h) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      Status st = Status::Errno("fork");
+      for (pid_t p : pids) {
+        ::kill(p, SIGKILL);
+      }
+      return st;
+    }
+    if (pid == 0) {
+      std::vector<int> row = mesh.TakeRow(h);
+      ChildMain(config, h, std::move(row), fn);  // never returns
+    }
+    pids.push_back(pid);
+  }
+  mesh.CloseAll();
+
+  // Watchdog wait: a host that dies mid-protocol leaves its peers blocked at
+  // a barrier, so once any child fails (or the deadline passes) the rest are
+  // killed and the run is reported as failed.
+  Status result = Status::Ok();
+  std::vector<bool> done(config.num_hosts, false);
+  uint16_t remaining = config.num_hosts;
+  const uint64_t deadline_ms = timeout_ms == 0 ? 120000 : timeout_ms;
+  uint64_t waited_ms = 0;
+  bool any_failed = false;
+  while (remaining > 0) {
+    bool reaped = false;
+    for (uint16_t h = 0; h < config.num_hosts; ++h) {
+      if (done[h]) {
+        continue;
+      }
+      int wstatus = 0;
+      const pid_t r = ::waitpid(pids[h], &wstatus, WNOHANG);
+      if (r == 0) {
+        continue;
+      }
+      done[h] = true;
+      remaining--;
+      reaped = true;
+      if (r < 0) {
+        result = Status::Errno("waitpid");
+        any_failed = true;
+      } else if (WIFSIGNALED(wstatus)) {
+        result = Status::Internal("host " + std::to_string(h) + " killed by signal " +
+                                  std::to_string(WTERMSIG(wstatus)));
+        any_failed = true;
+      } else if (WIFEXITED(wstatus) && WEXITSTATUS(wstatus) != 0) {
+        result = Status::Internal("host " + std::to_string(h) + " exited with status " +
+                                  std::to_string(WEXITSTATUS(wstatus)));
+        any_failed = true;
+      }
+    }
+    if (remaining == 0) {
+      break;
+    }
+    if (reaped) {
+      continue;
+    }
+    // Give survivors a grace period after a failure; then sweep them.
+    const uint64_t budget_ms = any_failed ? std::min<uint64_t>(deadline_ms, 2000) : deadline_ms;
+    if (waited_ms >= budget_ms) {
+      for (uint16_t h = 0; h < config.num_hosts; ++h) {
+        if (!done[h]) {
+          ::kill(pids[h], SIGKILL);
+        }
+      }
+      if (result.ok()) {
+        result = Status::Internal("forked cluster timed out after " +
+                                  std::to_string(waited_ms) + " ms");
+      }
+      // Final blocking reap of the killed children.
+      for (uint16_t h = 0; h < config.num_hosts; ++h) {
+        if (!done[h]) {
+          int wstatus = 0;
+          ::waitpid(pids[h], &wstatus, 0);
+          done[h] = true;
+          remaining--;
+        }
+      }
+      break;
+    }
+    ::usleep(5000);
+    waited_ms += 5;
+  }
+  return result;
+}
+
+}  // namespace millipage

@@ -1,0 +1,28 @@
+// Multi-process deployment: one OS process per DSM host — the paper's
+// deployment shape — connected by a pre-forked AF_UNIX SOCK_SEQPACKET mesh.
+// Each child creates its own DsmNode (memory object, views, SIGSEGV
+// handler), runs the application function, joins a final barrier, and exits.
+
+#ifndef SRC_DSM_PROCESS_CLUSTER_H_
+#define SRC_DSM_PROCESS_CLUSTER_H_
+
+#include <functional>
+
+#include "src/common/status.h"
+#include "src/dsm/node.h"
+
+namespace millipage {
+
+// Forks config.num_hosts children and runs `fn(node, host)` in each. The
+// runtime adds a final barrier after `fn` so no host tears down the protocol
+// while others still need it. Returns once every child exited; any child
+// that crashed or exited non-zero turns into an error.
+// `timeout_ms` bounds the whole run (0 = default 120 s); on expiry (or after
+// any child fails) surviving children are killed and an error is returned.
+Status RunForkedCluster(const DsmConfig& config,
+                        const std::function<void(DsmNode&, HostId)>& fn,
+                        uint64_t timeout_ms = 0);
+
+}  // namespace millipage
+
+#endif  // SRC_DSM_PROCESS_CLUSTER_H_

@@ -1,0 +1,86 @@
+// Wait slots: the per-thread events faulting threads block on while their
+// request is serviced (the paper's pmsg->event). POSIX semaphores are used
+// because sem_wait/sem_post are async-signal-safe, and the faulting thread
+// waits from inside the SIGSEGV handler.
+
+#ifndef SRC_DSM_WAIT_SLOTS_H_
+#define SRC_DSM_WAIT_SLOTS_H_
+
+#include <semaphore.h>
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "src/common/logging.h"
+#include "src/net/message.h"
+
+namespace millipage {
+
+class WaitSlots {
+ public:
+  static constexpr uint32_t kMaxSlots = 64;
+
+  WaitSlots() {
+    for (auto& s : slots_) {
+      MP_CHECK(sem_init(&s.sem, 0, 0) == 0);
+    }
+  }
+  ~WaitSlots() {
+    for (auto& s : slots_) {
+      sem_destroy(&s.sem);
+    }
+  }
+
+  WaitSlots(const WaitSlots&) = delete;
+  WaitSlots& operator=(const WaitSlots&) = delete;
+
+  // Reserves a slot for a thread's lifetime.
+  uint32_t Acquire() {
+    const uint32_t id = next_.fetch_add(1, std::memory_order_relaxed);
+    MP_CHECK(id < kMaxSlots) << "too many threads per host";
+    return id;
+  }
+
+  // Blocks until a reply for `slot` arrives; returns the oldest undelivered
+  // reply. Replies queue per slot, so split transactions (several requests
+  // outstanding on one slot, e.g. a composed-view group fetch) deliver every
+  // reply exactly once, in arrival order.
+  MsgHeader Wait(uint32_t slot) {
+    Slot& s = slots_[slot];
+    while (sem_wait(&s.sem) != 0) {
+      // Interrupted by a signal; retry.
+    }
+    std::lock_guard<std::mutex> lock(s.mu);
+    MP_CHECK(!s.replies.empty()) << "semaphore/queue mismatch";
+    const MsgHeader reply = s.replies.front();
+    s.replies.pop_front();
+    return reply;
+  }
+
+  // Deposits a reply and wakes the waiter.
+  void Post(uint32_t slot, const MsgHeader& reply) {
+    MP_CHECK(slot < kMaxSlots);
+    Slot& s = slots_[slot];
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.replies.push_back(reply);
+    }
+    sem_post(&s.sem);
+  }
+
+ private:
+  struct Slot {
+    sem_t sem;
+    std::mutex mu;
+    std::deque<MsgHeader> replies;
+  };
+
+  Slot slots_[kMaxSlots];
+  std::atomic<uint32_t> next_{0};
+};
+
+}  // namespace millipage
+
+#endif  // SRC_DSM_WAIT_SLOTS_H_

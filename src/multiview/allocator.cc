@@ -1,0 +1,162 @@
+#include "src/multiview/allocator.h"
+
+#include "src/common/logging.h"
+#include "src/os/page.h"
+
+namespace millipage {
+
+namespace {
+uint64_t AlignUp(uint64_t v, uint64_t a) { return (v + a - 1) / a * a; }
+}  // namespace
+
+MinipageAllocator::MinipageAllocator(MinipageTable* mpt, uint64_t object_size,
+                                     uint32_t num_views, AllocatorOptions options)
+    : mpt_(mpt), object_size_(object_size), num_views_(num_views), options_(options) {
+  MP_CHECK(num_views_ >= 1 && num_views_ <= 64) << "dynamic layout supports 1..64 views";
+  MP_CHECK(options_.chunking_level >= 1);
+  const size_t vpages = PagesFor(object_size);
+  vpage_views_.assign(vpages, 0);
+  if (options_.page_based) {
+    page_minipage_.assign(vpages, kInvalidMinipage);
+  }
+}
+
+Result<Allocation> MinipageAllocator::Allocate(uint64_t size) {
+  if (size == 0) {
+    return Status::Invalid("Allocate: size must be > 0");
+  }
+  if (options_.page_based) {
+    return AllocatePageBased(size);
+  }
+  return AllocateFineGrain(size);
+}
+
+void MinipageAllocator::CloseChunk() {
+  chunk_minipage_ = kInvalidMinipage;
+  chunk_members_ = 0;
+}
+
+void MinipageAllocator::MarkVpages(uint64_t first, uint64_t last, uint32_t v) {
+  for (uint64_t vp = first; vp <= last; ++vp) {
+    vpage_views_[vp] |= (1ULL << v);
+  }
+}
+
+int MinipageAllocator::FindFreeView(uint64_t first, uint64_t last) {
+  // First fit: the lowest free view. Pages then use views 0..k-1 where k is
+  // the number of minipages sharing them, so the number of views an
+  // application consumes equals its max minipages-per-page (Table 2's
+  // "Num. views" column: 16 for SOR rows, 6 for WATER molecules, 27 for
+  // TSP tours).
+  uint64_t used = 0;
+  for (uint64_t vp = first; vp <= last; ++vp) {
+    used |= vpage_views_[vp];
+  }
+  for (uint32_t v = 0; v < num_views_; ++v) {
+    if ((used & (1ULL << v)) == 0) {
+      return static_cast<int>(v);
+    }
+  }
+  return -1;
+}
+
+Result<Allocation> MinipageAllocator::AllocateFineGrain(uint64_t size) {
+  // Try to append to the open chunk first.
+  if (options_.chunking_level > 1 && chunk_minipage_ != kInvalidMinipage &&
+      chunk_members_ < options_.chunking_level) {
+    const uint64_t aligned = AlignUp(cursor_, options_.alignment);
+    if (aligned + size <= object_size_) {
+      const MinipageId chunk_id = chunk_minipage_;
+      const Minipage& mp = mpt_->Get(chunk_id);
+      const uint64_t old_last = mp.last_vpage();
+      const uint64_t new_length = aligned + size - mp.offset;
+      MP_RETURN_IF_ERROR(mpt_->ExtendLast(chunk_id, new_length));
+      const uint64_t new_last = (mp.offset + new_length - 1) / PageSize();
+      if (new_last > old_last) {
+        MarkVpages(old_last + 1, new_last, chunk_view_);
+      }
+      cursor_ = aligned + size;
+      chunk_members_++;
+      Allocation a;
+      a.offset = aligned;
+      a.size = size;
+      a.view = chunk_view_;
+      a.minipages = {chunk_id};
+      if (chunk_members_ >= options_.chunking_level) {
+        CloseChunk();
+      }
+      return a;
+    }
+    CloseChunk();
+  }
+
+  // Large allocations start on a page boundary so they form clean
+  // page-multiple sharing units (the paper's LU 4 KB blocks).
+  uint64_t start = AlignUp(cursor_, options_.alignment);
+  if (size >= PageSize()) {
+    start = AlignUp(start, PageSize());
+  } else if (start / PageSize() != (start + size - 1) / PageSize()) {
+    // A sub-page minipage is kept inside one vpage (its <offset,length>
+    // identification); only large allocations and growing chunks span.
+    start = AlignUp(start, PageSize());
+  }
+  // A vpage can host at most num_views_ minipages; when the current page is
+  // saturated, skip to the next page boundary and retry there.
+  for (int attempts = 0; attempts < 2; ++attempts) {
+    if (start + size > object_size_) {
+      return Status::Exhausted("shared memory object exhausted");
+    }
+    const uint64_t vp0 = start / PageSize();
+    const uint64_t vp1 = (start + size - 1) / PageSize();
+    // Page-multiple allocations monopolize their vpages, so view 0 is always
+    // free for them and rotating would only waste views (the paper's LU uses
+    // a single view for its 4 KB blocks). Sub-page allocations rotate.
+    const bool full_pages = size >= PageSize();
+    const int v = full_pages ? 0 : FindFreeView(vp0, vp1);
+    if (v < 0) {
+      start = (vp0 + 1) * PageSize();
+      continue;
+    }
+    MP_ASSIGN_OR_RETURN(MinipageId id, mpt_->Define(static_cast<uint32_t>(v), start, size));
+    MarkVpages(vp0, vp1, static_cast<uint32_t>(v));
+    cursor_ = start + size;
+    if (options_.chunking_level > 1) {
+      chunk_minipage_ = id;
+      chunk_members_ = 1;
+      chunk_view_ = static_cast<uint32_t>(v);
+    }
+    Allocation a;
+    a.offset = start;
+    a.size = size;
+    a.view = static_cast<uint32_t>(v);
+    a.minipages = {id};
+    return a;
+  }
+  // Two consecutive saturated pages cannot happen: a fresh page is empty.
+  return Status::Internal("allocator invariant violated: fresh page saturated");
+}
+
+Result<Allocation> MinipageAllocator::AllocatePageBased(uint64_t size) {
+  const uint64_t start = AlignUp(cursor_, options_.alignment);
+  if (start + size > object_size_) {
+    return Status::Exhausted("shared memory object exhausted");
+  }
+  const uint64_t vp0 = start / PageSize();
+  const uint64_t vp1 = (start + size - 1) / PageSize();
+  Allocation a;
+  a.offset = start;
+  a.size = size;
+  a.view = 0;
+  for (uint64_t vp = vp0; vp <= vp1; ++vp) {
+    if (page_minipage_[vp] == kInvalidMinipage) {
+      MP_ASSIGN_OR_RETURN(MinipageId id, mpt_->Define(0, vp * PageSize(), PageSize()));
+      page_minipage_[vp] = id;
+      MarkVpages(vp, vp, 0);
+    }
+    a.minipages.push_back(page_minipage_[vp]);
+  }
+  cursor_ = start + size;
+  return a;
+}
+
+}  // namespace millipage

@@ -1,0 +1,82 @@
+// Dynamic minipage layout (Section 2.3): every shared allocation defines its
+// own minipage and is associated with an application view such that no two
+// minipages overlapping the same vpage share a view. Supports:
+//
+//  * chunking (Section 4.4): aggregate `chunking_level` consecutive
+//    allocations into one larger minipage, trading false sharing for fewer
+//    protocol invocations;
+//  * page-based baseline mode ("none" in Figure 7 / Ivy-style): allocations
+//    are packed disregarding minipage boundaries and the sharing unit is the
+//    full page, reproducing classic false sharing.
+
+#ifndef SRC_MULTIVIEW_ALLOCATOR_H_
+#define SRC_MULTIVIEW_ALLOCATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/multiview/minipage.h"
+
+namespace millipage {
+
+struct AllocatorOptions {
+  uint32_t chunking_level = 1;  // allocations aggregated per minipage
+  bool page_based = false;      // baseline: full-page sharing units
+  uint64_t alignment = 8;       // byte alignment of returned offsets
+};
+
+struct Allocation {
+  uint64_t offset = 0;  // byte offset within the memory object
+  uint64_t size = 0;    // requested size
+  uint32_t view = 0;    // associated view of the first minipage
+  std::vector<MinipageId> minipages;  // minipages the allocation occupies
+};
+
+class MinipageAllocator {
+ public:
+  // `num_views` bounds the number of minipages that may overlap one vpage.
+  MinipageAllocator(MinipageTable* mpt, uint64_t object_size, uint32_t num_views,
+                    AllocatorOptions options = {});
+
+  Result<Allocation> Allocate(uint64_t size);
+
+  // Ends the currently open chunk so the next allocation starts a fresh
+  // minipage (callers group logically-related allocations).
+  void CloseChunk();
+
+  uint64_t bytes_allocated() const { return cursor_; }
+  uint64_t object_size() const { return object_size_; }
+
+ private:
+  Result<Allocation> AllocateFineGrain(uint64_t size);
+  Result<Allocation> AllocatePageBased(uint64_t size);
+
+  // Marks view `v` used on vpages [first, last]; grows the mask table.
+  void MarkVpages(uint64_t first, uint64_t last, uint32_t v);
+  // Returns a view free on all of [first, last], or -1.
+  int FindFreeView(uint64_t first, uint64_t last);
+
+  MinipageTable* mpt_;
+  const uint64_t object_size_;
+  const uint32_t num_views_;
+  const AllocatorOptions options_;
+
+  uint64_t cursor_ = 0;
+
+  // Open chunk state (fine-grain mode, chunking_level > 1).
+  MinipageId chunk_minipage_ = kInvalidMinipage;
+  uint32_t chunk_members_ = 0;
+  uint32_t chunk_view_ = 0;
+
+  // Per-vpage bitmask of views already hosting a minipage (<= 64 views).
+  std::vector<uint64_t> vpage_views_;
+
+  // Page-based mode: id of the page-sized minipage for each vpage, created
+  // lazily as allocations touch pages.
+  std::vector<MinipageId> page_minipage_;
+};
+
+}  // namespace millipage
+
+#endif  // SRC_MULTIVIEW_ALLOCATOR_H_

@@ -1,0 +1,68 @@
+// Static minipage layout (Section 2.3): each page of the memory object is
+// divided into k equal minipages, minipage j of every page associated with
+// view j. Minipage borders are computable from the fault address alone —
+// the layout used for general-purpose caching / global-memory subpages and
+// by the Figure 5 microbenchmark.
+
+#ifndef SRC_MULTIVIEW_STATIC_LAYOUT_H_
+#define SRC_MULTIVIEW_STATIC_LAYOUT_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/multiview/minipage.h"
+#include "src/os/page.h"
+
+namespace millipage {
+
+class StaticLayout {
+ public:
+  // k must divide the page size.
+  static Result<StaticLayout> Create(uint64_t object_size, uint32_t k) {
+    if (k == 0 || PageSize() % k != 0) {
+      return Status::Invalid("static layout: k must divide the page size");
+    }
+    return StaticLayout(object_size, k);
+  }
+
+  uint32_t minipages_per_page() const { return k_; }
+  uint64_t minipage_size() const { return PageSize() / k_; }
+  uint64_t total_minipages() const { return PagesFor(object_size_) * k_; }
+
+  // View associated with the byte at `offset`.
+  uint32_t ViewOf(uint64_t offset) const {
+    return static_cast<uint32_t>((offset % PageSize()) / minipage_size());
+  }
+
+  // Geometry of the minipage containing `offset` (no table lookup needed).
+  Minipage MinipageOf(uint64_t offset) const {
+    Minipage mp;
+    mp.id = static_cast<MinipageId>(offset / minipage_size());
+    mp.view = ViewOf(offset);
+    mp.offset = offset / minipage_size() * minipage_size();
+    mp.length = minipage_size();
+    return mp;
+  }
+
+  // Populates an MPT with every minipage of the layout (for code paths that
+  // want table-driven translation); ids ascend with offset.
+  Status Populate(MinipageTable* mpt) const {
+    const uint64_t n = total_minipages();
+    for (uint64_t i = 0; i < n; ++i) {
+      const uint64_t off = i * minipage_size();
+      MP_ASSIGN_OR_RETURN(MinipageId id, mpt->Define(ViewOf(off), off, minipage_size()));
+      (void)id;
+    }
+    return Status::Ok();
+  }
+
+ private:
+  StaticLayout(uint64_t object_size, uint32_t k) : object_size_(object_size), k_(k) {}
+
+  uint64_t object_size_;
+  uint32_t k_;
+};
+
+}  // namespace millipage
+
+#endif  // SRC_MULTIVIEW_STATIC_LAYOUT_H_

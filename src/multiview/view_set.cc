@@ -1,0 +1,76 @@
+#include "src/multiview/view_set.h"
+
+namespace millipage {
+
+Result<std::unique_ptr<ViewSet>> ViewSet::Create(size_t object_size, uint32_t num_app_views) {
+  if (num_app_views == 0) {
+    return Status::Invalid("ViewSet needs at least one application view");
+  }
+  auto vs = std::unique_ptr<ViewSet>(new ViewSet());
+  MP_ASSIGN_OR_RETURN(vs->object_, MemoryObject::Create(object_size));
+  const size_t len = vs->object_.size();
+  vs->app_views_.reserve(num_app_views);
+  for (uint32_t v = 0; v < num_app_views; ++v) {
+    MP_ASSIGN_OR_RETURN(Mapping m,
+                        Mapping::MapObject(vs->object_, 0, len, Protection::kNoAccess));
+    vs->app_views_.push_back(std::move(m));
+  }
+  MP_ASSIGN_OR_RETURN(vs->priv_view_,
+                      Mapping::MapObject(vs->object_, 0, len, Protection::kReadWrite));
+  const size_t vpages = len / PageSize();
+  vs->shadow_.reserve(num_app_views);
+  for (uint32_t v = 0; v < num_app_views; ++v) {
+    auto arr = std::make_unique<std::atomic<uint8_t>[]>(vpages);
+    for (size_t i = 0; i < vpages; ++i) {
+      arr[i].store(static_cast<uint8_t>(Protection::kNoAccess), std::memory_order_relaxed);
+    }
+    vs->shadow_.push_back(std::move(arr));
+  }
+  return vs;
+}
+
+bool ViewSet::Resolve(const void* addr, uint32_t* view, uint64_t* offset) const {
+  const auto a = reinterpret_cast<uintptr_t>(addr);
+  for (uint32_t v = 0; v < app_views_.size(); ++v) {
+    const Mapping& m = app_views_[v];
+    if (a >= m.base_addr() && a < m.base_addr() + m.length()) {
+      *view = v;
+      *offset = a - m.base_addr();
+      return true;
+    }
+  }
+  return false;
+}
+
+Status ViewSet::SetProtection(const Minipage& mp, Protection prot) {
+  if (mp.view >= app_views_.size()) {
+    return Status::Invalid("SetProtection: view out of range");
+  }
+  const uint64_t first = mp.first_vpage();
+  const uint64_t last = mp.last_vpage();
+  const size_t off = first * PageSize();
+  const size_t len = (last - first + 1) * PageSize();
+  MP_RETURN_IF_ERROR(app_views_[mp.view].Protect(off, len, prot));
+  for (uint64_t vp = first; vp <= last; ++vp) {
+    shadow_[mp.view][vp].store(static_cast<uint8_t>(prot), std::memory_order_release);
+  }
+  return Status::Ok();
+}
+
+Protection ViewSet::GetProtection(const Minipage& mp) const {
+  return static_cast<Protection>(
+      shadow_[mp.view][mp.first_vpage()].load(std::memory_order_acquire));
+}
+
+Status ViewSet::ProtectAllAppViews(Protection prot) {
+  for (uint32_t v = 0; v < app_views_.size(); ++v) {
+    MP_RETURN_IF_ERROR(app_views_[v].ProtectAll(prot));
+    const size_t vpages = vpages_per_view();
+    for (size_t i = 0; i < vpages; ++i) {
+      shadow_[v][i].store(static_cast<uint8_t>(prot), std::memory_order_relaxed);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace millipage

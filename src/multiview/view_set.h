@@ -1,0 +1,84 @@
+// ViewSet: one memory object mapped n+1 times — n application views whose
+// vpage protections are manipulated independently, plus the privileged view,
+// permanently ReadWrite, used by DSM server threads for atomic in-place
+// updates and zero-copy sends/receives (Section 2.3.1 of the paper).
+
+#ifndef SRC_MULTIVIEW_VIEW_SET_H_
+#define SRC_MULTIVIEW_VIEW_SET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/multiview/minipage.h"
+#include "src/os/mapping.h"
+#include "src/os/memory_object.h"
+#include "src/os/page.h"
+#include "src/os/protection.h"
+
+namespace millipage {
+
+class ViewSet {
+ public:
+  // Creates the memory object (object_size bytes, page-rounded) and maps
+  // num_app_views application views (initially NoAccess) plus the privileged
+  // view (ReadWrite).
+  static Result<std::unique_ptr<ViewSet>> Create(size_t object_size, uint32_t num_app_views);
+
+  uint32_t num_app_views() const { return static_cast<uint32_t>(app_views_.size()); }
+  size_t object_size() const { return object_.size(); }
+  size_t vpages_per_view() const { return object_.size() / PageSize(); }
+
+  std::byte* app_base(uint32_t view) const { return app_views_[view].base(); }
+  std::byte* priv_base() const { return priv_view_.base(); }
+
+  // Application-view address of (view, object offset), and the privileged
+  // address of an object offset — the paper's addr2priv translation.
+  std::byte* AppAddr(uint32_t view, uint64_t offset) const {
+    return app_views_[view].base() + offset;
+  }
+  std::byte* PrivAddr(uint64_t offset) const { return priv_view_.base() + offset; }
+
+  // Resolves a pointer that may lie in any application view of this set.
+  // Returns false if the address is outside every application view.
+  bool Resolve(const void* addr, uint32_t* view, uint64_t* offset) const;
+
+  // True if addr lies in any application view.
+  bool ContainsAppAddr(const void* addr) const {
+    uint32_t v;
+    uint64_t o;
+    return Resolve(addr, &v, &o);
+  }
+
+  // Sets the protection of every vpage the minipage occupies, in its
+  // associated view, and records it in the shadow table.
+  Status SetProtection(const Minipage& mp, Protection prot);
+
+  // Shadow-table read (the Table 1 "get protection" operation).
+  Protection GetProtection(const Minipage& mp) const;
+
+  // Shadow protection of one vpage in one view (used by prefetch, which has
+  // no minipage descriptor on non-manager hosts).
+  Protection GetVpageProtection(uint32_t view, uint64_t vpage) const {
+    return static_cast<Protection>(shadow_[view][vpage].load(std::memory_order_acquire));
+  }
+
+  // Protects every vpage of every application view (bulk setup).
+  Status ProtectAllAppViews(Protection prot);
+
+ private:
+  ViewSet() = default;
+
+  MemoryObject object_;
+  std::vector<Mapping> app_views_;
+  Mapping priv_view_;
+  // Shadow protection, one byte per (view, vpage). Concurrent readers and
+  // the per-minipage-serialized writers use relaxed atomics.
+  std::vector<std::unique_ptr<std::atomic<uint8_t>[]>> shadow_;
+};
+
+}  // namespace millipage
+
+#endif  // SRC_MULTIVIEW_VIEW_SET_H_

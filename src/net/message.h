@@ -1,0 +1,92 @@
+// Wire format of the millipage protocol.
+//
+// Every message starts with a fixed 32-byte header (the paper notes all
+// manager traffic fits in 32 bytes). Data-bearing messages (minipage
+// contents) send the payload as a second stage; the receiver reads the
+// header, derives the destination address in its privileged view from the
+// translation fields the manager filled in, and receives the payload
+// directly there — no DSM-layer buffering.
+
+#ifndef SRC_NET_MESSAGE_H_
+#define SRC_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace millipage {
+
+using HostId = uint16_t;
+inline constexpr HostId kManagerHost = 0;
+// seq value meaning "no thread is waiting for the reply" (prefetch).
+inline constexpr uint32_t kNoWaitSlot = 0xffffffffu;
+
+enum class MsgType : uint8_t {
+  kReadRequest = 1,
+  kWriteRequest,
+  kReadReply,
+  kWriteReply,
+  kInvalidateRequest,
+  kInvalidateReply,
+  kAck,
+  kAllocRequest,
+  kAllocReply,
+  kBarrierEnter,
+  kBarrierRelease,
+  kLockAcquire,
+  kLockGrant,
+  kLockRelease,
+  kPushUpdate,     // unsolicited read-copy push (TSP best-tour broadcast)
+  kDiffUpdate,     // LRC: run-length diff flushed to a minipage's home
+  kDiffAck,        // LRC: home applied the diff
+  kShutdown,
+};
+
+const char* MsgTypeName(MsgType t);
+
+// Header flags.
+inline constexpr uint8_t kFlagHasPayload = 0x1;
+inline constexpr uint8_t kFlagPrefetch = 0x2;
+inline constexpr uint8_t kFlagUpgrade = 0x4;    // access grant without data
+inline constexpr uint8_t kFlagForwarded = 0x8;  // already translated by manager
+inline constexpr uint8_t kFlagBounced = 0x10;   // returned unserved to manager
+inline constexpr uint8_t kFlagAbort = 0x20;     // push aborted by the pusher
+inline constexpr uint8_t kFlagWriteFetch = 0x40;  // LRC: fetch opens for writing
+inline constexpr uint8_t kFlagHomeGrant = 0x80;   // LRC: requester is the home
+
+// Canonical shared address: (application view, offset within the memory
+// object). Identical on every host, so no pointer translation is needed
+// between hosts in either deployment mode.
+struct GlobalAddr {
+  uint32_t view = 0;
+  uint64_t offset = 0;
+
+  uint64_t Pack() const { return (static_cast<uint64_t>(view) << 48) | offset; }
+  static GlobalAddr Unpack(uint64_t packed) {
+    return GlobalAddr{static_cast<uint32_t>(packed >> 48), packed & ((1ULL << 48) - 1)};
+  }
+  bool operator==(const GlobalAddr&) const = default;
+};
+
+struct MsgHeader {
+  uint8_t type = 0;
+  uint8_t flags = 0;
+  HostId from = 0;       // original requester
+  uint32_t seq = 0;      // requester's wait-slot (the paper's event handle)
+  uint64_t addr = 0;     // packed GlobalAddr of the faulting access
+  // Translation info, filled by the manager (Manager::Translate):
+  uint32_t minipage = 0;  // minipage id (doubles as lock/barrier id)
+  uint32_t pgsize = 0;    // minipage length; also payload length when
+                          // kFlagHasPayload is set
+  uint64_t privbase = 0;  // object offset of the minipage base (addr2priv)
+
+  MsgType msg_type() const { return static_cast<MsgType>(type); }
+  void set_type(MsgType t) { type = static_cast<uint8_t>(t); }
+  GlobalAddr global_addr() const { return GlobalAddr::Unpack(addr); }
+  bool has_payload() const { return (flags & kFlagHasPayload) != 0; }
+};
+
+static_assert(sizeof(MsgHeader) == 32, "header must stay at 32 bytes, as in the paper");
+
+}  // namespace millipage
+
+#endif  // SRC_NET_MESSAGE_H_

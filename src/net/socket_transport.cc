@@ -1,0 +1,235 @@
+#include "src/net/socket_transport.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace millipage {
+
+namespace {
+
+constexpr int kSocketBufBytes = 1 << 20;
+
+Status SetBufferSizes(int fd) {
+  const int sz = kSocketBufBytes;
+  if (setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &sz, sizeof(sz)) != 0 ||
+      setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &sz, sizeof(sz)) != 0) {
+    return Status::Errno("setsockopt(SO_SNDBUF/SO_RCVBUF)");
+  }
+  return Status::Ok();
+}
+
+// Receives exactly one datagram of `len` bytes into `buf`.
+Status RecvDatagram(int fd, void* buf, size_t len) {
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, len, 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::Errno("recv");
+    }
+    if (n == 0) {
+      // SEQPACKET EOF: the peer process died or closed its end. Surface it
+      // so surviving hosts fail fast instead of hanging at the next barrier.
+      return Status(StatusCode::kUnavailable, "peer host closed its connection");
+    }
+    if (static_cast<size_t>(n) != len) {
+      return Status::Internal("recv: short/oversized datagram (" + std::to_string(n) +
+                              " vs expected " + std::to_string(len) + ")");
+    }
+    return Status::Ok();
+  }
+}
+
+Status SendDatagram(int fd, const void* buf, size_t len) {
+  for (;;) {
+    const ssize_t n = ::send(fd, buf, len, 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::Errno("send");
+    }
+    if (static_cast<size_t>(n) != len) {
+      return Status::Internal("send: partial datagram");
+    }
+    return Status::Ok();
+  }
+}
+
+}  // namespace
+
+Result<SocketMesh> SocketMesh::Create(uint16_t num_hosts) {
+  SocketMesh mesh;
+  mesh.fds.assign(num_hosts, std::vector<int>(num_hosts, -1));
+  for (uint16_t i = 0; i < num_hosts; ++i) {
+    for (uint16_t j = static_cast<uint16_t>(i + 1); j < num_hosts; ++j) {
+      int sv[2];
+      if (::socketpair(AF_UNIX, SOCK_SEQPACKET | SOCK_CLOEXEC, 0, sv) != 0) {
+        Status st = Status::Errno("socketpair");
+        mesh.CloseAll();
+        return st;
+      }
+      Status st = SetBufferSizes(sv[0]);
+      if (st.ok()) {
+        st = SetBufferSizes(sv[1]);
+      }
+      if (!st.ok()) {
+        ::close(sv[0]);
+        ::close(sv[1]);
+        mesh.CloseAll();
+        return st;
+      }
+      mesh.fds[i][j] = sv[0];
+      mesh.fds[j][i] = sv[1];
+    }
+  }
+  return mesh;
+}
+
+std::vector<int> SocketMesh::TakeRow(uint16_t host) {
+  std::vector<int> row;
+  if (host < fds.size()) {
+    row = std::move(fds[host]);
+    fds[host].clear();
+  }
+  CloseAll();
+  return row;
+}
+
+void SocketMesh::CloseAll() {
+  for (auto& row : fds) {
+    for (int& fd : row) {
+      if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+      }
+    }
+  }
+  fds.clear();
+}
+
+SocketTransport::SocketTransport(HostId me, std::vector<int> fds_by_peer)
+    : me_(me), fds_(std::move(fds_by_peer)) {
+  if (me_ >= fds_.size()) {
+    fds_.resize(me_ + 1, -1);
+  }
+  // Self-loop so a host's application threads can message their own server.
+  int sv[2];
+  MP_CHECK(::socketpair(AF_UNIX, SOCK_SEQPACKET | SOCK_CLOEXEC, 0, sv) == 0);
+  MP_CHECK_OK(SetBufferSizes(sv[0]));
+  MP_CHECK_OK(SetBufferSizes(sv[1]));
+  fds_[me_] = sv[0];
+  self_recv_fd_ = sv[1];
+  send_mu_.reserve(fds_.size());
+  for (size_t i = 0; i < fds_.size(); ++i) {
+    send_mu_.push_back(std::make_unique<std::mutex>());
+  }
+}
+
+void SocketTransport::ClosePeer(int fd) {
+  for (size_t j = 0; j < fds_.size(); ++j) {
+    if (fds_[j] == fd) {
+      ::close(fd);
+      fds_[j] = -1;
+      return;
+    }
+  }
+  if (self_recv_fd_ == fd) {
+    ::close(fd);
+    self_recv_fd_ = -1;
+  }
+}
+
+SocketTransport::~SocketTransport() {
+  for (int fd : fds_) {
+    if (fd >= 0) {
+      ::close(fd);
+    }
+  }
+  if (self_recv_fd_ >= 0) {
+    ::close(self_recv_fd_);
+  }
+}
+
+Status SocketTransport::Send(HostId to, MsgHeader h, const void* payload, size_t len) {
+  if (to >= fds_.size() || fds_[to] < 0) {
+    return Status::Invalid("SocketTransport::Send: bad destination host");
+  }
+  if (payload != nullptr && len > 0) {
+    h.flags |= kFlagHasPayload;
+    h.pgsize = static_cast<uint32_t>(len);
+  }
+  std::lock_guard<std::mutex> lock(*send_mu_[to]);
+  MP_RETURN_IF_ERROR(SendDatagram(fds_[to], &h, sizeof(h)));
+  if (h.has_payload()) {
+    MP_RETURN_IF_ERROR(SendDatagram(fds_[to], payload, len));
+  }
+  CountSend(h.has_payload() ? len : 0);
+  return Status::Ok();
+}
+
+Result<bool> SocketTransport::Poll(HostId me, MsgHeader* h, const PayloadSink& sink,
+                                   uint64_t timeout_us) {
+  if (me != me_) {
+    return Status::Invalid("SocketTransport::Poll: not this host's transport");
+  }
+  std::vector<struct pollfd> pfds;
+  pfds.reserve(fds_.size());
+  for (size_t i = 0; i < fds_.size(); ++i) {
+    // Rotate the scan order so no peer is starved.
+    const size_t j = (i + rotation_) % fds_.size();
+    // The self-loop is received on self_recv_fd_, not on the send end.
+    const int fd = j == me_ ? self_recv_fd_ : fds_[j];
+    if (fd >= 0) {
+      pfds.push_back({fd, POLLIN, 0});
+    }
+  }
+  rotation_++;
+  const int timeout_ms =
+      timeout_us == 0 ? 0 : static_cast<int>((timeout_us + 999) / 1000);
+  const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) {
+      return false;
+    }
+    return Status::Errno("poll");
+  }
+  if (ready == 0) {
+    return false;
+  }
+  for (size_t i = 0; i < pfds.size(); ++i) {
+    if ((pfds[i].revents & POLLIN) == 0) {
+      continue;
+    }
+    const int fd = pfds[i].fd;
+    const Status header_st = RecvDatagram(fd, h, sizeof(*h));
+    if (header_st.code() == StatusCode::kUnavailable) {
+      // Peer exited and closed its end (normal at teardown: hosts leave the
+      // final barrier at different times). Retire the connection; if the
+      // peer died prematurely, the deployment's watchdog reports it.
+      ClosePeer(fd);
+      return false;
+    }
+    MP_RETURN_IF_ERROR(header_st);
+    if (h->has_payload()) {
+      std::byte* dst = sink(*h);
+      if (dst != nullptr) {
+        // FIFO per connection: the payload datagram is next on this fd.
+        MP_RETURN_IF_ERROR(RecvDatagram(fd, dst, h->pgsize));
+      } else {
+        std::vector<std::byte> scratch(h->pgsize);
+        MP_RETURN_IF_ERROR(RecvDatagram(fd, scratch.data(), scratch.size()));
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace millipage

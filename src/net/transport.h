@@ -1,0 +1,59 @@
+// Transport: the reliable, FIFO, message-boundary-preserving service the DSM
+// needs from its messaging layer (the role Illinois FastMessages plays in
+// the paper). Two implementations:
+//   * InProcTransport  — per-host mailboxes inside one process (the
+//     in-process cluster mode);
+//   * SocketTransport  — AF_UNIX SOCK_SEQPACKET full mesh (one process per
+//     host, the paper's deployment shape).
+
+#ifndef SRC_NET_TRANSPORT_H_
+#define SRC_NET_TRANSPORT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "src/common/status.h"
+#include "src/net/message.h"
+
+namespace millipage {
+
+// Two-stage receive: after the header is read, the transport asks the sink
+// where the payload (h.pgsize bytes) should land — typically an address in
+// the privileged view — and receives it directly there. Returning nullptr
+// drops the payload.
+using PayloadSink = std::function<std::byte*(const MsgHeader& h)>;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Sends `h` (plus `len` payload bytes from `payload` when non-null) to
+  // host `to`. Reliable and FIFO per (sender, receiver) pair.
+  virtual Status Send(HostId to, MsgHeader h, const void* payload, size_t len) = 0;
+
+  // Receives at most one message addressed to `me`. Returns true and fills
+  // *h if a message was consumed within `timeout_us` (0 = non-blocking).
+  virtual Result<bool> Poll(HostId me, MsgHeader* h, const PayloadSink& sink,
+                            uint64_t timeout_us) = 0;
+
+  virtual uint16_t num_hosts() const = 0;
+
+  uint64_t messages_sent() const { return messages_sent_.load(std::memory_order_relaxed); }
+  uint64_t bytes_sent() const { return bytes_sent_.load(std::memory_order_relaxed); }
+
+ protected:
+  void CountSend(size_t payload_len) {
+    messages_sent_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(sizeof(MsgHeader) + payload_len, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> messages_sent_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
+};
+
+}  // namespace millipage
+
+#endif  // SRC_NET_TRANSPORT_H_

@@ -1,0 +1,130 @@
+#include "src/os/fault_handler.h"
+
+#include <signal.h>
+#include <string.h>
+#include <ucontext.h>
+
+#include <mutex>
+
+namespace millipage {
+
+namespace {
+
+// Decodes whether the faulting access was a write. On x86-64 the page-fault
+// error code is in REG_ERR; bit 1 is the W bit.
+bool FaultWasWrite(void* ucontext_raw) {
+#if defined(__x86_64__)
+  const auto* uc = static_cast<ucontext_t*>(ucontext_raw);
+  return (uc->uc_mcontext.gregs[REG_ERR] & 0x2) != 0;
+#else
+  (void)ucontext_raw;
+  // Conservative fallback: treat every fault as a write (requests an
+  // exclusive copy; correct but may over-invalidate).
+  return true;
+#endif
+}
+
+}  // namespace
+
+FaultHandler& FaultHandler::Instance() {
+  static FaultHandler* instance = new FaultHandler();
+  return *instance;
+}
+
+Status FaultHandler::Install() {
+  static std::once_flag once;
+  Status result = Status::Ok();
+  std::call_once(once, [&result, this] {
+    struct sigaction sa;
+    memset(&sa, 0, sizeof(sa));
+    sa.sa_sigaction = reinterpret_cast<void (*)(int, siginfo_t*, void*)>(&SignalEntry);
+    sa.sa_flags = SA_SIGINFO | SA_RESTART;
+    sigemptyset(&sa.sa_mask);
+    if (sigaction(SIGSEGV, &sa, nullptr) != 0 || sigaction(SIGBUS, &sa, nullptr) != 0) {
+      result = Status::Errno("sigaction");
+      return;
+    }
+    installed_.store(true, std::memory_order_release);
+  });
+  if (!result.ok()) {
+    return result;
+  }
+  if (!installed_.load(std::memory_order_acquire)) {
+    return Status::Internal("fault handler failed to install earlier");
+  }
+  return Status::Ok();
+}
+
+int FaultHandler::Register(FaultCallback cb, void* ctx) {
+  for (int i = 0; i < kMaxSlots; ++i) {
+    FaultCallback expected = nullptr;
+    if (slots_[i].cb.compare_exchange_strong(expected, cb, std::memory_order_acq_rel)) {
+      slots_[i].ctx.store(ctx, std::memory_order_release);
+      return i;
+    }
+  }
+  return -1;
+}
+
+void FaultHandler::Unregister(int slot) {
+  if (slot >= 0 && slot < kMaxSlots) {
+    slots_[slot].cb.store(nullptr, std::memory_order_release);
+    slots_[slot].ctx.store(nullptr, std::memory_order_release);
+  }
+}
+
+namespace {
+
+// Async-signal-safe hex dump of an unhandled fault before the process dies.
+void ReportUnhandledFault(void* addr, bool is_write) {
+  char buf[96];
+  char* p = buf;
+  const char* msg = "[millipage] unhandled fault (";
+  while (*msg != '\0') {
+    *p++ = *msg++;
+  }
+  *p++ = is_write ? 'W' : 'R';
+  const char* at = ") at 0x";
+  while (*at != '\0') {
+    *p++ = *at++;
+  }
+  const auto a = reinterpret_cast<uintptr_t>(addr);
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    *p++ = "0123456789abcdef"[(a >> shift) & 0xf];
+  }
+  *p++ = '\n';
+  (void)!write(2, buf, static_cast<size_t>(p - buf));
+}
+
+}  // namespace
+
+void FaultHandler::SignalEntry(int signo, void* info_raw, void* ucontext) {
+  auto* info = static_cast<siginfo_t*>(info_raw);
+  void* addr = info->si_addr;
+  const bool is_write = FaultWasWrite(ucontext);
+  if (Instance().Dispatch(addr, is_write)) {
+    return;  // protection was upgraded; the faulting instruction retries
+  }
+  // Not ours: restore the default disposition and re-raise so the process
+  // dies with the usual SIGSEGV semantics (core dump, correct si_addr).
+  ReportUnhandledFault(addr, is_write);
+  signal(signo, SIG_DFL);
+  raise(signo);
+}
+
+bool FaultHandler::Dispatch(void* fault_addr, bool is_write) {
+  faults_dispatched_.fetch_add(1, std::memory_order_relaxed);
+  for (Slot& slot : slots_) {
+    FaultCallback cb = slot.cb.load(std::memory_order_acquire);
+    if (cb == nullptr) {
+      continue;
+    }
+    void* ctx = slot.ctx.load(std::memory_order_acquire);
+    if (cb(ctx, fault_addr, is_write)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace millipage

@@ -1,0 +1,61 @@
+// Process-wide SIGSEGV dispatcher — the POSIX analog of the structured
+// exception handler millipage installs on Windows NT.
+//
+// The DSM runtime registers a callback; when an application thread touches a
+// protected vpage, the callback runs the full request/reply protocol on the
+// faulting thread, upgrades the protection, and returns true so the faulting
+// instruction is retried. Unhandled faults fall through to the default
+// disposition (crash with a core), so genuine wild accesses still fail fast.
+
+#ifndef SRC_OS_FAULT_HANDLER_H_
+#define SRC_OS_FAULT_HANDLER_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/status.h"
+
+namespace millipage {
+
+// Returns true if the fault was resolved and the access should be retried.
+using FaultCallback = bool (*)(void* ctx, void* fault_addr, bool is_write);
+
+class FaultHandler {
+ public:
+  static constexpr int kMaxSlots = 8;
+
+  static FaultHandler& Instance();
+
+  // Installs the SIGSEGV/SIGBUS sigaction. Idempotent and thread-safe.
+  Status Install();
+
+  // Registers a callback; returns a slot id (>= 0), or -1 if full.
+  int Register(FaultCallback cb, void* ctx);
+  void Unregister(int slot);
+
+  uint64_t faults_dispatched() const {
+    return faults_dispatched_.load(std::memory_order_relaxed);
+  }
+
+  FaultHandler(const FaultHandler&) = delete;
+  FaultHandler& operator=(const FaultHandler&) = delete;
+
+ private:
+  FaultHandler() = default;
+
+  static void SignalEntry(int signo, void* info, void* ucontext);
+  bool Dispatch(void* fault_addr, bool is_write);
+
+  struct Slot {
+    std::atomic<FaultCallback> cb{nullptr};
+    std::atomic<void*> ctx{nullptr};
+  };
+
+  Slot slots_[kMaxSlots];
+  std::atomic<bool> installed_{false};
+  std::atomic<uint64_t> faults_dispatched_{0};
+};
+
+}  // namespace millipage
+
+#endif  // SRC_OS_FAULT_HANDLER_H_

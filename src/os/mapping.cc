@@ -1,0 +1,76 @@
+#include "src/os/mapping.h"
+
+#include <sys/mman.h>
+
+#include <utility>
+
+#include "src/os/page.h"
+
+namespace millipage {
+
+Result<Mapping> Mapping::MapObject(const MemoryObject& object, size_t offset, size_t length,
+                                   Protection prot) {
+  if (!object.valid()) {
+    return Status::Invalid("MapObject: invalid memory object");
+  }
+  if (!IsPageAligned(offset) || length == 0) {
+    return Status::Invalid("MapObject: offset must be page aligned, length > 0");
+  }
+  const size_t rounded = RoundUpToPage(length);
+  if (offset + rounded > object.size()) {
+    return Status::OutOfRange("MapObject: range exceeds object size");
+  }
+  void* p = ::mmap(nullptr, rounded, ProtFlags(prot), MAP_SHARED, object.fd(),
+                   static_cast<off_t>(offset));
+  if (p == MAP_FAILED) {
+    return Status::Errno("mmap(MAP_SHARED)");
+  }
+  return Mapping(static_cast<std::byte*>(p), rounded);
+}
+
+Result<Mapping> Mapping::MapAnonymous(size_t length, Protection prot) {
+  if (length == 0) {
+    return Status::Invalid("MapAnonymous: length must be > 0");
+  }
+  const size_t rounded = RoundUpToPage(length);
+  void* p = ::mmap(nullptr, rounded, ProtFlags(prot), MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) {
+    return Status::Errno("mmap(MAP_ANONYMOUS)");
+  }
+  return Mapping(static_cast<std::byte*>(p), rounded);
+}
+
+Mapping::~Mapping() {
+  if (base_ != nullptr) {
+    ::munmap(base_, length_);
+  }
+}
+
+Mapping::Mapping(Mapping&& other) noexcept
+    : base_(std::exchange(other.base_, nullptr)), length_(std::exchange(other.length_, 0)) {}
+
+Mapping& Mapping::operator=(Mapping&& other) noexcept {
+  if (this != &other) {
+    if (base_ != nullptr) {
+      ::munmap(base_, length_);
+    }
+    base_ = std::exchange(other.base_, nullptr);
+    length_ = std::exchange(other.length_, 0);
+  }
+  return *this;
+}
+
+Status Mapping::Protect(size_t offset, size_t len, Protection prot) const {
+  if (!IsPageAligned(offset) || !IsPageAligned(len)) {
+    return Status::Invalid("Protect: offset/len must be page aligned");
+  }
+  if (offset + len > length_) {
+    return Status::OutOfRange("Protect: range exceeds mapping");
+  }
+  if (::mprotect(base_ + offset, len, ProtFlags(prot)) != 0) {
+    return Status::Errno("mprotect");
+  }
+  return Status::Ok();
+}
+
+}  // namespace millipage

@@ -1,0 +1,61 @@
+// Mapping: RAII wrapper over one mmap'ed view of a MemoryObject (or an
+// anonymous region). This is the MapViewOfFile analog; a View in the
+// multiview library is a Mapping plus per-vpage protection bookkeeping.
+
+#ifndef SRC_OS_MAPPING_H_
+#define SRC_OS_MAPPING_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/os/memory_object.h"
+#include "src/os/protection.h"
+
+namespace millipage {
+
+class Mapping {
+ public:
+  // Maps `length` bytes of `object` starting at `offset` with initial
+  // protection `prot`. The kernel chooses the address.
+  static Result<Mapping> MapObject(const MemoryObject& object, size_t offset, size_t length,
+                                   Protection prot);
+
+  // Maps anonymous private memory (used by twins, buffers, tests).
+  static Result<Mapping> MapAnonymous(size_t length, Protection prot);
+
+  Mapping() = default;
+  ~Mapping();
+
+  Mapping(Mapping&& other) noexcept;
+  Mapping& operator=(Mapping&& other) noexcept;
+  Mapping(const Mapping&) = delete;
+  Mapping& operator=(const Mapping&) = delete;
+
+  bool valid() const { return base_ != nullptr; }
+  std::byte* base() const { return base_; }
+  size_t length() const { return length_; }
+  uintptr_t base_addr() const { return reinterpret_cast<uintptr_t>(base_); }
+
+  // True if `addr` falls inside this mapping.
+  bool Contains(const void* addr) const {
+    const auto a = reinterpret_cast<uintptr_t>(addr);
+    return a >= base_addr() && a < base_addr() + length_;
+  }
+
+  // Changes protection of [offset, offset+len); both must be page-aligned.
+  Status Protect(size_t offset, size_t len, Protection prot) const;
+
+  // Changes protection of the whole mapping.
+  Status ProtectAll(Protection prot) const { return Protect(0, length_, prot); }
+
+ private:
+  Mapping(std::byte* base, size_t length) : base_(base), length_(length) {}
+
+  std::byte* base_ = nullptr;
+  size_t length_ = 0;
+};
+
+}  // namespace millipage
+
+#endif  // SRC_OS_MAPPING_H_

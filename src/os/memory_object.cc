@@ -1,0 +1,49 @@
+#include "src/os/memory_object.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "src/os/page.h"
+
+namespace millipage {
+
+Result<MemoryObject> MemoryObject::Create(size_t size, const std::string& name) {
+  if (size == 0) {
+    return Status::Invalid("MemoryObject size must be > 0");
+  }
+  const size_t rounded = RoundUpToPage(size);
+  int fd = ::memfd_create(name.c_str(), MFD_CLOEXEC);
+  if (fd < 0) {
+    return Status::Errno("memfd_create");
+  }
+  if (::ftruncate(fd, static_cast<off_t>(rounded)) != 0) {
+    Status st = Status::Errno("ftruncate");
+    ::close(fd);
+    return st;
+  }
+  return MemoryObject(fd, rounded);
+}
+
+MemoryObject::~MemoryObject() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+MemoryObject::MemoryObject(MemoryObject&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), size_(std::exchange(other.size_, 0)) {}
+
+MemoryObject& MemoryObject::operator=(MemoryObject&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+    fd_ = std::exchange(other.fd_, -1);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+}  // namespace millipage

@@ -1,0 +1,42 @@
+// MemoryObject: the POSIX analog of the Windows NT "memory section" the
+// paper creates with CreateFileMapping. One anonymous, page-backed kernel
+// object that any number of views can map (MapViewOfFile ≙ mmap(MAP_SHARED)).
+
+#ifndef SRC_OS_MEMORY_OBJECT_H_
+#define SRC_OS_MEMORY_OBJECT_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace millipage {
+
+class MemoryObject {
+ public:
+  // Creates an anonymous shared memory object of `size` bytes (rounded up to
+  // a page multiple). `name` is a debugging label only.
+  static Result<MemoryObject> Create(size_t size, const std::string& name = "millipage");
+
+  MemoryObject() = default;
+  ~MemoryObject();
+
+  MemoryObject(MemoryObject&& other) noexcept;
+  MemoryObject& operator=(MemoryObject&& other) noexcept;
+  MemoryObject(const MemoryObject&) = delete;
+  MemoryObject& operator=(const MemoryObject&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  size_t size() const { return size_; }
+
+ private:
+  MemoryObject(int fd, size_t size) : fd_(fd), size_(size) {}
+
+  int fd_ = -1;
+  size_t size_ = 0;
+};
+
+}  // namespace millipage
+
+#endif  // SRC_OS_MEMORY_OBJECT_H_

@@ -1,0 +1,41 @@
+// Page-size constants and alignment helpers.
+//
+// The paper's minipage machinery manipulates protection in units of virtual
+// pages (vpages); everything here is expressed in terms of the system page
+// size, queried once at startup.
+
+#ifndef SRC_OS_PAGE_H_
+#define SRC_OS_PAGE_H_
+
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdint>
+
+namespace millipage {
+
+// System page size in bytes (4096 on x86-64 Linux).
+inline size_t PageSize() {
+  static const size_t kPageSize = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  return kPageSize;
+}
+
+inline size_t RoundUpToPage(size_t n) {
+  const size_t p = PageSize();
+  return (n + p - 1) / p * p;
+}
+
+inline size_t RoundDownToPage(size_t n) { return n / PageSize() * PageSize(); }
+
+inline bool IsPageAligned(size_t n) { return n % PageSize() == 0; }
+
+inline bool IsPageAligned(const void* p) {
+  return reinterpret_cast<uintptr_t>(p) % PageSize() == 0;
+}
+
+// Number of vpages needed to cover n bytes.
+inline size_t PagesFor(size_t n) { return RoundUpToPage(n) / PageSize(); }
+
+}  // namespace millipage
+
+#endif  // SRC_OS_PAGE_H_

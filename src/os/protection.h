@@ -1,0 +1,52 @@
+// Access protection levels for vpages, matching the three states the paper's
+// SW/MR protocol uses.
+
+#ifndef SRC_OS_PROTECTION_H_
+#define SRC_OS_PROTECTION_H_
+
+#include <sys/mman.h>
+
+namespace millipage {
+
+enum class Protection {
+  kNoAccess = 0,   // minipage not present on this host
+  kReadOnly = 1,   // read copy
+  kReadWrite = 2,  // exclusive writable copy
+};
+
+inline int ProtFlags(Protection p) {
+  switch (p) {
+    case Protection::kNoAccess:
+      return PROT_NONE;
+    case Protection::kReadOnly:
+      return PROT_READ;
+    case Protection::kReadWrite:
+      return PROT_READ | PROT_WRITE;
+  }
+  return PROT_NONE;
+}
+
+inline const char* ProtectionName(Protection p) {
+  switch (p) {
+    case Protection::kNoAccess:
+      return "NoAccess";
+    case Protection::kReadOnly:
+      return "ReadOnly";
+    case Protection::kReadWrite:
+      return "ReadWrite";
+  }
+  return "?";
+}
+
+// True if `have` already permits an access of kind `want` (read needs
+// >= ReadOnly, write needs ReadWrite).
+inline bool ProtectionAllows(Protection have, bool is_write) {
+  if (is_write) {
+    return have == Protection::kReadWrite;
+  }
+  return have != Protection::kNoAccess;
+}
+
+}  // namespace millipage
+
+#endif  // SRC_OS_PROTECTION_H_

@@ -1,0 +1,119 @@
+// Unit + property tests for the twin/run-length-diff machinery.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/diff/diff.h"
+
+namespace millipage {
+namespace {
+
+TEST(DiffTest, EmptyWhenUnchanged) {
+  std::vector<char> page(4096, 'x');
+  Twin twin(page.data(), page.size());
+  Diff d = CreateDiff(twin, page.data(), page.size());
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(DiffRunCount(d), 0u);
+}
+
+TEST(DiffTest, SingleRun) {
+  std::vector<char> page(4096, 'x');
+  Twin twin(page.data(), page.size());
+  std::memcpy(page.data() + 100, "hello", 5);
+  Diff d = CreateDiff(twin, page.data(), page.size());
+  EXPECT_EQ(DiffRunCount(d), 1u);
+  // 8 bytes header + 5 payload.
+  EXPECT_EQ(d.size_bytes(), 13u);
+}
+
+TEST(DiffTest, ApplyReconstructs) {
+  std::vector<char> before(4096);
+  for (size_t i = 0; i < before.size(); ++i) {
+    before[i] = static_cast<char>(i % 251);
+  }
+  std::vector<char> after = before;
+  after[0] = 'A';
+  after[999] = 'B';
+  std::memset(after.data() + 2000, 'C', 300);
+  after[4095] = 'D';
+
+  Twin twin(before.data(), before.size());
+  Diff d = CreateDiff(twin, after.data(), after.size());
+  std::vector<char> target = before;  // remote pristine copy
+  ASSERT_TRUE(ApplyDiff(d, target.data(), target.size()).ok());
+  EXPECT_EQ(target, after);
+}
+
+TEST(DiffTest, MergeGapCoalescesNearbyRuns) {
+  std::vector<char> page(256, 0);
+  Twin twin(page.data(), page.size());
+  page[10] = 1;
+  page[12] = 1;  // gap of 1 unchanged byte
+  Diff merged = CreateDiff(twin, page.data(), page.size(), /*merge_gap=*/4);
+  EXPECT_EQ(DiffRunCount(merged), 1u);
+  Diff split = CreateDiff(twin, page.data(), page.size(), /*merge_gap=*/1);
+  EXPECT_EQ(DiffRunCount(split), 2u);
+  // Both decode to the same content.
+  std::vector<char> t1(256, 0);
+  std::vector<char> t2(256, 0);
+  ASSERT_TRUE(ApplyDiff(merged, t1.data(), t1.size()).ok());
+  ASSERT_TRUE(ApplyDiff(split, t2.data(), t2.size()).ok());
+  EXPECT_EQ(t1, t2);
+}
+
+TEST(DiffTest, RejectsMalformedInput) {
+  std::vector<char> target(64, 0);
+  Diff truncated;
+  truncated.encoded.resize(5);  // not even a header
+  EXPECT_FALSE(ApplyDiff(truncated, target.data(), target.size()).ok());
+
+  Diff out_of_range;
+  const uint32_t offset = 60;
+  const uint32_t len = 10;  // 60 + 10 > 64
+  out_of_range.encoded.resize(8 + len);
+  std::memcpy(out_of_range.encoded.data(), &offset, 4);
+  std::memcpy(out_of_range.encoded.data() + 4, &len, 4);
+  EXPECT_FALSE(ApplyDiff(out_of_range, target.data(), target.size()).ok());
+
+  Diff zero_len;
+  const uint32_t zero = 0;
+  zero_len.encoded.resize(8);
+  std::memcpy(zero_len.encoded.data(), &offset, 4);
+  std::memcpy(zero_len.encoded.data() + 4, &zero, 4);
+  EXPECT_FALSE(ApplyDiff(zero_len, target.data(), target.size()).ok());
+}
+
+// Property test: random mutations always round-trip, across densities.
+class DiffProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiffProperty, RandomMutationsRoundTrip) {
+  const int mutation_permille = GetParam();
+  Rng rng(0xd1ff ^ static_cast<uint64_t>(mutation_permille));
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t len = 512 + rng.Below(4096);
+    std::vector<char> before(len);
+    for (auto& c : before) {
+      c = static_cast<char>(rng.Next());
+    }
+    std::vector<char> after = before;
+    for (size_t i = 0; i < len; ++i) {
+      if (rng.Below(1000) < static_cast<uint64_t>(mutation_permille)) {
+        after[i] = static_cast<char>(rng.Next());
+      }
+    }
+    Twin twin(before.data(), len);
+    Diff d = CreateDiff(twin, after.data(), len);
+    std::vector<char> target = before;
+    ASSERT_TRUE(ApplyDiff(d, target.data(), len).ok());
+    EXPECT_EQ(target, after) << "len=" << len << " permille=" << mutation_permille;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, DiffProperty,
+                         ::testing::Values(0, 5, 50, 200, 500, 1000));
+
+}  // namespace
+}  // namespace millipage

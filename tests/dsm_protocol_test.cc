@@ -1,0 +1,411 @@
+// Protocol-level DSM tests: directory state, competing requests, prefetch,
+// push updates, locks, barriers, epochs, allocation failure, service modes,
+// and a sequential-consistency stress.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/dsm/cluster.h"
+#include "src/dsm/global_ptr.h"
+
+namespace millipage {
+namespace {
+
+DsmConfig Cfg(uint16_t hosts) {
+  DsmConfig cfg;
+  cfg.num_hosts = hosts;
+  cfg.object_size = 1 << 20;
+  cfg.num_views = 8;
+  return cfg;
+}
+
+TEST(Protocol, UpgradeWriteAfterRead) {
+  // A host holding the sole read copy upgrades in place: the write grant
+  // carries no payload.
+  auto cluster = DsmCluster::Create(Cfg(2));
+  ASSERT_TRUE(cluster.ok());
+  GlobalPtr<int> p;
+  (*cluster)->RunOnManager([&](DsmNode&) {
+    p = SharedAlloc<int>(1);
+    *p = 5;
+  });
+  (*cluster)->RunParallel([&](DsmNode& node, HostId host) {
+    if (host == 1) {
+      EXPECT_EQ(*p, 5);   // read fault: copy arrives
+      *p = 6;             // manager still has a copy -> invalidation round
+      EXPECT_EQ(*p, 6);
+    }
+    node.Barrier();
+  });
+  const HostCounters c1 = (*cluster)->node(1).counters();
+  EXPECT_EQ(c1.read_faults, 1u);
+  EXPECT_EQ(c1.write_faults, 1u);
+  // The write was an upgrade (requester already held a copy): no data moved.
+  EXPECT_EQ(c1.write_fault_bytes, 0u);
+  // The manager's copy was invalidated.
+  EXPECT_EQ((*cluster)->node(0).counters().invalidations_received, 1u);
+}
+
+TEST(Protocol, WriteMovesDataWhenRequesterHasNoCopy) {
+  auto cluster = DsmCluster::Create(Cfg(2));
+  ASSERT_TRUE(cluster.ok());
+  GlobalPtr<int> p;
+  (*cluster)->RunOnManager([&](DsmNode&) {
+    p = SharedAlloc<int>(16);
+    p[3] = 33;
+  });
+  (*cluster)->RunParallel([&](DsmNode& node, HostId host) {
+    if (host == 1) {
+      p[0] = 1;  // write fault without prior copy: data must travel
+      EXPECT_EQ(p[3], 33) << "rest of the minipage must arrive with the grant";
+    }
+    node.Barrier();
+  });
+  const HostCounters c1 = (*cluster)->node(1).counters();
+  EXPECT_EQ(c1.write_faults, 1u);
+  EXPECT_EQ(c1.write_fault_bytes, 64u);
+}
+
+TEST(Protocol, CompetingRequestsAreCountedAndServed) {
+  // Many hosts read-fault the same minipage at once; the manager serves them
+  // one at a time (ACK-serialized) and counts the queued ones.
+  auto cluster = DsmCluster::Create(Cfg(6));
+  ASSERT_TRUE(cluster.ok());
+  GlobalPtr<int> p;
+  (*cluster)->RunOnManager([&](DsmNode&) {
+    p = SharedAlloc<int>(1);
+    *p = 1234;
+  });
+  (*cluster)->RunParallel([&](DsmNode& node, HostId) {
+    node.Barrier();  // line everyone up
+    EXPECT_EQ(*p, 1234);
+    node.Barrier();
+  });
+  const ManagerCounters mc = (*cluster)->manager().directory()->counters();
+  EXPECT_GE(mc.requests_served, 5u);
+  // At least some of the simultaneous faults must have queued.
+  EXPECT_GE(mc.competing_requests, 1u);
+}
+
+TEST(Protocol, PrefetchAvoidsBlockingFault) {
+  auto cluster = DsmCluster::Create(Cfg(2));
+  ASSERT_TRUE(cluster.ok());
+  GlobalPtr<int> p;
+  (*cluster)->RunOnManager([&](DsmNode&) {
+    p = SharedAlloc<int>(64);
+    p[7] = 77;
+  });
+  (*cluster)->RunParallel([&](DsmNode& node, HostId host) {
+    if (host == 1) {
+      node.Prefetch(p.addr());
+      // Give the asynchronous fetch time to land, then the access must not
+      // fault (the vpage is already readable).
+      for (int spin = 0; spin < 2000; ++spin) {
+        std::this_thread::yield();
+        const uint64_t vpage = p.addr().offset / 4096;
+        if (node.views().GetVpageProtection(p.addr().view, vpage) != Protection::kNoAccess) {
+          break;
+        }
+      }
+      EXPECT_EQ(p[7], 77);
+    }
+    node.Barrier();
+  });
+  const HostCounters c1 = (*cluster)->node(1).counters();
+  EXPECT_EQ(c1.prefetches, 1u);
+  EXPECT_GE(c1.prefetch_bytes, 256u);
+  EXPECT_EQ(c1.read_faults, 0u);
+}
+
+TEST(Protocol, FetchGroupBatchesReads) {
+  // Composed-view coarse read (Section 5): one split-transaction call pulls
+  // a group of minipages; subsequent reads take no faults.
+  auto cluster = DsmCluster::Create(Cfg(2));
+  ASSERT_TRUE(cluster.ok());
+  std::vector<GlobalPtr<int>> cells;
+  (*cluster)->RunOnManager([&](DsmNode&) {
+    for (int i = 0; i < 12; ++i) {
+      cells.push_back(SharedAlloc<int>(8));
+      cells.back()[0] = 10 * i;
+    }
+  });
+  (*cluster)->RunParallel([&](DsmNode& node, HostId host) {
+    if (host == 1) {
+      std::vector<GlobalAddr> addrs;
+      for (const auto& c : cells) {
+        addrs.push_back(c.addr());
+      }
+      const size_t fetched = node.FetchGroup(addrs.data(), addrs.size());
+      EXPECT_EQ(fetched, 12u);
+      for (int i = 0; i < 12; ++i) {
+        EXPECT_EQ(cells[static_cast<size_t>(i)][0], 10 * i);  // no faults now
+      }
+      EXPECT_EQ(node.counters().read_faults, 0u);
+      EXPECT_EQ(node.counters().prefetches, 12u);
+      // Idempotent: a second group fetch finds everything present.
+      EXPECT_EQ(node.FetchGroup(addrs.data(), addrs.size()), 0u);
+    }
+    node.Barrier();
+  });
+}
+
+TEST(Protocol, FetchGroupWithDuplicatesAndWriterInterference) {
+  auto cluster = DsmCluster::Create(Cfg(3));
+  ASSERT_TRUE(cluster.ok());
+  GlobalPtr<int> a;
+  GlobalPtr<int> b;
+  (*cluster)->RunOnManager([&](DsmNode&) {
+    a = SharedAlloc<int>(4);
+    b = SharedAlloc<int>(4);
+    a[0] = 1;
+    b[0] = 2;
+  });
+  (*cluster)->RunParallel([&](DsmNode& node, HostId host) {
+    node.Barrier();
+    if (host == 1) {
+      // Duplicate addresses into the same minipage are tolerated.
+      GlobalAddr addrs[4] = {a.addr(), (a + 1).addr(), b.addr(), (b + 2).addr()};
+      (void)node.FetchGroup(addrs, 4);
+      EXPECT_EQ(a[0], 1);
+      EXPECT_EQ(b[0], 2);
+    }
+    if (host == 2) {
+      a[1] = 99;  // concurrent writer on the same minipage group
+    }
+    node.Barrier();
+    EXPECT_EQ(a[1], 99);
+    node.Barrier();
+  });
+}
+
+TEST(Protocol, PushUpdateDistributesReadCopies) {
+  auto cluster = DsmCluster::Create(Cfg(4));
+  ASSERT_TRUE(cluster.ok());
+  GlobalPtr<int> p;
+  (*cluster)->RunOnManager([&](DsmNode&) {
+    p = SharedAlloc<int>(1);
+    *p = 0;
+  });
+  (*cluster)->RunParallel([&](DsmNode& node, HostId host) {
+    node.Barrier();
+    if (host == 2) {
+      *p = 42;
+      node.PushToAll(p.addr());
+    }
+    node.Barrier();
+    // A fresh value must be readable; with the push the copy is already
+    // local on every host.
+    EXPECT_EQ(*p, 42);
+    node.Barrier();
+  });
+  // After the push, reads hit local read-only copies. A host racing past the
+  // barrier before its pushed copy lands may still fault once, so allow a
+  // small number — without the push every host would fault.
+  uint64_t read_faults_after = 0;
+  for (uint16_t h = 0; h < 4; ++h) {
+    read_faults_after += (*cluster)->node(h).counters().read_faults;
+  }
+  EXPECT_LE(read_faults_after, 3u) << "push must have installed copies everywhere";
+}
+
+TEST(Protocol, LocksAreExclusiveAndFifo) {
+  auto cluster = DsmCluster::Create(Cfg(4));
+  ASSERT_TRUE(cluster.ok());
+  GlobalPtr<int> p;
+  (*cluster)->RunOnManager([&](DsmNode&) {
+    p = SharedAlloc<int>(2);
+    p[0] = 0;
+    p[1] = 0;  // max-in-section marker
+  });
+  constexpr int kPerHost = 25;
+  (*cluster)->RunParallel([&](DsmNode& node, HostId) {
+    for (int i = 0; i < kPerHost; ++i) {
+      node.Lock(3);
+      const int in_section = p[1] + 1;
+      p[1] = in_section;
+      EXPECT_EQ(in_section, 1) << "two holders inside the critical section";
+      p[0] = p[0] + 1;
+      p[1] = in_section - 1;
+      node.Unlock(3);
+    }
+    node.Barrier();
+  });
+  (*cluster)->RunOnManager([&](DsmNode&) { EXPECT_EQ(p[0], 4 * kPerHost); });
+}
+
+TEST(Protocol, BarriersReusableAcrossGenerations) {
+  auto cluster = DsmCluster::Create(Cfg(3));
+  ASSERT_TRUE(cluster.ok());
+  GlobalPtr<int> p;
+  (*cluster)->RunOnManager([&](DsmNode&) {
+    p = SharedAlloc<int>(1);
+    *p = 0;
+  });
+  constexpr int kGenerations = 30;
+  (*cluster)->RunParallel([&](DsmNode& node, HostId host) {
+    for (int g = 0; g < kGenerations; ++g) {
+      if (host == static_cast<HostId>(g % 3)) {
+        *p = g;
+      }
+      node.Barrier();
+      EXPECT_EQ(*p, g);
+      node.Barrier();
+    }
+  });
+  for (uint16_t h = 0; h < 3; ++h) {
+    EXPECT_EQ((*cluster)->node(h).counters().barriers, 2u * kGenerations);
+  }
+}
+
+TEST(Protocol, EpochRecordsTrackPerBarrierDeltas) {
+  auto cluster = DsmCluster::Create(Cfg(2));
+  ASSERT_TRUE(cluster.ok());
+  GlobalPtr<int> p;
+  (*cluster)->RunOnManager([&](DsmNode&) {
+    p = SharedAlloc<int>(1);
+    *p = 0;
+  });
+  (*cluster)->RunParallel([&](DsmNode& node, HostId host) {
+    node.AddWorkUnits(100);
+    node.Barrier();  // epoch 0 closes
+    if (host == 1) {
+      EXPECT_EQ(*p, 0);  // one read fault in epoch 1
+    }
+    node.AddWorkUnits(50);
+    node.Barrier();  // epoch 1 closes
+  });
+  const auto epochs1 = (*cluster)->node(1).epochs();
+  ASSERT_EQ(epochs1.size(), 2u);
+  EXPECT_EQ(epochs1[0].delta.work_units, 100u);
+  EXPECT_EQ(epochs1[0].delta.read_faults, 0u);
+  EXPECT_EQ(epochs1[1].delta.work_units, 50u);
+  EXPECT_EQ(epochs1[1].delta.read_faults, 1u);
+}
+
+TEST(Protocol, AllocationFailureIsReported) {
+  DsmConfig cfg = Cfg(1);
+  cfg.object_size = 64 << 10;
+  auto cluster = DsmCluster::Create(cfg);
+  ASSERT_TRUE(cluster.ok());
+  (*cluster)->RunOnManager([](DsmNode& node) {
+    auto ok = node.SharedMalloc(32 << 10);
+    EXPECT_TRUE(ok.ok());
+    auto too_big = node.SharedMalloc(1 << 20);
+    EXPECT_FALSE(too_big.ok());
+    EXPECT_EQ(too_big.status().code(), StatusCode::kResourceExhausted);
+    // The DSM stays usable after a failed allocation.
+    auto again = node.SharedMalloc(1 << 10);
+    EXPECT_TRUE(again.ok());
+  });
+}
+
+class ServiceModes : public ::testing::TestWithParam<ServiceMode> {};
+
+TEST_P(ServiceModes, ProtocolWorksUnderEachServiceDiscipline) {
+  DsmConfig cfg = Cfg(2);
+  cfg.service_mode = GetParam();
+  cfg.service_period_us = 200;
+  auto cluster = DsmCluster::Create(cfg);
+  ASSERT_TRUE(cluster.ok());
+  GlobalPtr<int> p;
+  (*cluster)->RunOnManager([&](DsmNode&) {
+    p = SharedAlloc<int>(1);
+    *p = 9;
+  });
+  (*cluster)->RunParallel([&](DsmNode& node, HostId host) {
+    if (host == 1) {
+      EXPECT_EQ(*p, 9);
+      *p = 10;
+    }
+    node.Barrier();
+    EXPECT_EQ(*p, 10);
+    node.Barrier();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, ServiceModes,
+                         ::testing::Values(ServiceMode::kBlocking, ServiceMode::kBusyPoll,
+                                           ServiceMode::kPeriodic),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case ServiceMode::kBlocking:
+                               return "blocking";
+                             case ServiceMode::kBusyPoll:
+                               return "busypoll";
+                             case ServiceMode::kPeriodic:
+                               return "periodic";
+                           }
+                           return "unknown";
+                         });
+
+TEST(Protocol, SequentialConsistencyStress) {
+  // Dekker-style litmus: two hosts set their flag then read the other's.
+  // Under sequential consistency at least one host must observe the other's
+  // flag in every round.
+  auto cluster = DsmCluster::Create(Cfg(2));
+  ASSERT_TRUE(cluster.ok());
+  GlobalPtr<int> flag0;
+  GlobalPtr<int> flag1;
+  (*cluster)->RunOnManager([&](DsmNode&) {
+    flag0 = SharedAlloc<int>(1);
+    flag1 = SharedAlloc<int>(1);
+  });
+  constexpr int kRounds = 30;
+  std::atomic<int> both_zero{0};
+  (*cluster)->RunParallel([&](DsmNode& node, HostId host) {
+    for (int r = 0; r < kRounds; ++r) {
+      (host == 0 ? flag0 : flag1)[0] = 0;
+      node.Barrier();
+      if (host == 0) {
+        *flag0 = 1;
+        if (*flag1 == 0 && *flag0 == 0) {
+          both_zero.fetch_add(1);
+        }
+      } else {
+        *flag1 = 1;
+        if (*flag0 == 0 && *flag1 == 0) {
+          both_zero.fetch_add(1);
+        }
+      }
+      node.Barrier();
+      EXPECT_EQ(*flag0, 1);
+      EXPECT_EQ(*flag1, 1);
+      node.Barrier();
+    }
+  });
+  EXPECT_EQ(both_zero.load(), 0) << "a host failed to observe its own write";
+}
+
+TEST(Protocol, ManyMinipagesManyHosts) {
+  // Broad sweep: 4 hosts hammering 64 independent counters.
+  auto cluster = DsmCluster::Create(Cfg(4));
+  ASSERT_TRUE(cluster.ok());
+  std::vector<GlobalPtr<int>> counters;
+  (*cluster)->RunOnManager([&](DsmNode&) {
+    for (int i = 0; i < 64; ++i) {
+      counters.push_back(SharedAlloc<int>(1));
+      *counters.back() = 0;
+    }
+  });
+  constexpr int kRounds = 8;
+  (*cluster)->RunParallel([&](DsmNode& node, HostId host) {
+    node.Barrier();
+    for (int r = 0; r < kRounds; ++r) {
+      // Each round, each host owns a rotating disjoint quarter.
+      for (int i = 0; i < 16; ++i) {
+        const int idx = ((host + r) % 4) * 16 + i;
+        *counters[idx] = *counters[idx] + 1;
+      }
+      node.Barrier();
+    }
+  });
+  (*cluster)->RunOnManager([&](DsmNode&) {
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_EQ(*counters[i], kRounds) << "counter " << i;
+    }
+  });
+}
+
+}  // namespace
+}  // namespace millipage

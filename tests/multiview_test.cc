@@ -1,0 +1,249 @@
+// Unit tests for the MultiView substrate: minipage table, view sets,
+// protection control, and the dynamic-layout allocator (with chunking and
+// the page-based baseline).
+
+#include <gtest/gtest.h>
+
+#include <csetjmp>
+#include <csignal>
+
+#include "src/multiview/allocator.h"
+#include "src/multiview/minipage.h"
+#include "src/multiview/static_layout.h"
+#include "src/multiview/view_set.h"
+#include "src/os/page.h"
+
+namespace millipage {
+namespace {
+
+TEST(MinipageTable, DefineAndLookup) {
+  MinipageTable mpt;
+  auto id = mpt.Define(0, 0, 100);
+  ASSERT_TRUE(id.ok());
+  auto id2 = mpt.Define(1, 100, 100);
+  ASSERT_TRUE(id2.ok());
+  EXPECT_EQ(mpt.Lookup(0, 0)->id, *id);
+  EXPECT_EQ(mpt.Lookup(0, 99)->id, *id);
+  EXPECT_EQ(mpt.Lookup(0, 100), nullptr);
+  EXPECT_EQ(mpt.Lookup(1, 150)->id, *id2);
+  EXPECT_EQ(mpt.Lookup(2, 0), nullptr);
+}
+
+TEST(MinipageTable, RejectsOverlapInSameView) {
+  MinipageTable mpt;
+  ASSERT_TRUE(mpt.Define(0, 0, 100).ok());
+  EXPECT_FALSE(mpt.Define(0, 50, 100).ok());
+  EXPECT_FALSE(mpt.Define(0, 0, 10).ok());
+  // Same range in a different view is the whole point of MultiView.
+  EXPECT_TRUE(mpt.Define(1, 0, 100).ok());
+}
+
+TEST(MinipageTable, ExtendLastGrowsOnlyTail) {
+  MinipageTable mpt;
+  auto a = mpt.Define(0, 0, 100);
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(mpt.ExtendLast(*a, 200).ok());
+  EXPECT_EQ(mpt.Get(*a).length, 200u);
+  EXPECT_FALSE(mpt.ExtendLast(*a, 100).ok());  // cannot shrink
+  auto b = mpt.Define(0, 300, 50);
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(mpt.ExtendLast(*a, 250).ok());  // no longer the tail
+}
+
+TEST(MinipageGeometry, VpageSpans) {
+  Minipage mp;
+  mp.offset = PageSize() - 16;
+  mp.length = 32;
+  EXPECT_EQ(mp.first_vpage(), 0u);
+  EXPECT_EQ(mp.last_vpage(), 1u);
+  EXPECT_EQ(mp.offset_in_vpage(), PageSize() - 16);
+}
+
+TEST(Allocator, RotatesViewsWithinPage) {
+  MinipageTable mpt;
+  MinipageAllocator alloc(&mpt, 1 << 20, 4);
+  // Four 1 KB allocations fill one 4 KB page across four views (Figure 2).
+  for (uint32_t i = 0; i < 4; ++i) {
+    auto a = alloc.Allocate(1024);
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(a->offset, i * 1024u);
+    EXPECT_EQ(a->view, i);
+  }
+  // Fifth allocation starts the next page, back at view 0.
+  auto a5 = alloc.Allocate(1024);
+  ASSERT_TRUE(a5.ok());
+  EXPECT_EQ(a5->offset, 4096u);
+}
+
+TEST(Allocator, SkipsToNextPageWhenViewsExhausted) {
+  MinipageTable mpt;
+  MinipageAllocator alloc(&mpt, 1 << 20, 2);  // only two views
+  ASSERT_TRUE(alloc.Allocate(100).ok());
+  ASSERT_TRUE(alloc.Allocate(100).ok());
+  auto third = alloc.Allocate(100);
+  ASSERT_TRUE(third.ok());
+  // Page 0 is saturated (2 views); third allocation must move to page 1.
+  EXPECT_EQ(third->offset, PageSize());
+}
+
+TEST(Allocator, LargeAllocationsArePageAligned) {
+  MinipageTable mpt;
+  MinipageAllocator alloc(&mpt, 1 << 20, 8);
+  ASSERT_TRUE(alloc.Allocate(100).ok());
+  auto big = alloc.Allocate(4096);
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(big->offset % PageSize(), 0u);
+  EXPECT_EQ(mpt.Get(big->minipages[0]).length, 4096u);
+}
+
+TEST(Allocator, ChunkingAggregatesAllocations) {
+  MinipageTable mpt;
+  AllocatorOptions opts;
+  opts.chunking_level = 3;
+  MinipageAllocator alloc(&mpt, 1 << 20, 8, opts);
+  auto a = alloc.Allocate(100);
+  auto b = alloc.Allocate(100);
+  auto c = alloc.Allocate(100);
+  auto d = alloc.Allocate(100);  // starts a new chunk
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok() && d.ok());
+  EXPECT_EQ(a->minipages[0], b->minipages[0]);
+  EXPECT_EQ(b->minipages[0], c->minipages[0]);
+  EXPECT_NE(c->minipages[0], d->minipages[0]);
+  EXPECT_EQ(a->view, c->view);
+  // The chunk minipage covers all three members.
+  const Minipage& mp = mpt.Get(a->minipages[0]);
+  EXPECT_EQ(mp.offset, a->offset);
+  EXPECT_GE(mp.end(), c->offset + 100);
+}
+
+TEST(Allocator, ChunkExtensionAcrossPageBoundary) {
+  MinipageTable mpt;
+  AllocatorOptions opts;
+  opts.chunking_level = 8;
+  MinipageAllocator alloc(&mpt, 1 << 20, 8, opts);
+  // 8 x 672-byte molecules = 5376 bytes: the chunk spans two vpages.
+  MinipageId chunk = kInvalidMinipage;
+  for (int i = 0; i < 8; ++i) {
+    auto a = alloc.Allocate(672);
+    ASSERT_TRUE(a.ok());
+    if (chunk == kInvalidMinipage) {
+      chunk = a->minipages[0];
+    }
+    EXPECT_EQ(a->minipages[0], chunk);
+  }
+  const Minipage& mp = mpt.Get(chunk);
+  EXPECT_GT(mp.last_vpage(), mp.first_vpage());
+  // Next chunk must avoid the extended chunk's view on the shared vpage.
+  auto next = alloc.Allocate(672);
+  ASSERT_TRUE(next.ok());
+  EXPECT_NE(next->view, mp.view);
+}
+
+TEST(Allocator, CloseChunkStartsNewMinipage) {
+  MinipageTable mpt;
+  AllocatorOptions opts;
+  opts.chunking_level = 4;
+  MinipageAllocator alloc(&mpt, 1 << 20, 8, opts);
+  auto a = alloc.Allocate(64);
+  alloc.CloseChunk();
+  auto b = alloc.Allocate(64);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->minipages[0], b->minipages[0]);
+}
+
+TEST(Allocator, PageBasedModeSharesPages) {
+  MinipageTable mpt;
+  AllocatorOptions opts;
+  opts.page_based = true;
+  MinipageAllocator alloc(&mpt, 1 << 20, 8, opts);
+  auto a = alloc.Allocate(100);
+  auto b = alloc.Allocate(100);
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Both live on the same full-page minipage in view 0: false sharing.
+  EXPECT_EQ(a->minipages[0], b->minipages[0]);
+  EXPECT_EQ(mpt.Get(a->minipages[0]).length, PageSize());
+  EXPECT_EQ(a->view, 0u);
+  // A page-spanning allocation touches two page minipages.
+  auto big = alloc.Allocate(2 * PageSize());
+  ASSERT_TRUE(big.ok());
+  EXPECT_GE(big->minipages.size(), 2u);
+}
+
+TEST(Allocator, ExhaustsObject) {
+  MinipageTable mpt;
+  MinipageAllocator alloc(&mpt, 8192, 4);
+  ASSERT_TRUE(alloc.Allocate(8000).ok());
+  EXPECT_FALSE(alloc.Allocate(8000).ok());
+}
+
+TEST(Allocator, NoTwoMinipagesShareVpageAndView) {
+  MinipageTable mpt;
+  MinipageAllocator alloc(&mpt, 1 << 20, 6);
+  // Mixed sizes, many allocations; verify the core MultiView invariant.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(alloc.Allocate(100 + (i * 37) % 900).ok());
+  }
+  // For each (view, vpage) pair count occupants.
+  std::map<std::pair<uint32_t, uint64_t>, int> occupancy;
+  for (size_t id = 0; id < mpt.size(); ++id) {
+    const Minipage& mp = mpt.Get(static_cast<MinipageId>(id));
+    for (uint64_t vp = mp.first_vpage(); vp <= mp.last_vpage(); ++vp) {
+      occupancy[{mp.view, vp}]++;
+    }
+  }
+  for (const auto& [key, count] : occupancy) {
+    EXPECT_EQ(count, 1) << "view " << key.first << " vpage " << key.second;
+  }
+}
+
+TEST(StaticLayoutTest, GeometryAndPopulate) {
+  auto layout = StaticLayout::Create(4 * PageSize(), 8);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout->minipage_size(), PageSize() / 8);
+  EXPECT_EQ(layout->total_minipages(), 32u);
+  const Minipage mp = layout->MinipageOf(PageSize() + 3 * layout->minipage_size() + 5);
+  EXPECT_EQ(mp.view, 3u);
+  EXPECT_EQ(mp.offset % layout->minipage_size(), 0u);
+  MinipageTable mpt;
+  ASSERT_TRUE(layout->Populate(&mpt).ok());
+  EXPECT_EQ(mpt.size(), 32u);
+
+  EXPECT_FALSE(StaticLayout::Create(PageSize(), 3).ok());  // 3 doesn't divide 4096
+}
+
+TEST(ViewSetTest, IndependentProtectionPerView) {
+  auto vs = ViewSet::Create(PageSize() * 4, 3);
+  ASSERT_TRUE(vs.ok());
+  Minipage mp0;
+  mp0.view = 0;
+  mp0.offset = 0;
+  mp0.length = 64;
+  Minipage mp1 = mp0;
+  mp1.view = 1;
+  ASSERT_TRUE((*vs)->SetProtection(mp0, Protection::kReadWrite).ok());
+  ASSERT_TRUE((*vs)->SetProtection(mp1, Protection::kReadOnly).ok());
+  EXPECT_EQ((*vs)->GetProtection(mp0), Protection::kReadWrite);
+  EXPECT_EQ((*vs)->GetProtection(mp1), Protection::kReadOnly);
+  // Writing via view 0 is allowed and visible through the privileged view.
+  *reinterpret_cast<int*>((*vs)->AppAddr(0, 0)) = 1234;
+  EXPECT_EQ(*reinterpret_cast<const int*>((*vs)->PrivAddr(0)), 1234);
+  // And through view 1 (read-only) the same physical bytes appear.
+  EXPECT_EQ(*reinterpret_cast<const int*>((*vs)->AppAddr(1, 0)), 1234);
+}
+
+TEST(ViewSetTest, ResolveFindsViewAndOffset) {
+  auto vs = ViewSet::Create(PageSize() * 2, 4);
+  ASSERT_TRUE(vs.ok());
+  uint32_t view = 99;
+  uint64_t offset = 99;
+  EXPECT_TRUE((*vs)->Resolve((*vs)->AppAddr(2, 100), &view, &offset));
+  EXPECT_EQ(view, 2u);
+  EXPECT_EQ(offset, 100u);
+  int local = 0;
+  EXPECT_FALSE((*vs)->Resolve(&local, &view, &offset));
+  // The privileged view is not an application view.
+  EXPECT_FALSE((*vs)->Resolve((*vs)->PrivAddr(0), &view, &offset));
+}
+
+}  // namespace
+}  // namespace millipage

@@ -1,0 +1,163 @@
+// Unit tests for the OS layer: memory objects, mappings, protection, and
+// the SIGSEGV fault dispatcher.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+
+#include "src/os/fault_handler.h"
+#include "src/os/mapping.h"
+#include "src/os/memory_object.h"
+#include "src/os/page.h"
+#include "src/os/protection.h"
+
+namespace millipage {
+namespace {
+
+TEST(Page, AlignmentHelpers) {
+  const size_t p = PageSize();
+  EXPECT_GT(p, 0u);
+  EXPECT_EQ(RoundUpToPage(1), p);
+  EXPECT_EQ(RoundUpToPage(p), p);
+  EXPECT_EQ(RoundUpToPage(p + 1), 2 * p);
+  EXPECT_EQ(RoundDownToPage(p + 1), p);
+  EXPECT_EQ(PagesFor(0), 0u);
+  EXPECT_EQ(PagesFor(1), 1u);
+  EXPECT_EQ(PagesFor(p * 3), 3u);
+  EXPECT_TRUE(IsPageAligned(static_cast<size_t>(0)));
+  EXPECT_FALSE(IsPageAligned(static_cast<size_t>(7)));
+}
+
+TEST(MemoryObjectTest, CreateRoundsUpAndRejectsZero) {
+  auto obj = MemoryObject::Create(100);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_TRUE(obj->valid());
+  EXPECT_EQ(obj->size(), PageSize());
+  EXPECT_FALSE(MemoryObject::Create(0).ok());
+}
+
+TEST(MemoryObjectTest, MoveTransfersOwnership) {
+  auto obj = MemoryObject::Create(PageSize());
+  ASSERT_TRUE(obj.ok());
+  const int fd = obj->fd();
+  MemoryObject moved = std::move(*obj);
+  EXPECT_EQ(moved.fd(), fd);
+  EXPECT_FALSE(obj->valid());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(MappingTest, TwoViewsShareBacking) {
+  auto obj = MemoryObject::Create(PageSize());
+  ASSERT_TRUE(obj.ok());
+  auto m1 = Mapping::MapObject(*obj, 0, PageSize(), Protection::kReadWrite);
+  auto m2 = Mapping::MapObject(*obj, 0, PageSize(), Protection::kReadWrite);
+  ASSERT_TRUE(m1.ok() && m2.ok());
+  EXPECT_NE(m1->base(), m2->base());
+  std::memcpy(m1->base(), "multiview", 10);
+  EXPECT_STREQ(reinterpret_cast<const char*>(m2->base()), "multiview");
+}
+
+TEST(MappingTest, OffsetWindow) {
+  auto obj = MemoryObject::Create(4 * PageSize());
+  ASSERT_TRUE(obj.ok());
+  auto whole = Mapping::MapObject(*obj, 0, 4 * PageSize(), Protection::kReadWrite);
+  auto window = Mapping::MapObject(*obj, 2 * PageSize(), PageSize(), Protection::kReadWrite);
+  ASSERT_TRUE(whole.ok() && window.ok());
+  whole->base()[2 * PageSize()] = std::byte{0x5a};
+  EXPECT_EQ(window->base()[0], std::byte{0x5a});
+}
+
+TEST(MappingTest, RejectsBadArguments) {
+  auto obj = MemoryObject::Create(PageSize());
+  ASSERT_TRUE(obj.ok());
+  EXPECT_FALSE(Mapping::MapObject(*obj, 1, PageSize(), Protection::kReadWrite).ok());
+  EXPECT_FALSE(Mapping::MapObject(*obj, 0, 2 * PageSize(), Protection::kReadWrite).ok());
+  EXPECT_FALSE(Mapping::MapObject(*obj, 0, 0, Protection::kReadWrite).ok());
+}
+
+TEST(MappingTest, ProtectRangeValidation) {
+  auto m = Mapping::MapAnonymous(4 * PageSize(), Protection::kReadWrite);
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(m->Protect(PageSize(), PageSize(), Protection::kNoAccess).ok());
+  EXPECT_FALSE(m->Protect(1, PageSize(), Protection::kNoAccess).ok());
+  EXPECT_FALSE(m->Protect(0, 5 * PageSize(), Protection::kNoAccess).ok());
+  EXPECT_TRUE(m->Contains(m->base()));
+  EXPECT_FALSE(m->Contains(m->base() + m->length()));
+}
+
+TEST(ProtectionTest, FlagsAndAllows) {
+  EXPECT_EQ(ProtFlags(Protection::kNoAccess), PROT_NONE);
+  EXPECT_EQ(ProtFlags(Protection::kReadOnly), PROT_READ);
+  EXPECT_EQ(ProtFlags(Protection::kReadWrite), PROT_READ | PROT_WRITE);
+  EXPECT_FALSE(ProtectionAllows(Protection::kNoAccess, false));
+  EXPECT_TRUE(ProtectionAllows(Protection::kReadOnly, false));
+  EXPECT_FALSE(ProtectionAllows(Protection::kReadOnly, true));
+  EXPECT_TRUE(ProtectionAllows(Protection::kReadWrite, true));
+  EXPECT_STREQ(ProtectionName(Protection::kReadOnly), "ReadOnly");
+}
+
+// Fault-handler fixture: upgrades the protection of a known page on fault.
+struct UpgradeCtx {
+  Mapping* mapping = nullptr;
+  std::atomic<int> read_faults{0};
+  std::atomic<int> write_faults{0};
+};
+
+bool UpgradeOnFault(void* ctx_raw, void* addr, bool is_write) {
+  auto* ctx = static_cast<UpgradeCtx*>(ctx_raw);
+  if (!ctx->mapping->Contains(addr)) {
+    return false;
+  }
+  if (is_write) {
+    ctx->write_faults.fetch_add(1);
+    return ctx->mapping->ProtectAll(Protection::kReadWrite).ok();
+  }
+  ctx->read_faults.fetch_add(1);
+  return ctx->mapping->ProtectAll(Protection::kReadOnly).ok();
+}
+
+TEST(FaultHandlerTest, ReadAndWriteFaultsAreDistinguished) {
+  ASSERT_TRUE(FaultHandler::Instance().Install().ok());
+  auto m = Mapping::MapAnonymous(PageSize(), Protection::kNoAccess);
+  ASSERT_TRUE(m.ok());
+  UpgradeCtx ctx;
+  ctx.mapping = &*m;
+  const int slot = FaultHandler::Instance().Register(&UpgradeOnFault, &ctx);
+  ASSERT_GE(slot, 0);
+
+  volatile int* p = reinterpret_cast<volatile int*>(m->base());
+  const int v = *p;  // read fault
+  EXPECT_EQ(v, 0);
+  EXPECT_EQ(ctx.read_faults.load(), 1);
+  EXPECT_EQ(ctx.write_faults.load(), 0);
+  *p = 17;  // write fault (page is ReadOnly now)
+  EXPECT_EQ(*p, 17);
+  EXPECT_EQ(ctx.write_faults.load(), 1);
+
+  FaultHandler::Instance().Unregister(slot);
+}
+
+TEST(FaultHandlerTest, RegisterUnregisterSlots) {
+  ASSERT_TRUE(FaultHandler::Instance().Install().ok());
+  int slots[FaultHandler::kMaxSlots];
+  int registered = 0;
+  for (int i = 0; i < FaultHandler::kMaxSlots; ++i) {
+    slots[i] = FaultHandler::Instance().Register(&UpgradeOnFault, nullptr);
+    if (slots[i] >= 0) {
+      registered++;
+    }
+  }
+  EXPECT_GT(registered, 0);
+  for (int i = 0; i < FaultHandler::kMaxSlots; ++i) {
+    if (slots[i] >= 0) {
+      FaultHandler::Instance().Unregister(slots[i]);
+    }
+  }
+  // After unregistering, slots are reusable.
+  const int again = FaultHandler::Instance().Register(&UpgradeOnFault, nullptr);
+  EXPECT_GE(again, 0);
+  FaultHandler::Instance().Unregister(again);
+}
+
+}  // namespace
+}  // namespace millipage
