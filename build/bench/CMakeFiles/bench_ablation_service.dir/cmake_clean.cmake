@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_service.dir/bench_ablation_service.cc.o"
+  "CMakeFiles/bench_ablation_service.dir/bench_ablation_service.cc.o.d"
+  "bench_ablation_service"
+  "bench_ablation_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_lrc.dir/bench_ext_lrc.cc.o"
+  "CMakeFiles/bench_ext_lrc.dir/bench_ext_lrc.cc.o.d"
+  "bench_ext_lrc"
+  "bench_ext_lrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_lrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

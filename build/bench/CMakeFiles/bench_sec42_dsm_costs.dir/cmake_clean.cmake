@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec42_dsm_costs.dir/bench_sec42_dsm_costs.cc.o"
+  "CMakeFiles/bench_sec42_dsm_costs.dir/bench_sec42_dsm_costs.cc.o.d"
+  "bench_sec42_dsm_costs"
+  "bench_sec42_dsm_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec42_dsm_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_basic_costs.dir/bench_table1_basic_costs.cc.o"
+  "CMakeFiles/bench_table1_basic_costs.dir/bench_table1_basic_costs.cc.o.d"
+  "bench_table1_basic_costs"
+  "bench_table1_basic_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_basic_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/false_sharing_demo.dir/false_sharing_demo.cpp.o"
+  "CMakeFiles/false_sharing_demo.dir/false_sharing_demo.cpp.o.d"
+  "false_sharing_demo"
+  "false_sharing_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/false_sharing_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprocess.dir/multiprocess.cpp.o"
+  "CMakeFiles/multiprocess.dir/multiprocess.cpp.o.d"
+  "multiprocess"
+  "multiprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/sor_heat.cpp" "examples/CMakeFiles/sor_heat.dir/sor_heat.cpp.o" "gcc" "examples/CMakeFiles/sor_heat.dir/sor_heat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/mp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/mp_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/multiview/CMakeFiles/mp_multiview.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/mp_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

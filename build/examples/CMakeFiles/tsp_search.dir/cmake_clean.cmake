@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsp_search.dir/tsp_search.cpp.o"
+  "CMakeFiles/tsp_search.dir/tsp_search.cpp.o.d"
+  "tsp_search"
+  "tsp_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsp_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

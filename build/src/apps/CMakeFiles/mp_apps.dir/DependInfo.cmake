@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app.cc" "src/apps/CMakeFiles/mp_apps.dir/app.cc.o" "gcc" "src/apps/CMakeFiles/mp_apps.dir/app.cc.o.d"
+  "/root/repo/src/apps/is.cc" "src/apps/CMakeFiles/mp_apps.dir/is.cc.o" "gcc" "src/apps/CMakeFiles/mp_apps.dir/is.cc.o.d"
+  "/root/repo/src/apps/lu.cc" "src/apps/CMakeFiles/mp_apps.dir/lu.cc.o" "gcc" "src/apps/CMakeFiles/mp_apps.dir/lu.cc.o.d"
+  "/root/repo/src/apps/sor.cc" "src/apps/CMakeFiles/mp_apps.dir/sor.cc.o" "gcc" "src/apps/CMakeFiles/mp_apps.dir/sor.cc.o.d"
+  "/root/repo/src/apps/tsp.cc" "src/apps/CMakeFiles/mp_apps.dir/tsp.cc.o" "gcc" "src/apps/CMakeFiles/mp_apps.dir/tsp.cc.o.d"
+  "/root/repo/src/apps/water.cc" "src/apps/CMakeFiles/mp_apps.dir/water.cc.o" "gcc" "src/apps/CMakeFiles/mp_apps.dir/water.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsm/CMakeFiles/mp_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/multiview/CMakeFiles/mp_multiview.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/mp_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_apps.dir/app.cc.o"
+  "CMakeFiles/mp_apps.dir/app.cc.o.d"
+  "CMakeFiles/mp_apps.dir/is.cc.o"
+  "CMakeFiles/mp_apps.dir/is.cc.o.d"
+  "CMakeFiles/mp_apps.dir/lu.cc.o"
+  "CMakeFiles/mp_apps.dir/lu.cc.o.d"
+  "CMakeFiles/mp_apps.dir/sor.cc.o"
+  "CMakeFiles/mp_apps.dir/sor.cc.o.d"
+  "CMakeFiles/mp_apps.dir/tsp.cc.o"
+  "CMakeFiles/mp_apps.dir/tsp.cc.o.d"
+  "CMakeFiles/mp_apps.dir/water.cc.o"
+  "CMakeFiles/mp_apps.dir/water.cc.o.d"
+  "libmp_apps.a"
+  "libmp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_common.dir/logging.cc.o"
+  "CMakeFiles/mp_common.dir/logging.cc.o.d"
+  "CMakeFiles/mp_common.dir/stats.cc.o"
+  "CMakeFiles/mp_common.dir/stats.cc.o.d"
+  "CMakeFiles/mp_common.dir/status.cc.o"
+  "CMakeFiles/mp_common.dir/status.cc.o.d"
+  "libmp_common.a"
+  "libmp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

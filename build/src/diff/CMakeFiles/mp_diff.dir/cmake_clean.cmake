@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_diff.dir/diff.cc.o"
+  "CMakeFiles/mp_diff.dir/diff.cc.o.d"
+  "libmp_diff.a"
+  "libmp_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

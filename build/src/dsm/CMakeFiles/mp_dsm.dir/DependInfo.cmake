@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsm/cluster.cc" "src/dsm/CMakeFiles/mp_dsm.dir/cluster.cc.o" "gcc" "src/dsm/CMakeFiles/mp_dsm.dir/cluster.cc.o.d"
+  "/root/repo/src/dsm/node.cc" "src/dsm/CMakeFiles/mp_dsm.dir/node.cc.o" "gcc" "src/dsm/CMakeFiles/mp_dsm.dir/node.cc.o.d"
+  "/root/repo/src/dsm/process_cluster.cc" "src/dsm/CMakeFiles/mp_dsm.dir/process_cluster.cc.o" "gcc" "src/dsm/CMakeFiles/mp_dsm.dir/process_cluster.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/mp_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/multiview/CMakeFiles/mp_multiview.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_dsm.dir/cluster.cc.o"
+  "CMakeFiles/mp_dsm.dir/cluster.cc.o.d"
+  "CMakeFiles/mp_dsm.dir/node.cc.o"
+  "CMakeFiles/mp_dsm.dir/node.cc.o.d"
+  "CMakeFiles/mp_dsm.dir/process_cluster.cc.o"
+  "CMakeFiles/mp_dsm.dir/process_cluster.cc.o.d"
+  "libmp_dsm.a"
+  "libmp_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

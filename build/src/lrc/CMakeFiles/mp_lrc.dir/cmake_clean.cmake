@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_lrc.dir/lrc_cluster.cc.o"
+  "CMakeFiles/mp_lrc.dir/lrc_cluster.cc.o.d"
+  "CMakeFiles/mp_lrc.dir/lrc_node.cc.o"
+  "CMakeFiles/mp_lrc.dir/lrc_node.cc.o.d"
+  "libmp_lrc.a"
+  "libmp_lrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_lrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

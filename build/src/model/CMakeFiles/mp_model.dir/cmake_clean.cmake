@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_model.dir/cost_model.cc.o"
+  "CMakeFiles/mp_model.dir/cost_model.cc.o.d"
+  "libmp_model.a"
+  "libmp_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

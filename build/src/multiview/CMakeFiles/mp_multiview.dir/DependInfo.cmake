@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/multiview/allocator.cc" "src/multiview/CMakeFiles/mp_multiview.dir/allocator.cc.o" "gcc" "src/multiview/CMakeFiles/mp_multiview.dir/allocator.cc.o.d"
+  "/root/repo/src/multiview/minipage.cc" "src/multiview/CMakeFiles/mp_multiview.dir/minipage.cc.o" "gcc" "src/multiview/CMakeFiles/mp_multiview.dir/minipage.cc.o.d"
+  "/root/repo/src/multiview/view_set.cc" "src/multiview/CMakeFiles/mp_multiview.dir/view_set.cc.o" "gcc" "src/multiview/CMakeFiles/mp_multiview.dir/view_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/mp_os.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_multiview.dir/allocator.cc.o"
+  "CMakeFiles/mp_multiview.dir/allocator.cc.o.d"
+  "CMakeFiles/mp_multiview.dir/minipage.cc.o"
+  "CMakeFiles/mp_multiview.dir/minipage.cc.o.d"
+  "CMakeFiles/mp_multiview.dir/view_set.cc.o"
+  "CMakeFiles/mp_multiview.dir/view_set.cc.o.d"
+  "libmp_multiview.a"
+  "libmp_multiview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_multiview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

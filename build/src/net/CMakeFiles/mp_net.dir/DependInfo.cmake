@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/inproc_transport.cc" "src/net/CMakeFiles/mp_net.dir/inproc_transport.cc.o" "gcc" "src/net/CMakeFiles/mp_net.dir/inproc_transport.cc.o.d"
+  "/root/repo/src/net/message.cc" "src/net/CMakeFiles/mp_net.dir/message.cc.o" "gcc" "src/net/CMakeFiles/mp_net.dir/message.cc.o.d"
+  "/root/repo/src/net/socket_transport.cc" "src/net/CMakeFiles/mp_net.dir/socket_transport.cc.o" "gcc" "src/net/CMakeFiles/mp_net.dir/socket_transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

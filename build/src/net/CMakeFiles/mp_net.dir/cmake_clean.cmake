@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_net.dir/inproc_transport.cc.o"
+  "CMakeFiles/mp_net.dir/inproc_transport.cc.o.d"
+  "CMakeFiles/mp_net.dir/message.cc.o"
+  "CMakeFiles/mp_net.dir/message.cc.o.d"
+  "CMakeFiles/mp_net.dir/socket_transport.cc.o"
+  "CMakeFiles/mp_net.dir/socket_transport.cc.o.d"
+  "libmp_net.a"
+  "libmp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/fault_handler.cc" "src/os/CMakeFiles/mp_os.dir/fault_handler.cc.o" "gcc" "src/os/CMakeFiles/mp_os.dir/fault_handler.cc.o.d"
+  "/root/repo/src/os/mapping.cc" "src/os/CMakeFiles/mp_os.dir/mapping.cc.o" "gcc" "src/os/CMakeFiles/mp_os.dir/mapping.cc.o.d"
+  "/root/repo/src/os/memory_object.cc" "src/os/CMakeFiles/mp_os.dir/memory_object.cc.o" "gcc" "src/os/CMakeFiles/mp_os.dir/memory_object.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

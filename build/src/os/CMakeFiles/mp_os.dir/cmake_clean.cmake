@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_os.dir/fault_handler.cc.o"
+  "CMakeFiles/mp_os.dir/fault_handler.cc.o.d"
+  "CMakeFiles/mp_os.dir/mapping.cc.o"
+  "CMakeFiles/mp_os.dir/mapping.cc.o.d"
+  "CMakeFiles/mp_os.dir/memory_object.cc.o"
+  "CMakeFiles/mp_os.dir/memory_object.cc.o.d"
+  "libmp_os.a"
+  "libmp_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_protocol_test.dir/dsm_protocol_test.cc.o"
+  "CMakeFiles/dsm_protocol_test.dir/dsm_protocol_test.cc.o.d"
+  "dsm_protocol_test"
+  "dsm_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

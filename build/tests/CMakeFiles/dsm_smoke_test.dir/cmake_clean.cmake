@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_smoke_test.dir/dsm_smoke_test.cc.o"
+  "CMakeFiles/dsm_smoke_test.dir/dsm_smoke_test.cc.o.d"
+  "dsm_smoke_test"
+  "dsm_smoke_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_sweep_test.dir/dsm_sweep_test.cc.o"
+  "CMakeFiles/dsm_sweep_test.dir/dsm_sweep_test.cc.o.d"
+  "dsm_sweep_test"
+  "dsm_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_cluster_test.dir/process_cluster_test.cc.o"
+  "CMakeFiles/process_cluster_test.dir/process_cluster_test.cc.o.d"
+  "process_cluster_test"
+  "process_cluster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
