@@ -1,0 +1,230 @@
+#include "src/common/failpoint.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+
+#include "src/common/logging.h"
+
+namespace millipage {
+
+namespace {
+
+uint64_t Fnv1a(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// "return(2),skip=40,times=1" -> action. Leading/trailing spaces tolerated.
+Status ParseRule(std::string_view rule, FailpointAction* out) {
+  FailpointAction a;
+  size_t pos = 0;
+  bool first = true;
+  while (pos <= rule.size()) {
+    size_t comma = rule.find(',', pos);
+    if (comma == std::string_view::npos) {
+      comma = rule.size();
+    }
+    std::string_view part = rule.substr(pos, comma - pos);
+    while (!part.empty() && part.front() == ' ') part.remove_prefix(1);
+    while (!part.empty() && part.back() == ' ') part.remove_suffix(1);
+    if (first) {
+      first = false;
+      std::string_view name = part;
+      int64_t arg = 0;
+      const size_t paren = part.find('(');
+      if (paren != std::string_view::npos) {
+        if (part.back() != ')') {
+          return Status::Invalid("failpoint rule: unterminated '(' in '" + std::string(rule) + "'");
+        }
+        name = part.substr(0, paren);
+        arg = std::atoll(std::string(part.substr(paren + 1, part.size() - paren - 2)).c_str());
+      }
+      if (name == "off") {
+        a.kind = FailpointAction::Kind::kOff;
+      } else if (name == "return") {
+        a.kind = FailpointAction::Kind::kReturn;
+      } else if (name == "delay") {
+        a.kind = FailpointAction::Kind::kDelayUs;
+      } else if (name == "print") {
+        a.kind = FailpointAction::Kind::kPrint;
+      } else if (name == "panic") {
+        a.kind = FailpointAction::Kind::kPanic;
+      } else {
+        return Status::Invalid("failpoint rule: unknown action '" + std::string(name) + "'");
+      }
+      a.arg = arg;
+    } else {
+      const size_t eq = part.find('=');
+      if (eq == std::string_view::npos) {
+        return Status::Invalid("failpoint rule: bad modifier '" + std::string(part) + "'");
+      }
+      const std::string_view key = part.substr(0, eq);
+      const std::string val(part.substr(eq + 1));
+      if (key == "prob") {
+        a.probability = std::atof(val.c_str());
+        if (a.probability < 0.0 || a.probability > 1.0) {
+          return Status::Invalid("failpoint rule: prob must be in [0,1]");
+        }
+      } else if (key == "times") {
+        a.max_hits = static_cast<uint64_t>(std::atoll(val.c_str()));
+      } else if (key == "skip") {
+        a.skip = static_cast<uint64_t>(std::atoll(val.c_str()));
+      } else {
+        return Status::Invalid("failpoint rule: unknown modifier '" + std::string(key) + "'");
+      }
+    }
+    pos = comma + 1;
+    if (comma == rule.size()) {
+      break;
+    }
+  }
+  *out = a;
+  return Status::Ok();
+}
+
+}  // namespace
+
+FailpointRegistry& FailpointRegistry::Instance() {
+  static FailpointRegistry* instance = [] {
+    auto* r = new FailpointRegistry();
+    if (const char* seed = std::getenv("MILLIPAGE_FAILPOINT_SEED")) {
+      r->SetSeed(static_cast<uint64_t>(std::atoll(seed)));
+    }
+    if (const char* spec = std::getenv("MILLIPAGE_FAILPOINTS")) {
+      const Status st = r->Configure(spec);
+      if (!st.ok()) {
+        MP_LOG(Error) << "MILLIPAGE_FAILPOINTS: " << st.ToString();
+      }
+    }
+    return r;
+  }();
+  return *instance;
+}
+
+Status FailpointRegistry::Configure(const std::string& spec) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t semi = spec.find(';', pos);
+    if (semi == std::string::npos) {
+      semi = spec.size();
+    }
+    const std::string_view entry = std::string_view(spec).substr(pos, semi - pos);
+    pos = semi + 1;
+    if (entry.empty()) {
+      continue;
+    }
+    const size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::Invalid("failpoint spec: missing '=' in '" + std::string(entry) + "'");
+    }
+    FailpointAction action;
+    MP_RETURN_IF_ERROR(ParseRule(entry.substr(eq + 1), &action));
+    Set(std::string(entry.substr(0, eq)), action);
+  }
+  return Status::Ok();
+}
+
+void FailpointRegistry::Set(const std::string& name, const FailpointAction& action) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = points_.try_emplace(name);
+  const bool was_armed = !inserted && it->second.action.kind != FailpointAction::Kind::kOff;
+  const bool now_armed = action.kind != FailpointAction::Kind::kOff;
+  it->second.action = action;
+  it->second.rng = Rng(seed_ ^ Fnv1a(name));
+  it->second.evals = 0;
+  it->second.hits = 0;
+  if (now_armed && !was_armed) {
+    armed_.fetch_add(1, std::memory_order_release);
+  } else if (!now_armed && was_armed) {
+    armed_.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void FailpointRegistry::Clear(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end()) {
+    return;
+  }
+  if (it->second.action.kind != FailpointAction::Kind::kOff) {
+    armed_.fetch_sub(1, std::memory_order_release);
+  }
+  points_.erase(it);
+}
+
+void FailpointRegistry::ClearAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  armed_.store(0, std::memory_order_release);
+}
+
+void FailpointRegistry::SetSeed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+}
+
+std::optional<FailpointHit> FailpointRegistry::Eval(std::string_view name) {
+  if (armed_.load(std::memory_order_relaxed) == 0) {
+    return std::nullopt;  // fast path: nothing armed anywhere
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end() || it->second.action.kind == FailpointAction::Kind::kOff) {
+    return std::nullopt;
+  }
+  Point& p = it->second;
+  p.evals++;
+  if (p.evals <= p.action.skip) {
+    return std::nullopt;
+  }
+  if (p.action.max_hits != 0 && p.hits >= p.action.max_hits) {
+    return std::nullopt;
+  }
+  if (p.action.probability < 1.0 && p.rng.NextDouble() >= p.action.probability) {
+    return std::nullopt;
+  }
+  p.hits++;
+  return FailpointHit{p.action.kind, p.action.arg};
+}
+
+std::optional<int64_t> FailpointRegistry::Fire(std::string_view name) {
+  const std::optional<FailpointHit> hit = Eval(name);
+  if (!hit.has_value()) {
+    return std::nullopt;
+  }
+  switch (hit->kind) {
+    case FailpointAction::Kind::kReturn:
+      return hit->arg;
+    case FailpointAction::Kind::kDelayUs:
+      ::usleep(static_cast<useconds_t>(hit->arg));
+      return std::nullopt;
+    case FailpointAction::Kind::kPrint:
+      MP_LOG(Info) << "failpoint hit: " << std::string(name);
+      return std::nullopt;
+    case FailpointAction::Kind::kPanic:
+      MP_LOG(Fatal) << "failpoint panic: " << std::string(name);
+      return std::nullopt;
+    case FailpointAction::Kind::kOff:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+uint64_t FailpointRegistry::evals(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.evals;
+}
+
+uint64_t FailpointRegistry::hits(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+}  // namespace millipage

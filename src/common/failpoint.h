@@ -1,0 +1,132 @@
+// Named-failpoint registry: the fault-injection backbone of the chaos
+// harness. A failpoint is a named site in the code that, when armed, makes
+// the caller take an injected-failure branch (or sleep, log, or abort).
+// Points are armed either programmatically (tests) or from the environment:
+//
+//   MILLIPAGE_FAILPOINTS="<name>=<rule>[;<name>=<rule>...]"
+//   rule := action[(arg)][,prob=P][,times=N][,skip=S]
+//   action := off | return | delay | print | panic
+//
+//   return(arg)  caller takes its failure branch; arg is the rule's operand
+//                (e.g. a peer id or an error class), default 0
+//   delay(us)    caller sleeps `us` microseconds, then proceeds normally
+//   print        log one line when hit, proceed normally (tracing aid)
+//   panic        abort the process at the site
+//   prob=P       fire with probability P in [0,1] (default 1.0)
+//   times=N      stop firing after N hits (default unlimited)
+//   skip=S       let the first S matching evaluations pass (default 0)
+//
+// Example: kill peer 2 at the 40th transport send, and drop 10% of sends:
+//   MILLIPAGE_FAILPOINTS="net.peer.die=return(2),skip=40,times=1;net.send.drop=return,prob=0.1"
+//
+// Probabilistic rules draw from a per-point xoshiro PRNG seeded from the
+// registry seed (MILLIPAGE_FAILPOINT_SEED, default 0) and the point's name,
+// so a given spec + seed reproduces the same injected-failure schedule.
+//
+// Evaluation cost when no point is armed is a single relaxed atomic load, so
+// shipping failpoints in hot paths is free in production builds.
+
+#ifndef SRC_COMMON_FAILPOINT_H_
+#define SRC_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace millipage {
+
+struct FailpointAction {
+  enum class Kind : uint8_t {
+    kOff,      // never fires
+    kReturn,   // caller takes its injected-failure branch
+    kDelayUs,  // caller sleeps `arg` microseconds, then proceeds
+    kPrint,    // log the hit, proceed
+    kPanic,    // abort the process
+  };
+  Kind kind = Kind::kOff;
+  int64_t arg = 0;
+  double probability = 1.0;
+  uint64_t max_hits = 0;  // 0 = unlimited
+  uint64_t skip = 0;      // pass through the first `skip` evaluations
+};
+
+struct FailpointHit {
+  FailpointAction::Kind kind = FailpointAction::Kind::kOff;
+  int64_t arg = 0;
+};
+
+class FailpointRegistry {
+ public:
+  // Process-wide instance. The first call arms points from
+  // MILLIPAGE_FAILPOINTS / MILLIPAGE_FAILPOINT_SEED if set.
+  static FailpointRegistry& Instance();
+
+  // Parses the spec grammar above and arms the named points (points not
+  // mentioned keep their current state).
+  Status Configure(const std::string& spec);
+
+  void Set(const std::string& name, const FailpointAction& action);
+  void Clear(const std::string& name);
+  void ClearAll();
+
+  // Seed for probabilistic rules; affects points armed after the call.
+  void SetSeed(uint64_t seed);
+
+  // Evaluates `name`; returns the action to take when the point fires.
+  // Side-effect kinds (delay/print/panic) are NOT applied — use Fire() for
+  // that. Cheap no-op when nothing is armed.
+  std::optional<FailpointHit> Eval(std::string_view name);
+
+  // Evaluates `name` and applies delay/print/panic in place. Returns the
+  // operand only for kReturn — the one kind the caller must branch on.
+  std::optional<int64_t> Fire(std::string_view name);
+
+  // Introspection (tests): evaluations of / hits on a point so far.
+  uint64_t evals(const std::string& name) const;
+  uint64_t hits(const std::string& name) const;
+
+  FailpointRegistry(const FailpointRegistry&) = delete;
+  FailpointRegistry& operator=(const FailpointRegistry&) = delete;
+
+ private:
+  FailpointRegistry() = default;
+
+  struct Point {
+    FailpointAction action;
+    Rng rng{0};
+    uint64_t evals = 0;
+    uint64_t hits = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Point, std::less<>> points_;
+  std::atomic<size_t> armed_{0};  // fast-path gate: points with kind != kOff
+  uint64_t seed_ = 0;
+};
+
+// RAII helper for tests: arms a point on construction, clears it on exit.
+class FailpointScope {
+ public:
+  FailpointScope(std::string name, const FailpointAction& action)
+      : name_(std::move(name)) {
+    FailpointRegistry::Instance().Set(name_, action);
+  }
+  ~FailpointScope() { FailpointRegistry::Instance().Clear(name_); }
+
+  FailpointScope(const FailpointScope&) = delete;
+  FailpointScope& operator=(const FailpointScope&) = delete;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace millipage
+
+#endif  // SRC_COMMON_FAILPOINT_H_

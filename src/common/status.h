@@ -27,6 +27,7 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kUnavailable,
+  kDeadlineExceeded,
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -55,6 +56,12 @@ class [[nodiscard]] Status {
   }
   static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   // Builds an error from the current errno, in the style of perror().
   static Status Errno(const std::string& what) {

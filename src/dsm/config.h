@@ -43,6 +43,23 @@ struct DsmConfig {
 
   uint32_t max_app_threads_per_host = 8;
 
+  // ---- Liveness / failure-detection policy -------------------------------
+  // The paper assumes FastMessages never loses a message and no host dies;
+  // these knobs bound every wait so a lost reply or dead peer turns into a
+  // prompt error instead of an indefinite hang.
+  //
+  // Per-attempt reply deadline for an idempotent fetch (fault service,
+  // composed-view group fetch). 0 = no deadline (paper-faithful optimism).
+  uint64_t request_timeout_ms = 2000;
+  // Resends of an idempotent fetch after a timeout before the operation
+  // fails. Retries are safe for fetches: the manager re-routes them against
+  // current directory state and stale replies are discarded by generation.
+  uint32_t max_request_retries = 3;
+  // Reply deadline for non-retryable operations (alloc, barrier enter, lock
+  // acquire — none is idempotent, so they fail rather than resend). 0 = no
+  // deadline. The default matches the process-cluster watchdog sweep.
+  uint64_t sync_timeout_ms = 120000;
+
   AllocatorOptions MakeAllocatorOptions() const {
     AllocatorOptions o;
     o.chunking_level = chunking_level;

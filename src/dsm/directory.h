@@ -87,10 +87,22 @@ class Directory {
   }
 
   BarrierState& barrier() { return barrier_; }
+  const BarrierState& barrier() const { return barrier_; }
   ManagerCounters& counters() { return counters_; }
   const ManagerCounters& counters() const { return counters_; }
 
   size_t num_entries() const { return entries_.size(); }
+
+  // Minipages currently in service (their ACK or invalidation round is
+  // outstanding). Read from liveness diagnostics off the manager thread, so
+  // the count is a best-effort racy snapshot.
+  size_t InServiceCount() const {
+    size_t n = 0;
+    for (const DirEntry& e : entries_) {
+      n += e.in_service ? 1 : 0;
+    }
+    return n;
+  }
 
  private:
   std::vector<DirEntry> entries_;

@@ -3,6 +3,8 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
 
 #include "src/common/logging.h"
 #include "src/common/time_util.h"
@@ -52,6 +54,7 @@ DsmNode::~DsmNode() { Stop(); }
 void DsmNode::Start() {
   MP_CHECK(!server_.joinable()) << "server already started";
   stop_.store(false, std::memory_order_release);
+  transport_->SetPeerDownHandler([this](HostId peer) { OnPeerDown(peer); });
   server_ = std::thread([this] { ServerLoop(); });
 }
 
@@ -61,6 +64,7 @@ void DsmNode::Stop() {
   }
   stop_.store(true, std::memory_order_release);
   server_.join();
+  transport_->SetPeerDownHandler(nullptr);
 }
 
 uint32_t DsmNode::ThreadSlot() {
@@ -107,13 +111,25 @@ uint64_t DsmNode::bounced_requests() const {
   return bounced_.load(std::memory_order_relaxed);
 }
 
-void DsmNode::SendMsg(HostId to, const MsgHeader& h, const void* payload, size_t len) {
+Status DsmNode::TrySendMsg(HostId to, const MsgHeader& h, const void* payload, size_t len) {
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     counters_.messages_sent++;
     counters_.bytes_sent += sizeof(MsgHeader) + len;
   }
-  MP_CHECK_OK(transport_->Send(to, h, payload, len));
+  Status st = transport_->Send(to, h, payload, len);
+  if (!st.ok() && st.code() == StatusCode::kUnavailable) {
+    OnPeerDown(to);
+  }
+  return st;
+}
+
+void DsmNode::SendMsg(HostId to, const MsgHeader& h, const void* payload, size_t len) {
+  const Status st = TrySendMsg(to, h, payload, len);
+  if (!st.ok() && !draining_.load(std::memory_order_acquire)) {
+    MP_LOG(Error) << "host " << me_ << ": send " << MsgTypeName(h.msg_type()) << " to host "
+                  << to << " failed: " << st.ToString();
+  }
 }
 
 Minipage DsmNode::MinipageFromHeader(const MsgHeader& h) const {
@@ -133,20 +149,29 @@ Result<GlobalAddr> DsmNode::SharedMalloc(uint64_t size) {
   if (size == 0 || size > ~0u) {
     return Status::Invalid("SharedMalloc: size must be in (0, 4GiB)");
   }
+  const uint32_t slot = ThreadSlot();
+  const uint32_t gen = NextGen(slot);
   MsgHeader h;
   h.set_type(MsgType::kAllocRequest);
   h.from = me_;
-  h.seq = ThreadSlot();
+  h.seq = WaitSlots::MakeSeq(slot, gen);
   h.pgsize = static_cast<uint32_t>(size);
-  SendMsg(kManagerHost, h);
-  const MsgHeader reply = slots_.Wait(h.seq);
-  if (reply.msg_type() != MsgType::kAllocReply) {
+  if (Status st = TrySendMsg(kManagerHost, h); !st.ok()) {
+    return LivenessFailure("SharedMalloc", st);
+  }
+  // Allocation mutates manager state per request, so it is not idempotent:
+  // bounded by the sync deadline, never re-sent.
+  Result<MsgHeader> reply = AwaitReply(slot, gen, config_.sync_timeout_ms, "SharedMalloc");
+  if (!reply.ok()) {
+    return LivenessFailure("SharedMalloc", reply.status());
+  }
+  if (reply->msg_type() != MsgType::kAllocReply) {
     return Status::Internal("SharedMalloc: unexpected reply");
   }
-  if ((reply.flags & kFlagAbort) != 0) {
+  if ((reply->flags & kFlagAbort) != 0) {
     return Status::Exhausted("SharedMalloc: shared memory exhausted");
   }
-  return reply.global_addr();
+  return reply->global_addr();
 }
 
 void DsmNode::CloseChunk() {
@@ -159,12 +184,26 @@ void DsmNode::CloseChunk() {
 }
 
 void DsmNode::Barrier() {
+  const Status st = TryBarrier();
+  MP_CHECK(st.ok()) << "Barrier: " << st.ToString();
+}
+
+Status DsmNode::TryBarrier() {
+  const uint32_t slot = ThreadSlot();
+  const uint32_t gen = NextGen(slot);
   MsgHeader h;
   h.set_type(MsgType::kBarrierEnter);
   h.from = me_;
-  h.seq = ThreadSlot();
-  SendMsg(kManagerHost, h);
-  (void)slots_.Wait(h.seq);
+  h.seq = WaitSlots::MakeSeq(slot, gen);
+  if (Status st = TrySendMsg(kManagerHost, h); !st.ok()) {
+    return LivenessFailure("Barrier", st);
+  }
+  // Barrier entry increments the manager's arrival count, so a re-send would
+  // count this host twice: deadline only, no retry.
+  Result<MsgHeader> reply = AwaitReply(slot, gen, config_.sync_timeout_ms, "Barrier");
+  if (!reply.ok()) {
+    return LivenessFailure("Barrier", reply.status());
+  }
   std::lock_guard<std::mutex> lock(stats_mu_);
   counters_.barriers++;
   EpochRecord rec;
@@ -173,18 +212,35 @@ void DsmNode::Barrier() {
   rec.delta = counters_ - epoch_snapshot_;
   epoch_snapshot_ = counters_;
   epochs_.push_back(rec);
+  return Status::Ok();
 }
 
 void DsmNode::Lock(uint32_t lock_id) {
+  const Status st = TryLock(lock_id);
+  MP_CHECK(st.ok()) << "Lock(" << lock_id << "): " << st.ToString();
+}
+
+Status DsmNode::TryLock(uint32_t lock_id) {
+  const uint32_t slot = ThreadSlot();
+  const uint32_t gen = NextGen(slot);
   MsgHeader h;
   h.set_type(MsgType::kLockAcquire);
   h.from = me_;
-  h.seq = ThreadSlot();
+  h.seq = WaitSlots::MakeSeq(slot, gen);
   h.minipage = lock_id;
-  SendMsg(kManagerHost, h);
-  (void)slots_.Wait(h.seq);
+  if (Status st = TrySendMsg(kManagerHost, h); !st.ok()) {
+    return LivenessFailure("Lock", st);
+  }
+  // A re-sent acquire would enqueue this host twice in the lock's FIFO:
+  // deadline only, no retry. (A held lock also legitimately blocks for as
+  // long as its holder computes — the generous sync deadline reflects that.)
+  Result<MsgHeader> reply = AwaitReply(slot, gen, config_.sync_timeout_ms, "Lock");
+  if (!reply.ok()) {
+    return LivenessFailure("Lock", reply.status());
+  }
   std::lock_guard<std::mutex> lock(stats_mu_);
   counters_.lock_acquires++;
+  return Status::Ok();
 }
 
 void DsmNode::Unlock(uint32_t lock_id) {
@@ -219,6 +275,7 @@ void DsmNode::Prefetch(GlobalAddr a) {
 
 size_t DsmNode::FetchGroup(const GlobalAddr* addrs, size_t count) {
   const uint32_t slot = ThreadSlot();
+  const uint32_t gen = NextGen(slot);  // one generation covers the whole group
   size_t issued = 0;
   for (size_t i = 0; i < count; ++i) {
     const uint64_t vpage = addrs[i].offset / PageSize();
@@ -230,9 +287,12 @@ size_t DsmNode::FetchGroup(const GlobalAddr* addrs, size_t count) {
     MsgHeader h;
     h.set_type(MsgType::kReadRequest);
     h.from = me_;
-    h.seq = slot;
+    h.seq = WaitSlots::MakeSeq(slot, gen);
     h.addr = addrs[i].Pack();
-    SendMsg(kManagerHost, h);
+    if (Status st = TrySendMsg(kManagerHost, h); !st.ok()) {
+      (void)LivenessFailure("FetchGroup", st);
+      break;
+    }
     issued++;
   }
   {
@@ -240,24 +300,32 @@ size_t DsmNode::FetchGroup(const GlobalAddr* addrs, size_t count) {
     counters_.prefetches += issued;
   }
   // Split transaction: collect the replies (any order) and ACK each one so
-  // the manager releases the minipages.
+  // the manager releases the minipages. Each reply gets its own deadline; on
+  // failure the group is abandoned (outstanding replies become stale by
+  // generation and are discarded + ACKed by the next wait on this slot).
+  size_t collected = 0;
   for (size_t i = 0; i < issued; ++i) {
-    const MsgHeader reply = slots_.Wait(slot);
+    Result<MsgHeader> reply = AwaitReply(slot, gen, config_.request_timeout_ms, "FetchGroup");
+    if (!reply.ok()) {
+      (void)LivenessFailure("FetchGroup", reply.status());
+      return collected;
+    }
+    collected++;
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
-      counters_.prefetch_bytes += reply.has_payload() ? reply.pgsize : 0;
+      counters_.prefetch_bytes += reply->has_payload() ? reply->pgsize : 0;
     }
     if (config_.enable_ack) {
       MsgHeader ack;
       ack.set_type(MsgType::kAck);
       ack.from = me_;
       ack.seq = kNoWaitSlot;
-      ack.addr = reply.addr;
-      ack.minipage = reply.minipage;
+      ack.addr = reply->addr;
+      ack.minipage = reply->minipage;
       SendMsg(kManagerHost, ack);
     }
   }
-  return issued;
+  return collected;
 }
 
 void DsmNode::PushToAll(GlobalAddr a) {
@@ -276,6 +344,7 @@ void DsmNode::PushToAll(GlobalAddr a) {
 
 bool DsmNode::OnFault(uint32_t view, uint64_t offset, bool is_write) {
   const uint64_t t0 = MonotonicNowNs();
+  const char* const what = is_write ? "write fault" : "read fault";
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     if (is_write) {
@@ -284,17 +353,46 @@ bool DsmNode::OnFault(uint32_t view, uint64_t offset, bool is_write) {
       counters_.read_faults++;
     }
   }
-  MsgHeader h;
-  h.set_type(is_write ? MsgType::kWriteRequest : MsgType::kReadRequest);
-  h.from = me_;
-  h.seq = ThreadSlot();
-  h.addr = GlobalAddr{view, offset}.Pack();
-  if (!config_.enable_ack) {
-    inflight_[h.seq].poisoned.store(false, std::memory_order_relaxed);
-    inflight_[h.seq].addr.store(h.addr, std::memory_order_release);
+  const uint32_t slot = ThreadSlot();
+  const uint64_t addr = GlobalAddr{view, offset}.Pack();
+  // Fault service is idempotent — the manager re-routes every (re)send
+  // against current directory state, and a late reply to an abandoned
+  // attempt is discarded by its stale generation — so a lost message is
+  // retried up to max_request_retries before the fault fails.
+  MsgHeader reply;
+  bool have_reply = false;
+  for (uint32_t attempt = 0;; ++attempt) {
+    const uint32_t gen = NextGen(slot);
+    MsgHeader h;
+    h.set_type(is_write ? MsgType::kWriteRequest : MsgType::kReadRequest);
+    h.from = me_;
+    h.seq = WaitSlots::MakeSeq(slot, gen);
+    h.addr = addr;
+    if (!config_.enable_ack) {
+      inflight_[slot].poisoned.store(false, std::memory_order_relaxed);
+      inflight_[slot].addr.store(h.addr, std::memory_order_release);
+    }
+    if (Status st = TrySendMsg(kManagerHost, h); !st.ok()) {
+      (void)LivenessFailure(what, st);
+      return false;
+    }
+    Result<MsgHeader> r = AwaitReply(slot, gen, config_.request_timeout_ms, what);
+    if (r.ok()) {
+      reply = *r;
+      have_reply = true;
+      break;
+    }
+    if (r.status().code() != StatusCode::kDeadlineExceeded ||
+        attempt >= config_.max_request_retries) {
+      (void)LivenessFailure(what, r.status());
+      return false;
+    }
+    timeout_retries_.fetch_add(1, std::memory_order_relaxed);
+    MP_LOG(Error) << "host " << me_ << ": " << what << " timed out after "
+                  << config_.request_timeout_ms << " ms (attempt " << attempt + 1 << "/"
+                  << config_.max_request_retries + 1 << "); re-sending";
   }
-  SendMsg(kManagerHost, h);
-  const MsgHeader reply = slots_.Wait(h.seq);
+  (void)have_reply;
 
   if (config_.enable_ack || is_write) {
     MsgHeader ack;
@@ -330,6 +428,7 @@ void DsmNode::ServerLoop() {
     }
     return views_->PrivAddr(h.privbase);
   };
+  uint32_t poll_errors = 0;
   while (!stop_.load(std::memory_order_acquire)) {
     MsgHeader h;
     uint64_t timeout_us = 0;
@@ -343,7 +442,22 @@ void DsmNode::ServerLoop() {
         break;
     }
     Result<bool> got = transport_->Poll(me_, &h, sink, timeout_us);
-    MP_CHECK(got.ok()) << got.status().ToString();
+    if (!got.ok()) {
+      // A transient receive error (e.g. a reset from a dying peer) must not
+      // take the server thread down with it — the thread is what delivers
+      // the peer-down abort to the waiting application threads. Log, back
+      // off, and keep serving; give up only if the transport errors forever.
+      poll_errors++;
+      if (poll_errors <= 3 || poll_errors % 100 == 0) {
+        MP_LOG(Error) << "host " << me_ << ": transport poll error ("
+                      << got.status().ToString() << "), count=" << poll_errors;
+      }
+      MP_CHECK(poll_errors < 1000) << "host " << me_ << ": transport broken: "
+                                   << got.status().ToString();
+      ::usleep(1000);
+      continue;
+    }
+    poll_errors = 0;
     if (*got) {
       HandleMessage(h);
       continue;
@@ -425,7 +539,9 @@ void DsmNode::HandleMessage(const MsgHeader& h) {
     case MsgType::kAllocReply:
     case MsgType::kBarrierRelease:
     case MsgType::kLockGrant:
-      slots_.Post(h.seq, h);
+      if (h.seq != kNoWaitSlot) {
+        slots_.Post(WaitSlots::SeqSlot(h.seq), h);
+      }
       break;
     case MsgType::kBarrierEnter:
       MP_CHECK(is_manager());
@@ -807,21 +923,28 @@ void DsmNode::HandleInvalidateRequest(const MsgHeader& h) {
 
 void DsmNode::HandleReply(const MsgHeader& h) {
   if (!config_.enable_ack && h.seq != kNoWaitSlot) {
-    InflightFetch& f = inflight_[h.seq];
-    if (f.poisoned.exchange(false, std::memory_order_acq_rel)) {
-      // The fetched copy was invalidated in flight; leave the vpage
-      // inaccessible and re-issue the request for fresh data.
-      fault_retries_.fetch_add(1, std::memory_order_relaxed);
-      MsgHeader retry;
-      retry.set_type(h.msg_type() == MsgType::kReadReply ? MsgType::kReadRequest
-                                                         : MsgType::kWriteRequest);
-      retry.from = me_;
-      retry.seq = h.seq;
-      retry.addr = f.addr.load(std::memory_order_acquire);
-      SendMsg(kManagerHost, retry);
-      return;
+    const uint32_t slot = WaitSlots::SeqSlot(h.seq);
+    // Only a reply to the slot's *current* attempt owns the in-flight entry;
+    // a stale-generation reply (abandoned attempt) must not clear or retry
+    // the tracking the newer attempt installed.
+    if (WaitSlots::SeqGen(h.seq) ==
+        (slot_gen_[slot].load(std::memory_order_acquire) & 0xffffffu)) {
+      InflightFetch& f = inflight_[slot];
+      if (f.poisoned.exchange(false, std::memory_order_acq_rel)) {
+        // The fetched copy was invalidated in flight; leave the vpage
+        // inaccessible and re-issue the request for fresh data.
+        fault_retries_.fetch_add(1, std::memory_order_relaxed);
+        MsgHeader retry;
+        retry.set_type(h.msg_type() == MsgType::kReadReply ? MsgType::kReadRequest
+                                                           : MsgType::kWriteRequest);
+        retry.from = me_;
+        retry.seq = h.seq;
+        retry.addr = f.addr.load(std::memory_order_acquire);
+        SendMsg(kManagerHost, retry);
+        return;
+      }
+      f.addr.store(~0ULL, std::memory_order_release);
     }
-    f.addr.store(~0ULL, std::memory_order_release);
   }
   const Minipage mp = MinipageFromHeader(h);
   const Protection prot = h.msg_type() == MsgType::kReadReply ? Protection::kReadOnly
@@ -842,7 +965,7 @@ void DsmNode::HandleReply(const MsgHeader& h) {
     }
     return;
   }
-  slots_.Post(h.seq, h);
+  slots_.Post(WaitSlots::SeqSlot(h.seq), h);
 }
 
 void DsmNode::ApplyPush(const MsgHeader& h) {
@@ -887,6 +1010,97 @@ void DsmNode::Bounce(MsgHeader h) {
   bounced_.fetch_add(1, std::memory_order_relaxed);
   h.flags |= kFlagBounced;
   SendMsg(kManagerHost, h);
+}
+
+// ---- Liveness --------------------------------------------------------------
+
+Result<MsgHeader> DsmNode::AwaitReply(uint32_t slot, uint32_t gen, uint64_t timeout_ms,
+                                      const char* what) {
+  const uint64_t deadline_ns =
+      timeout_ms > 0 ? MonotonicNowNs() + timeout_ms * 1000000ull : 0;
+  for (;;) {
+    uint64_t remaining_ms = 0;
+    if (timeout_ms > 0) {
+      const uint64_t now = MonotonicNowNs();
+      if (now >= deadline_ns) {
+        return Status::DeadlineExceeded(std::string(what) + ": no reply within " +
+                                        std::to_string(timeout_ms) + " ms");
+      }
+      remaining_ms = (deadline_ns - now + 999999) / 1000000;
+    }
+    Result<MsgHeader> r = slots_.WaitFor(slot, remaining_ms);
+    if (!r.ok()) {
+      if (r.status().code() == StatusCode::kDeadlineExceeded) {
+        return Status::DeadlineExceeded(std::string(what) + ": no reply within " +
+                                        std::to_string(timeout_ms) + " ms");
+      }
+      return r.status();
+    }
+    if (WaitSlots::SeqGen(r->seq) == (gen & 0xffffffu)) {
+      return *r;
+    }
+    // Late reply to an abandoned attempt. Discard it — but a discarded data
+    // reply must still be ACKed (when the protocol serializes on ACKs),
+    // otherwise the manager would hold the minipage in service forever.
+    stale_replies_.fetch_add(1, std::memory_order_relaxed);
+    const MsgType t = r->msg_type();
+    const bool is_data = t == MsgType::kReadReply || t == MsgType::kWriteReply;
+    if (is_data && (config_.enable_ack || t == MsgType::kWriteReply)) {
+      MsgHeader ack;
+      ack.set_type(MsgType::kAck);
+      ack.from = me_;
+      ack.seq = kNoWaitSlot;
+      ack.addr = r->addr;
+      ack.minipage = r->minipage;
+      SendMsg(kManagerHost, ack);
+    }
+  }
+}
+
+void DsmNode::OnPeerDown(HostId peer) {
+  if (draining_.load(std::memory_order_acquire) ||
+      stop_.load(std::memory_order_acquire)) {
+    return;  // teardown: peers exiting is expected
+  }
+  const uint64_t bit = 1ULL << (peer & 63u);
+  const uint64_t prev = peer_down_mask_.fetch_or(bit, std::memory_order_acq_rel);
+  if ((prev & bit) != 0) {
+    return;  // already known
+  }
+  MP_LOG(Error) << "host " << me_ << ": peer host " << peer
+                << " is down; aborting outstanding waits. " << LivenessReport();
+  slots_.AbortAll(Status::Unavailable("peer host " + std::to_string(peer) + " is down"));
+}
+
+Status DsmNode::LivenessFailure(const char* op, const Status& cause) {
+  if (!draining_.load(std::memory_order_acquire)) {
+    MP_LOG(Error) << "host " << me_ << ": " << op << " failed: " << cause.ToString()
+                  << ". " << LivenessReport();
+  }
+  return Status(cause.code(), std::string(op) + ": " + cause.message());
+}
+
+std::string DsmNode::LivenessReport() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "liveness{host=%u peers_down=0x%llx timeout_retries=%llu stale_replies=%llu "
+           "fault_retries=%llu",
+           me_, (unsigned long long)peer_down_mask_.load(std::memory_order_relaxed),
+           (unsigned long long)timeout_retries_.load(std::memory_order_relaxed),
+           (unsigned long long)stale_replies_.load(std::memory_order_relaxed),
+           (unsigned long long)fault_retries_.load(std::memory_order_relaxed));
+  std::string s = buf;
+  if (directory_ != nullptr) {
+    // Manager-side view: how much protocol state is wedged mid-transaction.
+    // Racy snapshot (the directory belongs to the server thread), diagnostics
+    // only.
+    snprintf(buf, sizeof(buf), " dir{minipages=%zu in_service=%zu barrier_arrived=%u}",
+             directory_->num_entries(), directory_->InServiceCount(),
+             static_cast<const Directory*>(directory_.get())->barrier().arrived);
+    s += buf;
+  }
+  s += "}";
+  return s;
 }
 
 }  // namespace millipage

@@ -73,6 +73,22 @@ class DsmNode {
   void Lock(uint32_t lock_id);
   void Unlock(uint32_t lock_id);
 
+  // Liveness-aware variants: bounded by config().sync_timeout_ms, they
+  // return a diagnostic Status (kDeadlineExceeded / kUnavailable) instead of
+  // hanging when a reply is lost or a peer is down. The void wrappers above
+  // fail fatally on the same conditions — loud, never wedged.
+  Status TryBarrier();
+  Status TryLock(uint32_t lock_id);
+
+  // Cooperative teardown: once the application has passed its final barrier,
+  // peers exiting (connection EOFs) is expected — suppress the peer-down
+  // abort so normal shutdown is quiet.
+  void BeginShutdown() { draining_.store(true, std::memory_order_release); }
+
+  // Non-OK once a peer died or liveness gave up; all subsequent blocking
+  // operations on this node fail fast with this status.
+  Status health() const { return slots_.aborted() ? slots_.abort_status() : Status::Ok(); }
+
   // Asynchronous read prefetch of the minipage containing `a` (Section 4.3.1,
   // the LU prefetch calls). No-op if a copy is already present.
   void Prefetch(GlobalAddr a);
@@ -112,6 +128,16 @@ class DsmNode {
   LatencyHistogram write_fault_latency() const;
   uint64_t bounced_requests() const;
   uint64_t fault_retries() const { return fault_retries_.load(std::memory_order_relaxed); }
+  // Idempotent requests re-sent after a reply deadline expired.
+  uint64_t timeout_retries() const { return timeout_retries_.load(std::memory_order_relaxed); }
+  // Late replies to abandoned attempts, discarded by generation check.
+  uint64_t stale_replies() const { return stale_replies_.load(std::memory_order_relaxed); }
+  // Bitmask of peers this node has observed down.
+  uint64_t peers_down() const { return peer_down_mask_.load(std::memory_order_relaxed); }
+
+  // One-line snapshot of liveness state (peers down, retry counts, manager
+  // directory/barrier occupancy). Best-effort racy read, for diagnostics.
+  std::string LivenessReport() const;
 
   // Manager-only state (null/empty elsewhere).
   Directory* directory() { return directory_.get(); }
@@ -153,7 +179,35 @@ class DsmNode {
   void Bounce(MsgHeader h);
 
   Minipage MinipageFromHeader(const MsgHeader& h) const;
+  // Server-side send: failures are logged and, for unreachable peers, turned
+  // into a peer-down event; the server keeps serving the rest of the mesh.
   void SendMsg(HostId to, const MsgHeader& h, const void* payload = nullptr, size_t len = 0);
+  // Application-side send: same handling, but the Status is propagated so
+  // the blocking operation can fail instead of waiting for a reply that was
+  // never sent.
+  Status TrySendMsg(HostId to, const MsgHeader& h, const void* payload = nullptr,
+                    size_t len = 0);
+
+  // ---- Liveness machinery ------------------------------------------------
+
+  // Starts a fresh attempt on `slot`: bumps the slot's generation so replies
+  // to earlier attempts are recognizably stale.
+  uint32_t NextGen(uint32_t slot) {
+    return (slot_gen_[slot].fetch_add(1, std::memory_order_relaxed) + 1) & 0xffffffu;
+  }
+
+  // Waits for the reply tagged (slot, gen), discarding stale replies from
+  // abandoned attempts (and ACKing discarded data replies so the manager
+  // releases the minipage). timeout_ms = 0 waits forever.
+  Result<MsgHeader> AwaitReply(uint32_t slot, uint32_t gen, uint64_t timeout_ms,
+                               const char* what);
+
+  // Peer-down event (from the transport or a send failure): aborts every
+  // outstanding wait unless the node is already draining at teardown.
+  void OnPeerDown(HostId peer);
+
+  // Logs the liveness report and returns `cause` annotated with `op`.
+  Status LivenessFailure(const char* op, const Status& cause);
 
   const DsmConfig config_;
   const HostId me_;
@@ -179,6 +233,14 @@ class DsmNode {
   InflightFetch inflight_[WaitSlots::kMaxSlots];
   std::atomic<uint64_t> fault_retries_{0};
   uint32_t replica_rotation_ = 0;  // manager server thread only
+
+  // Liveness state. slot_gen_ is written by the slot-owning app thread and
+  // read elsewhere only for diagnostics.
+  std::atomic<uint32_t> slot_gen_[WaitSlots::kMaxSlots] = {};
+  std::atomic<bool> draining_{false};
+  std::atomic<uint64_t> peer_down_mask_{0};
+  std::atomic<uint64_t> timeout_retries_{0};
+  std::atomic<uint64_t> stale_replies_{0};
 
   mutable std::mutex stats_mu_;
   HostCounters counters_;

@@ -47,9 +47,22 @@ bool ChildFaultTrampoline(void* ctx, void* addr, bool is_write) {
 
   SetCurrentNode(node->get());
   fn(**node, me);
-  // Keep serving until every host is done with the protocol.
-  (*node)->Barrier();
+  // Keep serving until every host is done with the protocol. A liveness
+  // failure here (peer dead, release lost) means the cluster cannot finish:
+  // report it and self-terminate with a distinct code so the parent (and
+  // chaos tests) can tell detection-and-exit apart from a watchdog sweep.
+  const Status barrier_st = (*node)->TryBarrier();
   SetCurrentNode(nullptr);
+  if (!barrier_st.ok()) {
+    MP_LOG(Error) << "host " << me << ": final barrier failed: " << barrier_st.ToString();
+    (*node)->Stop();
+    FaultHandler::Instance().Unregister(slot);
+    std::fflush(nullptr);
+    _exit(kLivenessExitCode);
+  }
+  // Past the final barrier every peer is done; their connections closing is
+  // normal teardown, not a failure.
+  (*node)->BeginShutdown();
   // Give fire-and-forget traffic (lock releases, final acks) a moment to
   // drain before the server thread goes away.
   ::usleep(20 * 1000);
@@ -63,7 +76,10 @@ bool ChildFaultTrampoline(void* ctx, void* addr, bool is_write) {
 
 Status RunForkedCluster(const DsmConfig& config,
                         const std::function<void(DsmNode&, HostId)>& fn,
-                        uint64_t timeout_ms) {
+                        uint64_t timeout_ms, std::vector<HostOutcome>* outcomes) {
+  if (outcomes != nullptr) {
+    outcomes->assign(config.num_hosts, HostOutcome{});
+  }
   MP_ASSIGN_OR_RETURN(SocketMesh mesh, SocketMesh::Create(config.num_hosts));
   std::vector<pid_t> pids;
   pids.reserve(config.num_hosts);
@@ -107,6 +123,14 @@ Status RunForkedCluster(const DsmConfig& config,
       done[h] = true;
       remaining--;
       reaped = true;
+      if (outcomes != nullptr) {
+        HostOutcome& o = (*outcomes)[h];
+        o.exited = r > 0;
+        o.signaled = r > 0 && WIFSIGNALED(wstatus);
+        o.exit_code = (r > 0 && WIFEXITED(wstatus)) ? WEXITSTATUS(wstatus) : 0;
+        o.term_signal = o.signaled ? WTERMSIG(wstatus) : 0;
+        o.reaped_at_ms = waited_ms;
+      }
       if (r < 0) {
         result = Status::Errno("waitpid");
         any_failed = true;
@@ -142,7 +166,16 @@ Status RunForkedCluster(const DsmConfig& config,
       for (uint16_t h = 0; h < config.num_hosts; ++h) {
         if (!done[h]) {
           int wstatus = 0;
-          ::waitpid(pids[h], &wstatus, 0);
+          const pid_t r = ::waitpid(pids[h], &wstatus, 0);
+          if (outcomes != nullptr) {
+            HostOutcome& o = (*outcomes)[h];
+            o.exited = r > 0;
+            o.signaled = r > 0 && WIFSIGNALED(wstatus);
+            o.exit_code = (r > 0 && WIFEXITED(wstatus)) ? WEXITSTATUS(wstatus) : 0;
+            o.term_signal = o.signaled ? WTERMSIG(wstatus) : 0;
+            o.swept = true;
+            o.reaped_at_ms = waited_ms;
+          }
           done[h] = true;
           remaining--;
         }

@@ -7,11 +7,28 @@
 #define SRC_DSM_PROCESS_CLUSTER_H_
 
 #include <functional>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/dsm/node.h"
 
 namespace millipage {
+
+// How one forked host ended, as observed by the parent's watchdog. Used by
+// failure-injection tests to distinguish a survivor that detected the fault
+// and exited on its own from one the watchdog had to sweep.
+struct HostOutcome {
+  bool exited = false;       // reaped at all (false only on waitpid error)
+  bool signaled = false;     // terminated by a signal
+  int exit_code = 0;         // WEXITSTATUS, when !signaled
+  int term_signal = 0;       // WTERMSIG, when signaled
+  bool swept = false;        // killed by the watchdog (deadline/grace expiry)
+  uint64_t reaped_at_ms = 0; // watchdog time when the child was reaped
+};
+
+// Exit code a child uses when its application or final barrier failed a
+// liveness check (peer down / deadline exceeded) and it self-terminated.
+inline constexpr int kLivenessExitCode = 12;
 
 // Forks config.num_hosts children and runs `fn(node, host)` in each. The
 // runtime adds a final barrier after `fn` so no host tears down the protocol
@@ -19,9 +36,11 @@ namespace millipage {
 // that crashed or exited non-zero turns into an error.
 // `timeout_ms` bounds the whole run (0 = default 120 s); on expiry (or after
 // any child fails) surviving children are killed and an error is returned.
+// `outcomes`, when non-null, receives one HostOutcome per host.
 Status RunForkedCluster(const DsmConfig& config,
                         const std::function<void(DsmNode&, HostId)>& fn,
-                        uint64_t timeout_ms = 0);
+                        uint64_t timeout_ms = 0,
+                        std::vector<HostOutcome>* outcomes = nullptr);
 
 }  // namespace millipage
 

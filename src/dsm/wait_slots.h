@@ -2,18 +2,32 @@
 // request is serviced (the paper's pmsg->event). POSIX semaphores are used
 // because sem_wait/sem_post are async-signal-safe, and the faulting thread
 // waits from inside the SIGSEGV handler.
+//
+// Liveness layer: WaitFor bounds every wait with a deadline (sem_timedwait,
+// still async-signal-safe), and AbortAll wakes every current and future
+// waiter with a sticky error — the peer-down path that turns "hang at the
+// next barrier" into a prompt Status::Unavailable.
+//
+// The wire `seq` field carries more than the slot: the low byte is the slot
+// index and the high 24 bits a per-operation generation. A requester that
+// times out and retries (or abandons) an operation bumps the generation, so
+// a late reply to the old attempt is recognizably stale instead of being
+// mistaken for the new attempt's reply.
 
 #ifndef SRC_DSM_WAIT_SLOTS_H_
 #define SRC_DSM_WAIT_SLOTS_H_
 
 #include <semaphore.h>
+#include <time.h>
 
 #include <atomic>
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <string>
 
 #include "src/common/logging.h"
+#include "src/common/status.h"
 #include "src/net/message.h"
 
 namespace millipage {
@@ -21,6 +35,13 @@ namespace millipage {
 class WaitSlots {
  public:
   static constexpr uint32_t kMaxSlots = 64;
+
+  // seq wire encoding: low byte slot, high 24 bits generation (mod 2^24).
+  static uint32_t MakeSeq(uint32_t slot, uint32_t gen) {
+    return ((gen & 0xffffffu) << 8) | (slot & 0xffu);
+  }
+  static uint32_t SeqSlot(uint32_t seq) { return seq & 0xffu; }
+  static uint32_t SeqGen(uint32_t seq) { return seq >> 8; }
 
   WaitSlots() {
     for (auto& s : slots_) {
@@ -46,17 +67,70 @@ class WaitSlots {
   // Blocks until a reply for `slot` arrives; returns the oldest undelivered
   // reply. Replies queue per slot, so split transactions (several requests
   // outstanding on one slot, e.g. a composed-view group fetch) deliver every
-  // reply exactly once, in arrival order.
+  // reply exactly once, in arrival order. Unbounded wait; fatal if the slots
+  // are aborted while waiting — deadline-aware callers use WaitFor.
   MsgHeader Wait(uint32_t slot) {
+    Result<MsgHeader> r = WaitFor(slot, 0);
+    MP_CHECK(r.ok()) << "WaitSlots::Wait: " << r.status().ToString();
+    return *r;
+  }
+
+  // Returns the oldest undelivered reply for `slot`, waiting at most
+  // `timeout_ms` (0 = wait forever). Queued replies are always delivered
+  // before an abort is reported. Errors:
+  //   kDeadlineExceeded — no reply within the budget;
+  //   the AbortAll status (default kUnavailable) — slots are aborted.
+  Result<MsgHeader> WaitFor(uint32_t slot, uint64_t timeout_ms) {
+    MP_CHECK(slot < kMaxSlots);
     Slot& s = slots_[slot];
-    while (sem_wait(&s.sem) != 0) {
-      // Interrupted by a signal; retry.
+    struct timespec abs_deadline;
+    if (timeout_ms > 0) {
+      clock_gettime(CLOCK_REALTIME, &abs_deadline);
+      abs_deadline.tv_sec += static_cast<time_t>(timeout_ms / 1000);
+      abs_deadline.tv_nsec += static_cast<long>((timeout_ms % 1000) * 1000000);
+      if (abs_deadline.tv_nsec >= 1000000000L) {
+        abs_deadline.tv_sec += 1;
+        abs_deadline.tv_nsec -= 1000000000L;
+      }
     }
-    std::lock_guard<std::mutex> lock(s.mu);
-    MP_CHECK(!s.replies.empty()) << "semaphore/queue mismatch";
-    const MsgHeader reply = s.replies.front();
-    s.replies.pop_front();
-    return reply;
+    for (;;) {
+      // Fast path: consume an already-posted reply (or a stale abort token).
+      while (sem_trywait(&s.sem) == 0) {
+        std::lock_guard<std::mutex> lock(s.mu);
+        if (!s.replies.empty()) {
+          const MsgHeader reply = s.replies.front();
+          s.replies.pop_front();
+          return reply;
+        }
+        // Token without a reply: an abort wake-up; fall through to report it.
+        break;
+      }
+      if (aborted_.load(std::memory_order_acquire)) {
+        return abort_status();
+      }
+      const int rc = timeout_ms > 0 ? sem_timedwait(&s.sem, &abs_deadline)
+                                    : sem_wait(&s.sem);
+      if (rc != 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        if (errno == ETIMEDOUT) {
+          if (aborted_.load(std::memory_order_acquire)) {
+            return abort_status();
+          }
+          return Status::DeadlineExceeded("no reply on wait slot " + std::to_string(slot) +
+                                          " within " + std::to_string(timeout_ms) + " ms");
+        }
+        return Status::Errno("sem_wait");
+      }
+      std::lock_guard<std::mutex> lock(s.mu);
+      if (!s.replies.empty()) {
+        const MsgHeader reply = s.replies.front();
+        s.replies.pop_front();
+        return reply;
+      }
+      // Woken without a reply: abort token — loop re-checks aborted_.
+    }
   }
 
   // Deposits a reply and wakes the waiter.
@@ -70,6 +144,30 @@ class WaitSlots {
     sem_post(&s.sem);
   }
 
+  // Wakes every current waiter and fails every future wait with `status`
+  // (sticky). Queued replies are still drained first. Used by the peer-down
+  // path; also async-signal-unsafe-free apart from the small mutex.
+  void AbortAll(Status status) {
+    {
+      std::lock_guard<std::mutex> lock(abort_mu_);
+      if (aborted_.load(std::memory_order_acquire)) {
+        return;  // first reason wins
+      }
+      abort_status_ = std::move(status);
+    }
+    aborted_.store(true, std::memory_order_release);
+    for (auto& s : slots_) {
+      sem_post(&s.sem);  // reply-less token: wakes a waiter into the abort path
+    }
+  }
+
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+  Status abort_status() const {
+    std::lock_guard<std::mutex> lock(abort_mu_);
+    return abort_status_;
+  }
+
  private:
   struct Slot {
     sem_t sem;
@@ -79,6 +177,9 @@ class WaitSlots {
 
   Slot slots_[kMaxSlots];
   std::atomic<uint32_t> next_{0};
+  std::atomic<bool> aborted_{false};
+  mutable std::mutex abort_mu_;
+  Status abort_status_;
 };
 
 }  // namespace millipage

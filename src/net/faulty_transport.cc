@@ -1,0 +1,161 @@
+#include "src/net/faulty_transport.h"
+
+#include <unistd.h>
+
+#include <cstddef>
+
+#include "src/common/failpoint.h"
+#include "src/common/logging.h"
+
+namespace millipage {
+
+FaultyTransport::FaultyTransport(Transport* inner) : inner_(inner) {}
+
+void FaultyTransport::SetPeerDownHandler(PeerDownHandler handler) {
+  Transport::SetPeerDownHandler(std::move(handler));
+  // Chain: deaths the real transport detects surface on our handler too.
+  inner_->SetPeerDownHandler([this](HostId peer) { NotifyPeerDown(peer); });
+}
+
+void FaultyTransport::KillPeer(HostId peer) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t bit = 1ULL << (peer % 64);
+    if ((dead_mask_ & bit) != 0) {
+      return;
+    }
+    dead_mask_ |= bit;
+  }
+  MP_LOG(Info) << "FaultyTransport: peer " << peer << " declared dead";
+  NotifyPeerDown(peer);
+}
+
+bool FaultyTransport::peer_dead(HostId peer) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return (dead_mask_ & (1ULL << (peer % 64))) != 0;
+}
+
+void FaultyTransport::DropSends(HostId to, MsgType type, uint32_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  send_drops_.push_back({to, static_cast<uint8_t>(type), count, 0});
+}
+
+void FaultyTransport::DropReceives(HostId from, MsgType type, uint32_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recv_drops_.push_back({from, static_cast<uint8_t>(type), count, 0});
+}
+
+void FaultyTransport::DelaySends(HostId to, MsgType type, uint64_t us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = send_delays_.begin(); it != send_delays_.end();) {
+    if (it->host == to && it->type == static_cast<uint8_t>(type)) {
+      it = send_delays_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (us > 0) {
+    send_delays_.push_back({to, static_cast<uint8_t>(type), 0, us});
+  }
+}
+
+uint64_t FaultyTransport::sends_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sends_dropped_;
+}
+
+uint64_t FaultyTransport::receives_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return receives_dropped_;
+}
+
+Status FaultyTransport::Send(HostId to, MsgHeader h, const void* payload, size_t len) {
+  FailpointRegistry& fp = FailpointRegistry::Instance();
+  if (const auto dead = fp.Fire("net.peer.die"); dead.has_value()) {
+    KillPeer(static_cast<HostId>(*dead));
+  }
+  if (fp.Fire("net.send.err").has_value()) {
+    return Status::Unavailable("injected send error to host " + std::to_string(to));
+  }
+  uint64_t delay_us = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if ((dead_mask_ & (1ULL << (to % 64))) != 0) {
+      return Status::Unavailable("host " + std::to_string(to) + " is down (injected)");
+    }
+    for (Filter& f : send_drops_) {
+      if (f.remaining > 0 && Matches(f, to, h.type)) {
+        f.remaining--;
+        sends_dropped_++;
+        return Status::Ok();  // the message is "on the wire" — and lost
+      }
+    }
+    for (const Filter& f : send_delays_) {
+      if (Matches(f, to, h.type)) {
+        delay_us = f.delay_us;
+        break;
+      }
+    }
+  }
+  if (fp.Fire("net.send.drop").has_value()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sends_dropped_++;
+    return Status::Ok();
+  }
+  fp.Fire("net.send.delay");  // delay(us) applied in place by the registry
+  if (delay_us > 0) {
+    ::usleep(static_cast<useconds_t>(delay_us));
+  }
+  return inner_->Send(to, h, payload, len);
+}
+
+bool FaultyTransport::ConsumeReceiveDrop(const MsgHeader& h) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if ((dead_mask_ & (1ULL << (h.from % 64))) != 0) {
+    receives_dropped_++;
+    return true;  // a dead peer's in-flight traffic never arrives
+  }
+  for (Filter& f : recv_drops_) {
+    if (f.remaining > 0 && Matches(f, h.from, h.type)) {
+      f.remaining--;
+      receives_dropped_++;
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<bool> FaultyTransport::Poll(HostId me, MsgHeader* h, const PayloadSink& sink,
+                                   uint64_t timeout_us) {
+  if (FailpointRegistry::Instance().Fire("net.poll.eintr").has_value()) {
+    return false;  // spurious wakeup: the caller's poll loop retries
+  }
+  // Drop decisions must be made where the payload destination is chosen: a
+  // discarded data message is received into scratch so (a) the inner stream
+  // stays framed and (b) the real sink's memory is never touched.
+  bool dropped = false;
+  std::vector<std::byte> scratch;
+  const PayloadSink wrapped = [&](const MsgHeader& hdr) -> std::byte* {
+    if (ConsumeReceiveDrop(hdr)) {
+      dropped = true;
+      scratch.resize(hdr.pgsize);
+      return scratch.data();
+    }
+    return sink(hdr);
+  };
+  Result<bool> got = inner_->Poll(me, h, wrapped, timeout_us);
+  if (!got.ok() || !*got) {
+    return got;
+  }
+  // Header-only messages never reach the sink; apply the filter here. The
+  // two call sites are exclusive, so each message is charged exactly once.
+  if (!dropped && !h->has_payload() && ConsumeReceiveDrop(*h)) {
+    dropped = true;
+  }
+  if (dropped) {
+    return false;  // as if nothing arrived; the caller polls again
+  }
+  return true;
+}
+
+}  // namespace millipage

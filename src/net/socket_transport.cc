@@ -6,7 +6,9 @@
 
 #include <cstring>
 
+#include "src/common/failpoint.h"
 #include "src/common/logging.h"
+#include "src/common/time_util.h"
 
 namespace millipage {
 
@@ -31,12 +33,17 @@ Status RecvDatagram(int fd, void* buf, size_t len) {
       if (errno == EINTR) {
         continue;
       }
+      if (errno == ECONNRESET) {
+        // A reset mid-stream is the same liveness event as EOF: the peer is
+        // gone. Surface it on the same path so the connection is retired.
+        return Status::Unavailable("recv: peer host reset the connection");
+      }
       return Status::Errno("recv");
     }
     if (n == 0) {
       // SEQPACKET EOF: the peer process died or closed its end. Surface it
       // so surviving hosts fail fast instead of hanging at the next barrier.
-      return Status(StatusCode::kUnavailable, "peer host closed its connection");
+      return Status::Unavailable("peer host closed its connection");
     }
     if (static_cast<size_t>(n) != len) {
       return Status::Internal("recv: short/oversized datagram (" + std::to_string(n) +
@@ -46,12 +53,17 @@ Status RecvDatagram(int fd, void* buf, size_t len) {
   }
 }
 
+// MSG_NOSIGNAL: a send to a dead peer must return EPIPE, not kill the whole
+// process with SIGPIPE — the caller turns it into a peer-down event.
 Status SendDatagram(int fd, const void* buf, size_t len) {
   for (;;) {
-    const ssize_t n = ::send(fd, buf, len, 0);
+    const ssize_t n = ::send(fd, buf, len, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) {
         continue;
+      }
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return Status::Unavailable("send: peer host closed its connection");
       }
       return Status::Errno("send");
     }
@@ -132,18 +144,22 @@ SocketTransport::SocketTransport(HostId me, std::vector<int> fds_by_peer)
   }
 }
 
-void SocketTransport::ClosePeer(int fd) {
+int SocketTransport::ClosePeer(int fd) {
   for (size_t j = 0; j < fds_.size(); ++j) {
     if (fds_[j] == fd) {
+      // Take the peer's send lock so an application thread mid-Send never
+      // races the close and writes into a recycled descriptor.
+      std::lock_guard<std::mutex> lock(*send_mu_[j]);
       ::close(fd);
       fds_[j] = -1;
-      return;
+      return static_cast<int>(j);
     }
   }
   if (self_recv_fd_ == fd) {
     ::close(fd);
     self_recv_fd_ = -1;
   }
+  return -1;
 }
 
 SocketTransport::~SocketTransport() {
@@ -158,7 +174,7 @@ SocketTransport::~SocketTransport() {
 }
 
 Status SocketTransport::Send(HostId to, MsgHeader h, const void* payload, size_t len) {
-  if (to >= fds_.size() || fds_[to] < 0) {
+  if (to >= fds_.size()) {
     return Status::Invalid("SocketTransport::Send: bad destination host");
   }
   if (payload != nullptr && len > 0) {
@@ -166,9 +182,25 @@ Status SocketTransport::Send(HostId to, MsgHeader h, const void* payload, size_t
     h.pgsize = static_cast<uint32_t>(len);
   }
   std::lock_guard<std::mutex> lock(*send_mu_[to]);
-  MP_RETURN_IF_ERROR(SendDatagram(fds_[to], &h, sizeof(h)));
+  const int fd = fds_[to];
+  if (fd < 0) {
+    return Status::Unavailable("SocketTransport::Send: connection to host " +
+                               std::to_string(to) + " is gone");
+  }
+  MP_RETURN_IF_ERROR(SendDatagram(fd, &h, sizeof(h)));
   if (h.has_payload()) {
-    MP_RETURN_IF_ERROR(SendDatagram(fds_[to], payload, len));
+    const Status payload_st =
+        FailpointRegistry::Instance().Fire("socket.send.payload_err").has_value()
+            ? Status::Unavailable("injected payload send failure")
+            : SendDatagram(fd, payload, len);
+    if (!payload_st.ok()) {
+      // The header datagram went out without its payload, so the stream is
+      // desynchronized: the peer would misparse the next header as payload.
+      // Shut the connection down so the peer sees EOF (a clean peer-down
+      // event) instead of garbage. The poller retires the fd on our side.
+      ::shutdown(fd, SHUT_RDWR);
+      return payload_st;
+    }
   }
   CountSend(h.has_payload() ? len : 0);
   return Status::Ok();
@@ -191,41 +223,77 @@ Result<bool> SocketTransport::Poll(HostId me, MsgHeader* h, const PayloadSink& s
     }
   }
   rotation_++;
-  const int timeout_ms =
-      timeout_us == 0 ? 0 : static_cast<int>((timeout_us + 999) / 1000);
-  const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
-  if (ready < 0) {
-    if (errno == EINTR) {
-      return false;
+  if (pfds.empty()) {
+    return false;
+  }
+  // Interrupted waits resume with the *remaining* budget, not the full one:
+  // restarting from scratch would let a signal storm extend the wait without
+  // bound (and with it every caller-side liveness deadline).
+  const uint64_t deadline_ns =
+      timeout_us == 0 ? 0 : MonotonicNowNs() + timeout_us * 1000;
+  int ready;
+  for (;;) {
+    int timeout_ms = 0;
+    if (timeout_us != 0) {
+      const uint64_t now = MonotonicNowNs();
+      const uint64_t remaining_ns = deadline_ns > now ? deadline_ns - now : 0;
+      timeout_ms = static_cast<int>((remaining_ns + 999999) / 1000000);
     }
-    return Status::Errno("poll");
+    const bool fake_eintr =
+        FailpointRegistry::Instance().Fire("socket.poll.eintr").has_value();
+    ready = fake_eintr ? -1 : ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (ready >= 0) {
+      break;
+    }
+    if (!fake_eintr && errno != EINTR) {
+      return Status::Errno("poll");
+    }
+    if (timeout_us != 0 && MonotonicNowNs() >= deadline_ns) {
+      ready = 0;
+      break;
+    }
   }
   if (ready == 0) {
     return false;
   }
   for (size_t i = 0; i < pfds.size(); ++i) {
-    if ((pfds[i].revents & POLLIN) == 0) {
+    // POLLHUP/POLLERR without POLLIN still means "read me": the recv returns
+    // the EOF/reset that retires the connection.
+    if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
       continue;
     }
     const int fd = pfds[i].fd;
+    // EOF/reset — at a header boundary or mid-message (a sender that failed
+    // between header and payload shuts the stream down) — retires the
+    // connection and raises the peer-down event; the DSM layer decides
+    // whether this is a normal teardown (final barrier passed) or a mid-run
+    // failure.
+    const auto retire_peer = [this, fd] {
+      const int peer = ClosePeer(fd);
+      if (peer >= 0 && peer != static_cast<int>(me_)) {
+        NotifyPeerDown(static_cast<HostId>(peer));
+      }
+    };
     const Status header_st = RecvDatagram(fd, h, sizeof(*h));
     if (header_st.code() == StatusCode::kUnavailable) {
-      // Peer exited and closed its end (normal at teardown: hosts leave the
-      // final barrier at different times). Retire the connection; if the
-      // peer died prematurely, the deployment's watchdog reports it.
-      ClosePeer(fd);
+      retire_peer();
       return false;
     }
     MP_RETURN_IF_ERROR(header_st);
     if (h->has_payload()) {
       std::byte* dst = sink(*h);
-      if (dst != nullptr) {
-        // FIFO per connection: the payload datagram is next on this fd.
-        MP_RETURN_IF_ERROR(RecvDatagram(fd, dst, h->pgsize));
-      } else {
-        std::vector<std::byte> scratch(h->pgsize);
-        MP_RETURN_IF_ERROR(RecvDatagram(fd, scratch.data(), scratch.size()));
+      std::vector<std::byte> scratch;
+      if (dst == nullptr) {
+        scratch.resize(h->pgsize);
+        dst = scratch.data();
       }
+      // FIFO per connection: the payload datagram is next on this fd.
+      const Status payload_st = RecvDatagram(fd, dst, h->pgsize);
+      if (payload_st.code() == StatusCode::kUnavailable) {
+        retire_peer();
+        return false;
+      }
+      MP_RETURN_IF_ERROR(payload_st);
     }
     return true;
   }

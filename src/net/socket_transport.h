@@ -58,8 +58,9 @@ class SocketTransport : public Transport {
   uint16_t num_hosts() const override { return static_cast<uint16_t>(fds_.size()); }
 
  private:
-  // Retires a connection whose peer has gone away.
-  void ClosePeer(int fd);
+  // Retires a connection whose peer has gone away. Returns the peer index
+  // the fd belonged to, or -1 for the self-loop.
+  int ClosePeer(int fd);
 
   HostId me_;
   std::vector<int> fds_;  // fds_[me_] is the send end of the self-loop

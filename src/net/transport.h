@@ -13,6 +13,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <mutex>
+#include <utility>
 
 #include "src/common/status.h"
 #include "src/net/message.h"
@@ -40,6 +42,18 @@ class Transport {
 
   virtual uint16_t num_hosts() const = 0;
 
+  // Liveness: invoked (from whichever thread detects it, typically the
+  // poller) when the transport discovers that `peer` is unreachable — its
+  // connection saw EOF/reset, or a fault injector declared it dead. One
+  // handler per transport object; register before traffic starts. The
+  // shared InProcTransport never detects peer death itself (threads in one
+  // process don't vanish); only decorators raise the event there.
+  using PeerDownHandler = std::function<void(HostId peer)>;
+  virtual void SetPeerDownHandler(PeerDownHandler handler) {
+    std::lock_guard<std::mutex> lock(peer_down_mu_);
+    peer_down_ = std::move(handler);
+  }
+
   uint64_t messages_sent() const { return messages_sent_.load(std::memory_order_relaxed); }
   uint64_t bytes_sent() const { return bytes_sent_.load(std::memory_order_relaxed); }
 
@@ -49,9 +63,22 @@ class Transport {
     bytes_sent_.fetch_add(sizeof(MsgHeader) + payload_len, std::memory_order_relaxed);
   }
 
+  void NotifyPeerDown(HostId peer) {
+    PeerDownHandler handler;
+    {
+      std::lock_guard<std::mutex> lock(peer_down_mu_);
+      handler = peer_down_;
+    }
+    if (handler) {
+      handler(peer);
+    }
+  }
+
  private:
   std::atomic<uint64_t> messages_sent_{0};
   std::atomic<uint64_t> bytes_sent_{0};
+  std::mutex peer_down_mu_;
+  PeerDownHandler peer_down_;
 };
 
 }  // namespace millipage

@@ -4,10 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <thread>
 
+#include "src/common/failpoint.h"
 #include "src/common/logging.h"
+#include "src/common/time_util.h"
+#include "src/net/faulty_transport.h"
 #include "src/net/inproc_transport.h"
 #include "src/net/message.h"
 #include "src/net/socket_transport.h"
@@ -195,6 +199,126 @@ TEST(SocketTransportTest, DroppedPayloadIsDrained) {
   ASSERT_TRUE(polled.ok() && *polled);
   EXPECT_EQ(got.seq, 2u);
   EXPECT_FALSE(got.has_payload());
+}
+
+// A header that goes out without its payload would desynchronize the
+// SEQPACKET stream (the peer would parse the next header as payload). The
+// sender must instead shut the connection down so the peer sees a clean EOF
+// — a peer-down event, not garbage.
+TEST(SocketTransportTest, PayloadSendFailureClosesConnection) {
+  auto mesh = SocketMesh::Create(2);
+  ASSERT_TRUE(mesh.ok());
+  std::vector<int> row0 = std::move(mesh->fds[0]);
+  std::vector<int> row1 = std::move(mesh->fds[1]);
+  mesh->fds.clear();
+  SocketTransport t0(0, std::move(row0));
+  SocketTransport t1(1, std::move(row1));
+
+  std::atomic<int> peer_down{-1};
+  t1.SetPeerDownHandler([&peer_down](HostId peer) { peer_down.store(peer); });
+
+  char payload[128] = {5, 6, 7};
+  MsgHeader h;
+  h.set_type(MsgType::kReadReply);
+  {
+    FailpointAction inject;
+    inject.kind = FailpointAction::Kind::kReturn;
+    inject.max_hits = 1;
+    FailpointScope scope("socket.send.payload_err", inject);
+    const Status st = t0.Send(1, h, payload, sizeof(payload));
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  }
+  // The receiver drains the orphaned header, hits EOF, and reports host 0
+  // down instead of misparsing the stream.
+  MsgHeader got;
+  for (int i = 0; i < 10 && peer_down.load() < 0; ++i) {
+    auto polled =
+        t1.Poll(1, &got, [](const MsgHeader&) -> std::byte* { return nullptr; }, 100000);
+    ASSERT_TRUE(polled.ok()) << polled.status().ToString();
+  }
+  EXPECT_EQ(peer_down.load(), 0);
+  // The sender's side is shut down too: further sends fail, not hang.
+  EXPECT_FALSE(t0.Send(1, h, payload, sizeof(payload)).ok());
+}
+
+// An EINTR storm must not restart the poll budget from scratch each time:
+// the wait resumes with the remaining time, so the caller's deadline holds.
+TEST(SocketTransportTest, PollEintrStormKeepsDeadline) {
+  auto mesh = SocketMesh::Create(2);
+  ASSERT_TRUE(mesh.ok());
+  std::vector<int> row1 = std::move(mesh->fds[1]);
+  std::vector<int> row0 = std::move(mesh->fds[0]);
+  mesh->fds.clear();
+  SocketTransport t0(0, std::move(row0));
+  SocketTransport t1(1, std::move(row1));
+
+  FailpointAction inject;
+  inject.kind = FailpointAction::Kind::kReturn;
+  inject.max_hits = 50;  // 50 consecutive interrupted waits
+  FailpointScope scope("socket.poll.eintr", inject);
+  MsgHeader got;
+  const uint64_t t_start = MonotonicNowNs();
+  auto polled =
+      t1.Poll(1, &got, [](const MsgHeader&) -> std::byte* { return nullptr; }, 100000);
+  const uint64_t elapsed_ms = (MonotonicNowNs() - t_start) / 1000000;
+  ASSERT_TRUE(polled.ok()) << polled.status().ToString();
+  EXPECT_FALSE(*polled);
+  // 100 ms budget; a restart-per-EINTR bug would take ~50x that.
+  EXPECT_LT(elapsed_ms, 2000u);
+}
+
+TEST(FaultyTransportTest, DropAndDelayFilters) {
+  InProcTransport inner(2);
+  FaultyTransport faulty(&inner);
+
+  MsgHeader h;
+  h.set_type(MsgType::kAck);
+  // First matching send is dropped silently; the second goes through.
+  faulty.DropSends(1, MsgType::kAck, 1);
+  ASSERT_TRUE(faulty.Send(1, h, nullptr, 0).ok());
+  ASSERT_TRUE(faulty.Send(1, h, nullptr, 0).ok());
+  EXPECT_EQ(faulty.sends_dropped(), 1u);
+  MsgHeader got;
+  auto polled =
+      inner.Poll(1, &got, [](const MsgHeader&) -> std::byte* { return nullptr; }, 100000);
+  ASSERT_TRUE(polled.ok() && *polled);
+  polled = inner.Poll(1, &got, [](const MsgHeader&) -> std::byte* { return nullptr; }, 0);
+  ASSERT_TRUE(polled.ok());
+  EXPECT_FALSE(*polled) << "dropped message leaked through";
+
+  // Inbound drop: the message vanishes between the wire and the caller.
+  faulty.DropReceives(kAnyHost, MsgType::kAck, 1);
+  ASSERT_TRUE(inner.Send(0, h, nullptr, 0).ok());
+  polled = faulty.Poll(0, &got, [](const MsgHeader&) -> std::byte* { return nullptr; }, 0);
+  ASSERT_TRUE(polled.ok());
+  EXPECT_FALSE(*polled);
+  EXPECT_EQ(faulty.receives_dropped(), 1u);
+}
+
+TEST(FaultyTransportTest, KilledPeerFailsSendsAndRaisesPeerDown) {
+  InProcTransport inner(2);
+  FaultyTransport faulty(&inner);
+  std::atomic<int> peer_down{-1};
+  faulty.SetPeerDownHandler([&peer_down](HostId peer) { peer_down.store(peer); });
+
+  faulty.KillPeer(1);
+  EXPECT_TRUE(faulty.peer_dead(1));
+  EXPECT_EQ(peer_down.load(), 1);
+  MsgHeader h;
+  h.set_type(MsgType::kAck);
+  const Status st = faulty.Send(1, h, nullptr, 0);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  // In-flight traffic from the dead peer is discarded on receive.
+  h.from = 1;
+  ASSERT_TRUE(inner.Send(0, h, nullptr, 0).ok());
+  MsgHeader got;
+  auto polled =
+      faulty.Poll(0, &got, [](const MsgHeader&) -> std::byte* { return nullptr; }, 0);
+  ASSERT_TRUE(polled.ok());
+  EXPECT_FALSE(*polled) << "dead peer's message leaked through";
+  EXPECT_EQ(faulty.receives_dropped(), 1u);
 }
 
 }  // namespace

@@ -4,11 +4,26 @@
 
 #include <gtest/gtest.h>
 
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "src/common/time_util.h"
 #include "src/dsm/global_ptr.h"
 #include "src/dsm/process_cluster.h"
 
 namespace millipage {
 namespace {
+
+// After RunForkedCluster returns, every child must be reaped: a further wait
+// on any child must come back ECHILD (no zombies left behind).
+void ExpectNoZombies() {
+  int wstatus = 0;
+  errno = 0;
+  const pid_t r = ::waitpid(-1, &wstatus, WNOHANG);
+  EXPECT_EQ(r, -1);
+  EXPECT_EQ(errno, ECHILD);
+}
 
 TEST(ProcessCluster, CrossProcessReadAndWrite) {
   DsmConfig cfg;
@@ -103,6 +118,65 @@ TEST(ProcessCluster, ChildFailureIsReported) {
                      // final-barrier convention; host 1's exit breaks it
   });
   EXPECT_FALSE(st.ok());
+  ExpectNoZombies();
+}
+
+TEST(ProcessCluster, NonZeroExitIsRecordedInOutcomes) {
+  DsmConfig cfg;
+  cfg.num_hosts = 2;
+  cfg.object_size = 1 << 20;
+  cfg.sync_timeout_ms = 3000;  // host 0's doomed final barrier fails promptly
+  const uint64_t t0 = MonotonicNowNs();
+  std::vector<HostOutcome> outcomes;
+  const Status st = RunForkedCluster(
+      cfg,
+      [](DsmNode&, HostId host) {
+        if (host == 1) {
+          _exit(7);
+        }
+      },
+      /*timeout_ms=*/60000, &outcomes);
+  const uint64_t elapsed_ms = (MonotonicNowNs() - t0) / 1000000;
+  EXPECT_FALSE(st.ok());
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_TRUE(outcomes[1].exited);
+  EXPECT_FALSE(outcomes[1].signaled);
+  EXPECT_EQ(outcomes[1].exit_code, 7);
+  // Host 0 noticed the dead peer at the final barrier and exited on its own.
+  EXPECT_TRUE(outcomes[0].exited);
+  EXPECT_FALSE(outcomes[0].swept);
+  EXPECT_EQ(outcomes[0].exit_code, kLivenessExitCode);
+  EXPECT_LT(elapsed_ms, 10000u);
+  ExpectNoZombies();
+}
+
+TEST(ProcessCluster, ChildKilledBySignalIsRecorded) {
+  DsmConfig cfg;
+  cfg.num_hosts = 3;
+  cfg.object_size = 1 << 20;
+  cfg.sync_timeout_ms = 3000;
+  const uint64_t t0 = MonotonicNowNs();
+  std::vector<HostOutcome> outcomes;
+  const Status st = RunForkedCluster(
+      cfg,
+      [](DsmNode&, HostId host) {
+        if (host == 2) {
+          ::raise(SIGKILL);  // hard crash, no cleanup of any kind
+        }
+      },
+      /*timeout_ms=*/60000, &outcomes);
+  const uint64_t elapsed_ms = (MonotonicNowNs() - t0) / 1000000;
+  EXPECT_FALSE(st.ok());
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_TRUE(outcomes[2].signaled);
+  EXPECT_EQ(outcomes[2].term_signal, SIGKILL);
+  for (int h = 0; h < 2; ++h) {
+    EXPECT_TRUE(outcomes[h].exited) << "host " << h;
+    EXPECT_FALSE(outcomes[h].signaled) << "host " << h;
+    EXPECT_EQ(outcomes[h].exit_code, kLivenessExitCode) << "host " << h;
+  }
+  EXPECT_LT(elapsed_ms, 10000u);
+  ExpectNoZombies();
 }
 
 }  // namespace
