@@ -1,0 +1,185 @@
+#include "src/check/history_checker.h"
+
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+
+#include "src/os/protection.h"
+
+namespace millipage {
+
+namespace {
+
+CheckReport Violation(size_t index, std::string message) {
+  CheckReport r;
+  r.ok = false;
+  r.violating_index = index;
+  r.message = std::move(message);
+  return r;
+}
+
+std::string HostList(uint64_t mask) {
+  std::string s;
+  for (uint16_t h = 0; h < 64; ++h) {
+    if ((mask & (1ULL << h)) != 0) {
+      if (!s.empty()) {
+        s += ",";
+      }
+      s += "h" + std::to_string(h);
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string CheckReport::FormatViolation(const std::vector<TraceEvent>& history) const {
+  if (ok) {
+    return "";
+  }
+  std::string out = "invariant violation: " + message + "\n";
+  out += "minimal violating history (" + std::to_string(violating_index + 1) +
+         " events):\n";
+  const std::vector<TraceEvent> prefix(history.begin(),
+                                       history.begin() + violating_index + 1);
+  out += FormatTraceHistory(prefix);
+  return out;
+}
+
+CheckReport CheckSwmr(const std::vector<TraceEvent>& history, uint16_t num_hosts) {
+  // Per minipage: bitmask of hosts holding ReadOnly / ReadWrite copies,
+  // replayed from the kProtSet stream.
+  std::unordered_map<uint32_t, uint64_t> readers;
+  std::unordered_map<uint32_t, uint64_t> writers;
+  for (size_t i = 0; i < history.size(); ++i) {
+    const TraceEvent& e = history[i];
+    if (e.kind != TraceEventKind::kProtSet) {
+      continue;
+    }
+    if (e.host >= num_hosts) {
+      return Violation(i, "kProtSet from out-of-range host " + std::to_string(e.host));
+    }
+    const uint64_t bit = 1ULL << e.host;
+    uint64_t& rd = readers[e.minipage];
+    uint64_t& wr = writers[e.minipage];
+    rd &= ~bit;
+    wr &= ~bit;
+    switch (static_cast<Protection>(e.arg1)) {
+      case Protection::kNoAccess:
+        break;
+      case Protection::kReadOnly:
+        rd |= bit;
+        break;
+      case Protection::kReadWrite:
+        wr |= bit;
+        break;
+      default:
+        return Violation(i, "kProtSet with unknown protection value " +
+                                std::to_string(e.arg1));
+    }
+    if (__builtin_popcountll(wr) > 1) {
+      return Violation(i, "SWMR: minipage " + std::to_string(e.minipage) +
+                              " writable on multiple hosts {" + HostList(wr) + "}");
+    }
+    if (wr != 0 && rd != 0) {
+      return Violation(i, "SWMR: minipage " + std::to_string(e.minipage) +
+                              " writable on {" + HostList(wr) +
+                              "} while read copies survive on {" + HostList(rd) +
+                              "} (reader not invalidated before write grant)");
+    }
+  }
+  return CheckReport{};
+}
+
+CheckReport CheckBarrierEpochs(const std::vector<TraceEvent>& history,
+                               uint16_t num_hosts) {
+  std::vector<uint64_t> next_gen(num_hosts, 0);
+  for (size_t i = 0; i < history.size(); ++i) {
+    const TraceEvent& e = history[i];
+    if (e.kind != TraceEventKind::kBarrierRelease) {
+      continue;
+    }
+    if (e.host >= num_hosts) {
+      return Violation(i, "barrier release on out-of-range host " +
+                              std::to_string(e.host));
+    }
+    if (e.arg1 != next_gen[e.host]) {
+      return Violation(i, "barrier epoch not monotonic on host " +
+                              std::to_string(e.host) + ": observed generation " +
+                              std::to_string(e.arg1) + ", expected " +
+                              std::to_string(next_gen[e.host]));
+    }
+    next_gen[e.host]++;
+  }
+  return CheckReport{};
+}
+
+CheckReport CheckLockExclusivity(const std::vector<TraceEvent>& history) {
+  // lock id -> holder (or no entry when free).
+  std::map<uint32_t, uint64_t> held;
+  for (size_t i = 0; i < history.size(); ++i) {
+    const TraceEvent& e = history[i];
+    if (e.kind == TraceEventKind::kLockGrant) {
+      auto [it, inserted] = held.emplace(e.minipage, e.arg1);
+      if (!inserted) {
+        return Violation(i, "lock " + std::to_string(e.minipage) +
+                                " granted to host " + std::to_string(e.arg1) +
+                                " while held by host " + std::to_string(it->second));
+      }
+    } else if (e.kind == TraceEventKind::kLockRelease) {
+      auto it = held.find(e.minipage);
+      if (it == held.end()) {
+        return Violation(i, "lock " + std::to_string(e.minipage) +
+                                " released while free");
+      }
+      if (it->second != e.arg1) {
+        return Violation(i, "lock " + std::to_string(e.minipage) +
+                                " released by host " + std::to_string(e.arg1) +
+                                " but held by host " + std::to_string(it->second));
+      }
+      held.erase(it);
+    }
+  }
+  return CheckReport{};
+}
+
+CheckReport CheckCoherenceOracle(const std::vector<TraceEvent>& history) {
+  std::unordered_map<uint64_t, uint64_t> memory;  // packed addr -> last written value
+  for (size_t i = 0; i < history.size(); ++i) {
+    const TraceEvent& e = history[i];
+    if (e.kind == TraceEventKind::kAppWrite) {
+      memory[e.addr] = e.arg1;
+    } else if (e.kind == TraceEventKind::kAppRead) {
+      const auto it = memory.find(e.addr);
+      const uint64_t expected = it == memory.end() ? 0 : it->second;
+      if (e.arg1 != expected) {
+        char buf[160];
+        snprintf(buf, sizeof(buf),
+                 "coherence: host %u read %llx at addr %llx, but the latest write "
+                 "there was %llx (stale copy served)",
+                 e.host, (unsigned long long)e.arg1, (unsigned long long)e.addr,
+                 (unsigned long long)expected);
+        return Violation(i, buf);
+      }
+    }
+  }
+  return CheckReport{};
+}
+
+CheckReport CheckHistory(const std::vector<TraceEvent>& history, uint16_t num_hosts) {
+  CheckReport r = CheckSwmr(history, num_hosts);
+  if (!r.ok) {
+    return r;
+  }
+  r = CheckBarrierEpochs(history, num_hosts);
+  if (!r.ok) {
+    return r;
+  }
+  r = CheckLockExclusivity(history);
+  if (!r.ok) {
+    return r;
+  }
+  return CheckCoherenceOracle(history);
+}
+
+}  // namespace millipage

@@ -1,0 +1,51 @@
+// Offline invariant checker for recorded protocol histories (src/common/
+// trace.h). Given the totally-ordered event stream of a run, it verifies:
+//
+//   * SWMR — at every point, each minipage has at most one host holding a
+//     ReadWrite copy, and a ReadWrite holder excludes every ReadOnly holder
+//     (readers must be invalidated before a write is granted);
+//   * barrier epochs — every host observes barrier generations 0, 1, 2, ...
+//     with no skip, repeat, or reordering;
+//   * lock exclusivity — a lock is granted only when free, and released only
+//     by its holder;
+//   * strict coherence — replayed against a memory oracle: because the
+//     deterministic harness serializes application accesses globally, every
+//     kAppRead must return the value of the latest kAppWrite to that address
+//     in history order (0 before any write). For an invalidation-based SWMR
+//     protocol this is the sequential-consistency witness for the run.
+//
+// On violation the report carries the index of the offending event, so the
+// caller can print the minimal violating prefix of the history.
+
+#ifndef SRC_CHECK_HISTORY_CHECKER_H_
+#define SRC_CHECK_HISTORY_CHECKER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/trace.h"
+
+namespace millipage {
+
+struct CheckReport {
+  bool ok = true;
+  size_t violating_index = 0;  // index into the history when !ok
+  std::string message;
+
+  // The minimal violating prefix, formatted for humans (empty when ok).
+  std::string FormatViolation(const std::vector<TraceEvent>& history) const;
+};
+
+// Runs every invariant over `history`; returns the first violation found.
+CheckReport CheckHistory(const std::vector<TraceEvent>& history, uint16_t num_hosts);
+
+// Individual invariants (exposed for targeted tests).
+CheckReport CheckSwmr(const std::vector<TraceEvent>& history, uint16_t num_hosts);
+CheckReport CheckBarrierEpochs(const std::vector<TraceEvent>& history, uint16_t num_hosts);
+CheckReport CheckLockExclusivity(const std::vector<TraceEvent>& history);
+CheckReport CheckCoherenceOracle(const std::vector<TraceEvent>& history);
+
+}  // namespace millipage
+
+#endif  // SRC_CHECK_HISTORY_CHECKER_H_

@@ -1,0 +1,402 @@
+#include "src/check/sim_harness.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/dsm/node.h"
+#include "src/net/sim_transport.h"
+#include "src/os/fault_handler.h"
+
+namespace millipage {
+
+namespace {
+
+class SimRun {
+ public:
+  SimRun(uint64_t seed, const SimWorkload& w, std::vector<std::vector<SimOp>> script)
+      : seed_(seed), workload_(w), script_(std::move(script)) {}
+
+  SimResult Run();
+
+ private:
+  struct Worker {
+    enum class State { kStartup, kIdle, kRunning, kDone, kFailed };
+
+    std::thread thread;
+    uint32_t next_op = 0;  // worker-thread only
+
+    std::mutex mu;
+    std::condition_variable cv;
+    State state = State::kStartup;
+    bool launch = false;
+    bool exit_now = false;
+    uint32_t slot = 0;  // wait slot, fixed once state leaves kStartup
+    Status failure;
+  };
+
+  struct Region {
+    uintptr_t base = 0;
+    size_t len = 0;
+    DsmNode* node = nullptr;
+    uint32_t view = 0;
+  };
+
+  static bool FaultTrampoline(void* ctx, void* addr, bool is_write) {
+    return static_cast<SimRun*>(ctx)->DispatchFault(addr, is_write);
+  }
+
+  bool DispatchFault(void* addr, bool is_write) {
+    const auto a = reinterpret_cast<uintptr_t>(addr);
+    for (const Region& r : regions_) {
+      if (a >= r.base && a < r.base + r.len) {
+        return r.node->OnFault(r.view, a - r.base, is_write);
+      }
+    }
+    return false;  // not ours: fall through to the default handler
+  }
+
+  Status Setup();
+  void WorkerMain(uint16_t h);
+  bool ExecuteOp(uint16_t h, const SimOp& op, Status* failure);
+  void ReadCell(uint16_t h, uint32_t cell);
+  void WriteCell(uint16_t h, uint32_t cell);
+  // Blocks until worker h is in a stable state: idle/done/failed, or running
+  // but provably parked in a wait slot. Returns the observed state.
+  Worker::State AwaitStable(uint16_t h);
+  void Teardown();
+
+  const uint64_t seed_;
+  const SimWorkload workload_;
+  const std::vector<std::vector<SimOp>> script_;
+
+  TraceSink trace_;
+  std::unique_ptr<SimNet> net_;
+  std::vector<std::unique_ptr<DsmNode>> nodes_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<Region> regions_;
+  int fault_slot_ = -1;
+
+  // Written by the host-0 worker during kAlloc, read by every worker after
+  // the first barrier (the barrier's semaphores order the accesses).
+  std::vector<GlobalAddr> cell_addr_;
+  std::vector<uint64_t> write_seq_;  // per host, worker-thread only
+};
+
+Status SimRun::Setup() {
+  MP_CHECK(script_.size() == workload_.hosts) << "one script per host required";
+  DsmConfig config;
+  config.num_hosts = workload_.hosts;
+  config.object_size = 1 << 20;
+  config.num_views = std::max<uint32_t>(8, workload_.cells);
+  // Wall-clock deadlines are the one nondeterministic input the harness
+  // cannot schedule; disable them. Deadlocks are caught by the driver
+  // instead (no deliverable message, every worker parked).
+  config.request_timeout_ms = 0;
+  config.sync_timeout_ms = 0;
+  config.trace = &trace_;
+
+  net_ = std::make_unique<SimNet>(workload_.hosts, seed_);
+  nodes_.reserve(workload_.hosts);
+  for (uint16_t h = 0; h < workload_.hosts; ++h) {
+    MP_ASSIGN_OR_RETURN(std::unique_ptr<DsmNode> node,
+                        DsmNode::Create(config, h, net_->endpoint(h)));
+    nodes_.push_back(std::move(node));
+  }
+  for (auto& node : nodes_) {
+    ViewSet& vs = node->views();
+    for (uint32_t v = 0; v < vs.num_app_views(); ++v) {
+      regions_.push_back(Region{reinterpret_cast<uintptr_t>(vs.app_base(v)),
+                                vs.object_size(), node.get(), v});
+    }
+  }
+  MP_RETURN_IF_ERROR(FaultHandler::Instance().Install());
+  fault_slot_ = FaultHandler::Instance().Register(&FaultTrampoline, this);
+  if (fault_slot_ < 0) {
+    return Status::Exhausted("no free fault-handler slots");
+  }
+
+  cell_addr_.resize(workload_.cells);
+  write_seq_.assign(workload_.hosts, 0);
+  workers_.reserve(workload_.hosts);
+  for (uint16_t h = 0; h < workload_.hosts; ++h) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (uint16_t h = 0; h < workload_.hosts; ++h) {
+    workers_[h]->thread = std::thread([this, h] { WorkerMain(h); });
+  }
+  return Status::Ok();
+}
+
+void SimRun::WorkerMain(uint16_t h) {
+  Worker& w = *workers_[h];
+  const uint32_t slot = nodes_[h]->ThreadSlot();
+  {
+    std::lock_guard<std::mutex> lock(w.mu);
+    w.slot = slot;
+    w.state = script_[h].empty() ? Worker::State::kDone : Worker::State::kIdle;
+    w.cv.notify_all();
+  }
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(w.mu);
+      w.cv.wait(lock, [&w] { return w.launch || w.exit_now; });
+      if (w.exit_now) {
+        return;
+      }
+      // The driver already moved state to kRunning when it issued the
+      // launch, so it can never see a stale kIdle and double-launch.
+      w.launch = false;
+    }
+    const SimOp& op = script_[h][w.next_op];
+    Status failure;
+    const bool ok = ExecuteOp(h, op, &failure);
+    w.next_op++;
+    std::lock_guard<std::mutex> lock(w.mu);
+    if (!ok) {
+      w.failure = failure;
+      w.state = Worker::State::kFailed;
+      w.cv.notify_all();
+      return;
+    }
+    w.state = w.next_op == script_[h].size() ? Worker::State::kDone : Worker::State::kIdle;
+    w.cv.notify_all();
+    if (w.state == Worker::State::kDone) {
+      return;
+    }
+  }
+}
+
+bool SimRun::ExecuteOp(uint16_t h, const SimOp& op, Status* failure) {
+  DsmNode& node = *nodes_[h];
+  switch (op.kind) {
+    case SimOpKind::kAlloc:
+      for (uint32_t c = 0; c < workload_.cells; ++c) {
+        Result<GlobalAddr> a = node.SharedMalloc(sizeof(uint64_t));
+        if (!a.ok()) {
+          *failure = a.status();
+          return false;
+        }
+        cell_addr_[c] = *a;
+        // One minipage per cell: close the aggregation chunk between cells.
+        node.CloseChunk();
+      }
+      return true;
+    case SimOpKind::kBarrier:
+      if (Status st = node.TryBarrier(); !st.ok()) {
+        *failure = st;
+        return false;
+      }
+      return true;
+    case SimOpKind::kRead:
+      ReadCell(h, op.cell);
+      return true;
+    case SimOpKind::kWrite:
+      WriteCell(h, op.cell);
+      return true;
+    case SimOpKind::kLockedRmw:
+      if (Status st = node.TryLock(op.cell); !st.ok()) {
+        *failure = st;
+        return false;
+      }
+      ReadCell(h, op.cell);
+      WriteCell(h, op.cell);
+      node.Unlock(op.cell);
+      return true;
+  }
+  return true;
+}
+
+void SimRun::ReadCell(uint16_t h, uint32_t cell) {
+  const GlobalAddr a = cell_addr_[cell];
+  auto* p = reinterpret_cast<volatile uint64_t*>(nodes_[h]->AppPtr(a));
+  const uint64_t v = *p;  // may fault into the protocol
+  trace_.Emit(TraceEventKind::kAppRead, h, ~0u, a.Pack(), v, cell);
+}
+
+void SimRun::WriteCell(uint16_t h, uint32_t cell) {
+  const GlobalAddr a = cell_addr_[cell];
+  // Unique nonzero values (host tag + per-host sequence) make the coherence
+  // oracle's "which write did this read observe" unambiguous.
+  const uint64_t v = (static_cast<uint64_t>(h + 1) << 32) | ++write_seq_[h];
+  auto* p = reinterpret_cast<volatile uint64_t*>(nodes_[h]->AppPtr(a));
+  *p = v;  // may fault into the protocol
+  trace_.Emit(TraceEventKind::kAppWrite, h, ~0u, a.Pack(), v, cell);
+}
+
+SimRun::Worker::State SimRun::AwaitStable(uint16_t h) {
+  Worker& w = *workers_[h];
+  for (;;) {
+    Worker::State st;
+    uint32_t slot;
+    {
+      std::lock_guard<std::mutex> lock(w.mu);
+      st = w.state;
+      slot = w.slot;
+    }
+    if (st != Worker::State::kRunning && st != Worker::State::kStartup) {
+      return st;
+    }
+    if (st == Worker::State::kRunning && nodes_[h]->WaiterBlocked(slot)) {
+      return Worker::State::kRunning;  // parked in a wait slot: stable
+    }
+    ::usleep(20);
+  }
+}
+
+SimResult SimRun::Run() {
+  SimResult res;
+  if (Status st = Setup(); !st.ok()) {
+    res.status = st;
+    Teardown();
+    return res;
+  }
+  // The driver's own choices (launch vs deliver, which host) draw from a
+  // stream independent of the fabric's latency draws.
+  Rng drv(seed_ * 0x9e3779b97f4a7c15ULL + 1);
+  constexpr uint64_t kMaxSteps = 2'000'000;
+  for (;;) {
+    std::vector<uint16_t> launchable;
+    size_t done = 0;
+    size_t parked = 0;
+    Status failure;
+    for (uint16_t h = 0; h < workload_.hosts; ++h) {
+      switch (AwaitStable(h)) {
+        case Worker::State::kIdle:
+          launchable.push_back(h);
+          break;
+        case Worker::State::kDone:
+          done++;
+          break;
+        case Worker::State::kRunning:
+          parked++;
+          break;
+        case Worker::State::kFailed:
+          if (failure.ok()) {
+            std::lock_guard<std::mutex> lock(workers_[h]->mu);
+            failure = workers_[h]->failure;
+          }
+          break;
+        case Worker::State::kStartup:
+          MP_LOG(Fatal) << "worker still starting after AwaitStable";
+          break;
+      }
+    }
+    if (!failure.ok()) {
+      res.status = failure;
+      break;
+    }
+    const bool deliverable = net_->pending() > 0;
+    const size_t n_candidates = launchable.size() + (deliverable ? 1 : 0);
+    if (n_candidates == 0) {
+      if (parked > 0) {
+        fprintf(stderr,
+                "[sim] DEADLOCK seed=%llu step=%llu: %zu worker(s) parked, no "
+                "deliverable message\n",
+                (unsigned long long)seed_, (unsigned long long)res.steps, parked);
+        for (auto& node : nodes_) {
+          fprintf(stderr, "[sim]   %s\n", node->LivenessReport().c_str());
+          node->AbortWaiters(Status::Unavailable("simulated schedule deadlocked"));
+        }
+        res.status = Status::Unavailable("deadlock: workers parked with no message");
+      }
+      break;  // done == hosts: success
+    }
+    if (res.steps >= kMaxSteps) {
+      res.status = Status::Exhausted("livelock: driver step budget exhausted");
+      for (auto& node : nodes_) {
+        node->AbortWaiters(Status::Exhausted("simulated schedule livelocked"));
+      }
+      break;
+    }
+    const size_t pick = n_candidates == 1 ? 0 : drv.Below(n_candidates);
+    if (pick < launchable.size()) {
+      Worker& w = *workers_[launchable[pick]];
+      std::lock_guard<std::mutex> lock(w.mu);
+      w.launch = true;
+      w.state = Worker::State::kRunning;
+      w.cv.notify_all();
+    } else {
+      HostId dst = 0;
+      MP_CHECK(net_->ScheduleNext(&dst));
+      nodes_[dst]->PumpOne();
+    }
+    res.steps++;
+  }
+  res.virtual_us = net_->now_us();
+  Teardown();
+  res.history = trace_.Snapshot();
+  return res;
+}
+
+void SimRun::Teardown() {
+  for (auto& w : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(w->mu);
+      w->exit_now = true;
+      w->cv.notify_all();
+    }
+    if (w->thread.joinable()) {
+      w->thread.join();
+    }
+  }
+  workers_.clear();
+  if (fault_slot_ >= 0) {
+    FaultHandler::Instance().Unregister(fault_slot_);
+    fault_slot_ = -1;
+  }
+  nodes_.clear();
+  net_.reset();
+}
+
+}  // namespace
+
+std::vector<std::vector<SimOp>> GenerateScript(uint64_t seed, const SimWorkload& w) {
+  Rng rng(seed);
+  std::vector<std::vector<SimOp>> script(w.hosts);
+  // Allocation runs alone on host 0, then a barrier publishes the layout
+  // before any host touches shared memory.
+  script[0].push_back(SimOp{SimOpKind::kAlloc, 0});
+  for (uint16_t h = 0; h < w.hosts; ++h) {
+    script[h].push_back(SimOp{SimOpKind::kBarrier, 0});
+  }
+  for (uint32_t round = 0; round < w.rounds; ++round) {
+    for (uint16_t h = 0; h < w.hosts; ++h) {
+      for (uint32_t i = 0; i < w.ops_per_round; ++i) {
+        SimOp op;
+        op.cell = static_cast<uint32_t>(rng.Below(w.cells));
+        const uint64_t die = rng.Below(10);
+        if (w.use_locks && die == 0) {
+          op.kind = SimOpKind::kLockedRmw;
+        } else if (die < 5) {
+          op.kind = SimOpKind::kRead;
+        } else {
+          op.kind = SimOpKind::kWrite;
+        }
+        script[h].push_back(op);
+      }
+    }
+    for (uint16_t h = 0; h < w.hosts; ++h) {
+      script[h].push_back(SimOp{SimOpKind::kBarrier, 0});
+    }
+  }
+  return script;
+}
+
+SimResult RunScript(uint64_t seed, const SimWorkload& workload,
+                    const std::vector<std::vector<SimOp>>& script) {
+  SimRun run(seed, workload, script);
+  return run.Run();
+}
+
+SimResult RunSim(uint64_t seed, const SimWorkload& workload) {
+  return RunScript(seed, workload, GenerateScript(seed, workload));
+}
+
+}  // namespace millipage

@@ -1,0 +1,77 @@
+// Deterministic protocol-simulation harness.
+//
+// RunSim builds a miniature DSM cluster whose nodes are never Start()ed:
+// instead of server threads and wall-clock waits, a single driver thread
+// owns every scheduling decision. One worker thread per host executes that
+// host's op script one operation at a time; the driver takes an action only
+// when the system is quiescent — every worker is idle, finished, or provably
+// parked inside a wait slot (WaitSlots::WaiterBlocked) — and then either
+// launches one worker op or delivers one message picked by the seeded SimNet
+// scheduler (DsmNode::PumpOne). Reply deadlines are disabled, so no retry
+// ever fires on wall time.
+//
+// Under this discipline the entire run — protocol message order, protection
+// transitions, application reads and writes — is a deterministic function of
+// the seed, and the recorded trace is byte-for-byte reproducible: the
+// property the schedule sweep in tests/sim_test.cc relies on to shrink and
+// replay failures.
+
+#ifndef SRC_CHECK_SIM_HARNESS_H_
+#define SRC_CHECK_SIM_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/trace.h"
+
+namespace millipage {
+
+enum class SimOpKind : uint8_t {
+  kAlloc,      // allocate every cell (host 0 only, once, before any access)
+  kRead,       // load the cell, record kAppRead
+  kWrite,      // store a unique value, record kAppWrite
+  kLockedRmw,  // lock(cell) → read → write → unlock
+  kBarrier,    // global barrier (every host's script needs the same count)
+};
+
+struct SimOp {
+  SimOpKind kind = SimOpKind::kRead;
+  uint32_t cell = 0;
+};
+
+struct SimWorkload {
+  uint16_t hosts = 3;
+  uint32_t cells = 4;         // shared uint64 cells, one minipage each
+  uint32_t rounds = 3;        // barrier-separated rounds
+  uint32_t ops_per_round = 4; // per host per round
+  bool use_locks = true;      // mix kLockedRmw into generated scripts
+};
+
+struct SimResult {
+  Status status = Status::Ok();   // driver outcome (deadlock, op failure, ...)
+  std::vector<TraceEvent> history;
+  uint64_t steps = 0;             // driver actions taken
+  uint64_t virtual_us = 0;        // final virtual-clock reading
+
+  std::string FormattedHistory() const { return FormatTraceHistory(history); }
+};
+
+// Deterministically derives per-host scripts from `seed` (GenerateScript) and
+// runs them under the seed-driven scheduler.
+SimResult RunSim(uint64_t seed, const SimWorkload& workload);
+
+// Runs explicit scripts: script[h] is host h's op sequence. Host 0's script
+// must begin with kAlloc, every host's first access-phase op should sit
+// behind a kBarrier (so allocation completes first), and all hosts must
+// execute the same number of barriers.
+SimResult RunScript(uint64_t seed, const SimWorkload& workload,
+                    const std::vector<std::vector<SimOp>>& script);
+
+// The script generator used by RunSim, exposed so tests can inspect it.
+std::vector<std::vector<SimOp>> GenerateScript(uint64_t seed, const SimWorkload& w);
+
+}  // namespace millipage
+
+#endif  // SRC_CHECK_SIM_HARNESS_H_

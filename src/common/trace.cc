@@ -1,0 +1,61 @@
+#include "src/common/trace.h"
+
+#include <cstdio>
+
+namespace millipage {
+
+const char* TraceEventKindName(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::kProtSet:
+      return "ProtSet";
+    case TraceEventKind::kFaultStart:
+      return "FaultStart";
+    case TraceEventKind::kFaultEnd:
+      return "FaultEnd";
+    case TraceEventKind::kMgrSvcStart:
+      return "MgrSvcStart";
+    case TraceEventKind::kMgrSvcEnd:
+      return "MgrSvcEnd";
+    case TraceEventKind::kMgrReadGrant:
+      return "MgrReadGrant";
+    case TraceEventKind::kMgrWriteGrant:
+      return "MgrWriteGrant";
+    case TraceEventKind::kMgrInvalidate:
+      return "MgrInvalidate";
+    case TraceEventKind::kBarrierEnter:
+      return "BarrierEnter";
+    case TraceEventKind::kBarrierRelease:
+      return "BarrierRelease";
+    case TraceEventKind::kLockGrant:
+      return "LockGrant";
+    case TraceEventKind::kLockRelease:
+      return "LockRelease";
+    case TraceEventKind::kAppRead:
+      return "AppRead";
+    case TraceEventKind::kAppWrite:
+      return "AppWrite";
+  }
+  return "?";
+}
+
+std::string FormatTraceEvent(const TraceEvent& e) {
+  char buf[160];
+  snprintf(buf, sizeof(buf), "%6llu %-14s h%u mp=%d addr=%llx arg1=%llu arg2=%llx",
+           (unsigned long long)e.lts, TraceEventKindName(e.kind), e.host,
+           e.minipage == ~0u ? -1 : static_cast<int>(e.minipage),
+           (unsigned long long)e.addr, (unsigned long long)e.arg1,
+           (unsigned long long)e.arg2);
+  return buf;
+}
+
+std::string FormatTraceHistory(const std::vector<TraceEvent>& history) {
+  std::string out;
+  out.reserve(history.size() * 64);
+  for (const TraceEvent& e : history) {
+    out += FormatTraceEvent(e);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace millipage

@@ -10,6 +10,8 @@
 
 namespace millipage {
 
+class TraceSink;
+
 // How a host's DSM server thread waits for messages (Section 3.5.1). The
 // paper's poller busy-loops at low priority and its sweeper wakes on a 1 ms
 // multimedia timer; on a general-purpose kernel a blocking wait with a short
@@ -59,6 +61,11 @@ struct DsmConfig {
   // acquire — none is idempotent, so they fail rather than resend). 0 = no
   // deadline. The default matches the process-cluster watchdog sweep.
   uint64_t sync_timeout_ms = 120000;
+
+  // History recorder (src/common/trace.h). When non-null, the node and its
+  // ViewSet append protocol events to this sink for the offline checker.
+  // nullptr (default) disables recording entirely.
+  TraceSink* trace = nullptr;
 
   AllocatorOptions MakeAllocatorOptions() const {
     AllocatorOptions o;

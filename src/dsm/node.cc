@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <string>
 
+#include "src/common/failpoint.h"
 #include "src/common/logging.h"
 #include "src/common/time_util.h"
 #include "src/os/page.h"
@@ -36,6 +37,7 @@ Result<std::unique_ptr<DsmNode>> DsmNode::Create(const DsmConfig& config, HostId
   }
   auto node = std::unique_ptr<DsmNode>(new DsmNode(config, me, transport));
   MP_ASSIGN_OR_RETURN(node->views_, ViewSet::Create(config.object_size, config.num_views));
+  node->views_->SetTrace(config.trace, me);
   if (me == kManagerHost) {
     node->mpt_ = std::make_unique<MinipageTable>();
     node->allocator_ = std::make_unique<MinipageAllocator>(
@@ -195,6 +197,7 @@ Status DsmNode::TryBarrier() {
   h.set_type(MsgType::kBarrierEnter);
   h.from = me_;
   h.seq = WaitSlots::MakeSeq(slot, gen);
+  Trace(TraceEventKind::kBarrierEnter, ~0u, 0);
   if (Status st = TrySendMsg(kManagerHost, h); !st.ok()) {
     return LivenessFailure("Barrier", st);
   }
@@ -204,6 +207,8 @@ Status DsmNode::TryBarrier() {
   if (!reply.ok()) {
     return LivenessFailure("Barrier", reply.status());
   }
+  // The manager stamps the epoch being released into the minipage field.
+  Trace(TraceEventKind::kBarrierRelease, ~0u, 0, reply->minipage);
   std::lock_guard<std::mutex> lock(stats_mu_);
   counters_.barriers++;
   EpochRecord rec;
@@ -355,6 +360,7 @@ bool DsmNode::OnFault(uint32_t view, uint64_t offset, bool is_write) {
   }
   const uint32_t slot = ThreadSlot();
   const uint64_t addr = GlobalAddr{view, offset}.Pack();
+  Trace(TraceEventKind::kFaultStart, ~0u, addr, is_write ? 1 : 0);
   // Fault service is idempotent — the manager re-routes every (re)send
   // against current directory state, and a late reply to an abandoned
   // attempt is discarded by its stale generation — so a lost message is
@@ -416,18 +422,35 @@ bool DsmNode::OnFault(uint32_t view, uint64_t offset, bool is_write) {
       read_lat_.Record(dt);
     }
   }
+  Trace(TraceEventKind::kFaultEnd, reply.minipage, addr, is_write ? 1 : 0);
   return true;
 }
 
 // ---- Server thread ---------------------------------------------------------
 
-void DsmNode::ServerLoop() {
-  const PayloadSink sink = [this](const MsgHeader& h) -> std::byte* {
+PayloadSink DsmNode::MakeServerSink() {
+  return [this](const MsgHeader& h) -> std::byte* {
     if (h.privbase + h.pgsize > views_->object_size()) {
       return nullptr;
     }
     return views_->PrivAddr(h.privbase);
   };
+}
+
+bool DsmNode::PumpOne() {
+  MP_CHECK(!server_.joinable()) << "PumpOne on a node with a live server thread";
+  MsgHeader h;
+  Result<bool> got = transport_->Poll(me_, &h, MakeServerSink(), /*timeout_us=*/0);
+  MP_CHECK_OK(got.status());
+  if (!*got) {
+    return false;
+  }
+  HandleMessage(h);
+  return true;
+}
+
+void DsmNode::ServerLoop() {
+  const PayloadSink sink = MakeServerSink();
   uint32_t poll_errors = 0;
   while (!stop_.load(std::memory_order_acquire)) {
     MsgHeader h;
@@ -612,6 +635,7 @@ void DsmNode::MgrStartService(MsgHeader h) {
   }
   e.in_service = true;
   e.in_service_for = h.from;
+  Trace(TraceEventKind::kMgrSvcStart, h.minipage, h.addr, h.from, e.copyset);
   MgrProcess(h);
 }
 
@@ -637,6 +661,7 @@ void DsmNode::MgrProcessRead(const MsgHeader& h, DirEntry& e) {
   if (e.copyset == (1ULL << h.from)) {
     // Requester already holds the only copy (prefetch/fault race): grant
     // access without data.
+    Trace(TraceEventKind::kMgrReadGrant, h.minipage, h.addr, h.from, e.copyset);
     MsgHeader reply = h;
     reply.set_type(MsgType::kReadReply);
     reply.flags = static_cast<uint8_t>((h.flags & kFlagPrefetch) | kFlagUpgrade);
@@ -649,6 +674,7 @@ void DsmNode::MgrProcessRead(const MsgHeader& h, DirEntry& e) {
   const HostId replica = e.PickReplica(h.from, replica_rotation_++);
   e.AddCopy(h.from);
   e.writable = false;  // the serving host downgrades itself to ReadOnly
+  Trace(TraceEventKind::kMgrReadGrant, h.minipage, h.addr, h.from, e.copyset);
   MsgHeader fwd = h;
   fwd.flags |= kFlagForwarded;
   SendMsg(replica, fwd);
@@ -662,6 +688,7 @@ void DsmNode::MgrProcessWrite(const MsgHeader& h, DirEntry& e) {
   if (e.copyset == (1ULL << h.from)) {
     // Sole holder asks for exclusivity: upgrade in place.
     e.writable = true;
+    Trace(TraceEventKind::kMgrWriteGrant, h.minipage, h.addr, h.from, e.copyset);
     MsgHeader reply = h;
     reply.set_type(MsgType::kWriteReply);
     reply.flags = kFlagUpgrade;
@@ -678,6 +705,7 @@ void DsmNode::MgrProcessWrite(const MsgHeader& h, DirEntry& e) {
   e.writable = true;
   if (others == 0) {
     MP_CHECK(remaining != h.from);
+    Trace(TraceEventKind::kMgrWriteGrant, h.minipage, h.addr, h.from, 1ULL << remaining);
     MsgHeader fwd = h;
     fwd.flags |= kFlagForwarded;
     SendMsg(remaining, fwd);
@@ -691,15 +719,26 @@ void DsmNode::MgrProcessWrite(const MsgHeader& h, DirEntry& e) {
   e.write_pending = true;
   e.pending_write = h;
   e.write_remaining = remaining;
-  e.invalidates_outstanding = static_cast<uint32_t>(__builtin_popcountll(others));
+  e.invalidates_outstanding = 0;
   directory_->counters().invalidation_rounds++;
   for (uint16_t host = 0; host < config_.num_hosts; ++host) {
     if ((others & (1ULL << host)) != 0) {
+      // Protocol-bug injection for the simulator: silently skip one
+      // invalidation, leaving a stale readable replica behind — exactly the
+      // class of bug the offline SWMR checker exists to catch.
+      if (FailpointRegistry::Instance().Fire("dsm.mgr.skip_invalidate").has_value()) {
+        continue;
+      }
+      e.invalidates_outstanding++;
+      Trace(TraceEventKind::kMgrInvalidate, h.minipage, h.addr, host);
       MsgHeader inv = h;
       inv.set_type(MsgType::kInvalidateRequest);
       inv.flags = kFlagForwarded;
       SendMsg(host, inv);
     }
+  }
+  if (e.invalidates_outstanding == 0) {
+    MgrFinishWriteRound(h.minipage);
   }
 }
 
@@ -710,8 +749,14 @@ void DsmNode::MgrHandleInvalidateReply(const MsgHeader& h) {
   if (--e.invalidates_outstanding > 0) {
     return;
   }
+  MgrFinishWriteRound(h.minipage);
+}
+
+void DsmNode::MgrFinishWriteRound(MinipageId id) {
+  DirEntry& e = directory_->Entry(id);
   e.write_pending = false;
   const MsgHeader& w = e.pending_write;
+  Trace(TraceEventKind::kMgrWriteGrant, id, w.addr, w.from, 1ULL << e.write_remaining);
   if (e.write_remaining == w.from) {
     MsgHeader reply = w;
     reply.set_type(MsgType::kWriteReply);
@@ -723,7 +768,7 @@ void DsmNode::MgrHandleInvalidateReply(const MsgHeader& h) {
     SendMsg(e.write_remaining, fwd);
   }
   if (!config_.enable_ack) {
-    MgrFinishService(h.minipage);
+    MgrFinishService(id);
   }
 }
 
@@ -774,6 +819,7 @@ void DsmNode::MgrHandleBounced(const MsgHeader& h) {
 void DsmNode::MgrFinishService(MinipageId id) {
   DirEntry& e = directory_->Entry(id);
   e.in_service = false;
+  Trace(TraceEventKind::kMgrSvcEnd, id, 0, 0, e.copyset);
   if (e.pending.empty()) {
     return;
   }
@@ -781,6 +827,7 @@ void DsmNode::MgrFinishService(MinipageId id) {
   e.pending.pop_front();
   e.in_service = true;
   e.in_service_for = next.from;
+  Trace(TraceEventKind::kMgrSvcStart, next.minipage, next.addr, next.from, e.copyset);
   MgrProcess(next);
 }
 
@@ -839,6 +886,7 @@ void DsmNode::MgrHandleLockAcquire(const MsgHeader& h) {
   if (!l.held) {
     l.held = true;
     l.holder = h.from;
+    Trace(TraceEventKind::kLockGrant, h.minipage, 0, h.from);
     MsgHeader grant = h;
     grant.set_type(MsgType::kLockGrant);
     SendMsg(h.from, grant);
@@ -850,6 +898,7 @@ void DsmNode::MgrHandleLockAcquire(const MsgHeader& h) {
 void DsmNode::MgrHandleLockRelease(const MsgHeader& h) {
   LockEntry& l = directory_->Lock(h.minipage);
   MP_CHECK(l.held && l.holder == h.from) << "unlock by non-holder";
+  Trace(TraceEventKind::kLockRelease, h.minipage, 0, h.from);
   if (l.waiters.empty()) {
     l.held = false;
     return;
@@ -857,6 +906,7 @@ void DsmNode::MgrHandleLockRelease(const MsgHeader& h) {
   MsgHeader next = l.waiters.front();
   l.waiters.pop_front();
   l.holder = next.from;
+  Trace(TraceEventKind::kLockGrant, next.minipage, 0, next.from);
   next.set_type(MsgType::kLockGrant);
   SendMsg(next.from, next);
 }

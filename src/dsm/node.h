@@ -23,6 +23,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/stats.h"
+#include "src/common/trace.h"
 #include "src/dsm/config.h"
 #include "src/dsm/directory.h"
 #include "src/dsm/wait_slots.h"
@@ -45,6 +46,21 @@ class DsmNode {
 
   void Start();  // launches the DSM server thread
   void Stop();   // stops and joins it
+
+  // ---- Deterministic-simulation surface ---------------------------------
+  // An externally-driven alternative to Start(): the simulator delivers
+  // exactly one pending message (non-blocking poll + dispatch) per call, so
+  // a scheduler owns the complete delivery order. Never mix with Start().
+  // Returns true if a message was handled.
+  bool PumpOne();
+
+  // True while the thread owning `slot` is parked inside WaitFor with no
+  // reply available — i.e. it cannot make progress until a message is
+  // delivered. The simulator's quiescence test.
+  bool WaiterBlocked(uint32_t slot) const { return slots_.WaiterBlocked(slot); }
+
+  // Fails every blocked waiter with `why` (deadlock diagnosis path).
+  void AbortWaiters(const Status& why) { slots_.AbortAll(why); }
 
   HostId id() const { return me_; }
   uint16_t num_hosts() const { return config_.num_hosts; }
@@ -149,6 +165,7 @@ class DsmNode {
 
   // Server thread.
   void ServerLoop();
+  PayloadSink MakeServerSink();
   void HandleMessage(const MsgHeader& h);
 
   // Manager role.
@@ -161,6 +178,9 @@ class DsmNode {
   void MgrHandleBounced(const MsgHeader& h);
   void MgrFinishService(MinipageId id);
   void MgrHandleInvalidateReply(const MsgHeader& h);
+  // Completes an invalidation round: forwards (or upgrades) the pending
+  // write once every outstanding invalidation has been accounted for.
+  void MgrFinishWriteRound(MinipageId id);
   void MgrHandleAck(const MsgHeader& h);
   void MgrHandleAlloc(const MsgHeader& h);
   void MgrHandleBarrierEnter(const MsgHeader& h);
@@ -208,6 +228,14 @@ class DsmNode {
 
   // Logs the liveness report and returns `cause` annotated with `op`.
   Status LivenessFailure(const char* op, const Status& cause);
+
+  // History recorder hook; no-op when config_.trace is null.
+  void Trace(TraceEventKind kind, uint32_t minipage, uint64_t addr, uint64_t arg1 = 0,
+             uint64_t arg2 = 0) const {
+    if (config_.trace != nullptr) {
+      config_.trace->Emit(kind, me_, minipage, addr, arg1, arg2);
+    }
+  }
 
   const DsmConfig config_;
   const HostId me_;

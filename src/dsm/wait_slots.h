@@ -83,6 +83,10 @@ class WaitSlots {
   Result<MsgHeader> WaitFor(uint32_t slot, uint64_t timeout_ms) {
     MP_CHECK(slot < kMaxSlots);
     Slot& s = slots_[slot];
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.in_wait = true;
+    }
     struct timespec abs_deadline;
     if (timeout_ms > 0) {
       clock_gettime(CLOCK_REALTIME, &abs_deadline);
@@ -100,13 +104,17 @@ class WaitSlots {
         if (!s.replies.empty()) {
           const MsgHeader reply = s.replies.front();
           s.replies.pop_front();
+          // Cleared in the same critical section as the pop, so an observer
+          // never sees "in wait, no reply queued" for a thread that in fact
+          // holds its reply and is running.
+          s.in_wait = false;
           return reply;
         }
         // Token without a reply: an abort wake-up; fall through to report it.
         break;
       }
       if (aborted_.load(std::memory_order_acquire)) {
-        return abort_status();
+        return LeaveWait(s, abort_status());
       }
       const int rc = timeout_ms > 0 ? sem_timedwait(&s.sem, &abs_deadline)
                                     : sem_wait(&s.sem);
@@ -116,17 +124,19 @@ class WaitSlots {
         }
         if (errno == ETIMEDOUT) {
           if (aborted_.load(std::memory_order_acquire)) {
-            return abort_status();
+            return LeaveWait(s, abort_status());
           }
-          return Status::DeadlineExceeded("no reply on wait slot " + std::to_string(slot) +
-                                          " within " + std::to_string(timeout_ms) + " ms");
+          return LeaveWait(
+              s, Status::DeadlineExceeded("no reply on wait slot " + std::to_string(slot) +
+                                          " within " + std::to_string(timeout_ms) + " ms"));
         }
-        return Status::Errno("sem_wait");
+        return LeaveWait(s, Status::Errno("sem_wait"));
       }
       std::lock_guard<std::mutex> lock(s.mu);
       if (!s.replies.empty()) {
         const MsgHeader reply = s.replies.front();
         s.replies.pop_front();
+        s.in_wait = false;
         return reply;
       }
       // Woken without a reply: abort token — loop re-checks aborted_.
@@ -163,6 +173,18 @@ class WaitSlots {
 
   bool aborted() const { return aborted_.load(std::memory_order_acquire); }
 
+  // True while the thread owning `slot` is parked inside WaitFor with no
+  // reply queued and no abort pending — i.e. it cannot make progress until
+  // the next Post. The deterministic simulator's quiescence predicate; sound
+  // because in_wait is cleared in the same critical section that pops a
+  // reply, so a running thread is never reported blocked.
+  bool WaiterBlocked(uint32_t slot) const {
+    MP_CHECK(slot < kMaxSlots);
+    const Slot& s = slots_[slot];
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.in_wait && s.replies.empty() && !aborted_.load(std::memory_order_acquire);
+  }
+
   Status abort_status() const {
     std::lock_guard<std::mutex> lock(abort_mu_);
     return abort_status_;
@@ -171,9 +193,17 @@ class WaitSlots {
  private:
   struct Slot {
     sem_t sem;
-    std::mutex mu;
+    mutable std::mutex mu;
     std::deque<MsgHeader> replies;
+    bool in_wait = false;  // guarded by mu
   };
+
+  // Clears in_wait on a non-reply exit from WaitFor.
+  static Status LeaveWait(Slot& s, Status status) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.in_wait = false;
+    return status;
+  }
 
   Slot slots_[kMaxSlots];
   std::atomic<uint32_t> next_{0};

@@ -54,6 +54,13 @@ Status ViewSet::SetProtection(const Minipage& mp, Protection prot) {
   for (uint64_t vp = first; vp <= last; ++vp) {
     shadow_[mp.view][vp].store(static_cast<uint8_t>(prot), std::memory_order_release);
   }
+  if (trace_ != nullptr) {
+    // addr uses the GlobalAddr packing (view << 48 | offset) without pulling
+    // in the net layer.
+    trace_->Emit(TraceEventKind::kProtSet, trace_host_, mp.id,
+                 (static_cast<uint64_t>(mp.view) << 48) | mp.offset,
+                 static_cast<uint64_t>(prot));
+  }
   return Status::Ok();
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/trace.h"
 #include "src/multiview/minipage.h"
 #include "src/os/mapping.h"
 #include "src/os/memory_object.h"
@@ -68,6 +69,13 @@ class ViewSet {
   // Protects every vpage of every application view (bulk setup).
   Status ProtectAllAppViews(Protection prot);
 
+  // Attaches a history recorder: every successful SetProtection emits a
+  // kProtSet event stamped with this host id. nullptr detaches.
+  void SetTrace(TraceSink* trace, uint16_t host) {
+    trace_ = trace;
+    trace_host_ = host;
+  }
+
  private:
   ViewSet() = default;
 
@@ -77,6 +85,9 @@ class ViewSet {
   // Shadow protection, one byte per (view, vpage). Concurrent readers and
   // the per-minipage-serialized writers use relaxed atomics.
   std::vector<std::unique_ptr<std::atomic<uint8_t>[]>> shadow_;
+
+  TraceSink* trace_ = nullptr;
+  uint16_t trace_host_ = 0;
 };
 
 }  // namespace millipage

@@ -45,7 +45,7 @@ void FaultyTransport::DropReceives(HostId from, MsgType type, uint32_t count) {
   recv_drops_.push_back({from, static_cast<uint8_t>(type), count, 0});
 }
 
-void FaultyTransport::DelaySends(HostId to, MsgType type, uint64_t us) {
+void FaultyTransport::DelaySends(HostId to, MsgType type, uint64_t us, uint32_t count) {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto it = send_delays_.begin(); it != send_delays_.end();) {
     if (it->host == to && it->type == static_cast<uint8_t>(type)) {
@@ -55,7 +55,9 @@ void FaultyTransport::DelaySends(HostId to, MsgType type, uint64_t us) {
     }
   }
   if (us > 0) {
-    send_delays_.push_back({to, static_cast<uint8_t>(type), 0, us});
+    // remaining == 0 encodes "until cleared" (matching drop filters, where 0
+    // would be a no-op rule anyway).
+    send_delays_.push_back({to, static_cast<uint8_t>(type), count, us});
   }
 }
 
@@ -90,9 +92,12 @@ Status FaultyTransport::Send(HostId to, MsgHeader h, const void* payload, size_t
         return Status::Ok();  // the message is "on the wire" — and lost
       }
     }
-    for (const Filter& f : send_delays_) {
-      if (Matches(f, to, h.type)) {
-        delay_us = f.delay_us;
+    for (auto it = send_delays_.begin(); it != send_delays_.end(); ++it) {
+      if (Matches(*it, to, h.type)) {
+        delay_us = it->delay_us;
+        if (it->remaining > 0 && --it->remaining == 0) {
+          send_delays_.erase(it);  // one-shot (counted) rule exhausted
+        }
         break;
       }
     }

@@ -64,8 +64,10 @@ class FaultyTransport : public Transport {
   // stays framed — the loss is invisible to the transport underneath.
   void DropReceives(HostId from, MsgType type, uint32_t count);
 
-  // Delays every subsequent matching send by `us` microseconds (0 clears).
-  void DelaySends(HostId to, MsgType type, uint64_t us);
+  // Delays every subsequent matching send by `us` microseconds (us = 0
+  // clears the rule). `count` > 0 limits the rule to the next `count`
+  // matching sends, after which it expires; 0 means until cleared.
+  void DelaySends(HostId to, MsgType type, uint64_t us, uint32_t count = 0);
 
   uint64_t sends_dropped() const;
   uint64_t receives_dropped() const;

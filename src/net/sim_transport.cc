@@ -1,0 +1,182 @@
+#include "src/net/sim_transport.h"
+
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace millipage {
+
+// The fabric-facing Transport of one simulated host. Its only job is to
+// attach the sender's identity to Send and to drain staged deliveries.
+class SimEndpoint : public Transport {
+ public:
+  SimEndpoint(SimNet* net, HostId me) : net_(net), me_(me) {}
+
+  Status Send(HostId to, MsgHeader h, const void* payload, size_t len) override {
+    CountSend(payload != nullptr ? len : 0);
+    return net_->SendFrom(me_, to, h, payload, len);
+  }
+
+  Result<bool> Poll(HostId me, MsgHeader* h, const PayloadSink& sink,
+                    uint64_t timeout_us) override {
+    // The scheduler owns time: there is nothing to wait for that ScheduleNext
+    // has not already staged, so the timeout is irrelevant.
+    (void)timeout_us;
+    return net_->PollStaged(me, h, sink);
+  }
+
+  uint16_t num_hosts() const override { return net_->num_hosts(); }
+
+ private:
+  SimNet* const net_;
+  const HostId me_;
+};
+
+SimNet::SimNet(uint16_t num_hosts, uint64_t seed, SimOptions options)
+    : num_hosts_(num_hosts),
+      options_(options),
+      rng_(seed),
+      queues_(static_cast<size_t>(num_hosts) * num_hosts),
+      pair_tail_us_(static_cast<size_t>(num_hosts) * num_hosts, 0),
+      staged_(num_hosts) {
+  MP_CHECK(num_hosts > 0);
+  MP_CHECK(options_.min_delay_us <= options_.max_delay_us);
+  endpoints_.reserve(num_hosts);
+  for (uint16_t h = 0; h < num_hosts; ++h) {
+    endpoints_.push_back(std::make_unique<SimEndpoint>(this, h));
+  }
+}
+
+SimNet::~SimNet() = default;
+
+Transport* SimNet::endpoint(HostId h) const {
+  MP_CHECK(h < num_hosts_);
+  return endpoints_[h].get();
+}
+
+uint64_t SimNet::now_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return now_us_;
+}
+
+size_t SimNet::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& q : queues_) {
+    n += q.size();
+  }
+  for (const auto& q : staged_) {
+    n += q.size();
+  }
+  return n;
+}
+
+uint64_t SimNet::delivered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delivered_;
+}
+
+uint64_t SimNet::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void SimNet::Drop(HostId dst, MsgType type, uint32_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  drop_rules_.push_back(DropRule{dst, type, count});
+}
+
+Status SimNet::SendFrom(HostId from, HostId to, const MsgHeader& h, const void* payload,
+                        size_t len) {
+  if (to >= num_hosts_) {
+    return Status::Invalid("SimNet: bad destination host");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (DropRule& r : drop_rules_) {
+    if (r.remaining > 0 && r.dst == to && r.type == h.msg_type()) {
+      r.remaining--;
+      dropped_++;
+      return Status::Ok();
+    }
+  }
+  SimMsg m;
+  m.h = h;
+  if (payload != nullptr && len > 0) {
+    m.h.flags |= kFlagHasPayload;
+    m.h.pgsize = static_cast<uint32_t>(len);
+    m.payload.resize(len);
+    std::memcpy(m.payload.data(), payload, len);
+  }
+  // Jitter explores interleavings; the pair-tail clamp keeps each (sender,
+  // receiver) channel FIFO regardless of the draws.
+  const uint64_t jitter = options_.min_delay_us == options_.max_delay_us
+                              ? options_.min_delay_us
+                              : rng_.Range(options_.min_delay_us, options_.max_delay_us);
+  const size_t pair = PairIndex(from, to);
+  const uint64_t arrival = std::max(now_us_ + jitter, pair_tail_us_[pair]);
+  pair_tail_us_[pair] = arrival;
+  m.arrival_us = arrival;
+  queues_[pair].push_back(std::move(m));
+  return Status::Ok();
+}
+
+bool SimNet::ScheduleNext(HostId* dst) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Collect the pair-queue heads with the globally minimal arrival time.
+  // Iteration order over pairs is fixed, so the candidate list — and with it
+  // the seeded tie-break — is deterministic.
+  uint64_t best = ~0ULL;
+  std::vector<size_t> candidates;
+  for (size_t pair = 0; pair < queues_.size(); ++pair) {
+    if (queues_[pair].empty()) {
+      continue;
+    }
+    const uint64_t a = queues_[pair].front().arrival_us;
+    if (a < best) {
+      best = a;
+      candidates.clear();
+    }
+    if (a == best) {
+      candidates.push_back(pair);
+    }
+  }
+  if (candidates.empty()) {
+    return false;
+  }
+  const size_t pair = candidates.size() == 1
+                          ? candidates[0]
+                          : candidates[rng_.Below(candidates.size())];
+  SimMsg m = std::move(queues_[pair].front());
+  queues_[pair].pop_front();
+  now_us_ = std::max(now_us_, m.arrival_us);
+  const HostId to = static_cast<HostId>(pair % num_hosts_);
+  staged_[to].push_back(std::move(m));
+  delivered_++;
+  if (dst != nullptr) {
+    *dst = to;
+  }
+  return true;
+}
+
+Result<bool> SimNet::PollStaged(HostId me, MsgHeader* h, const PayloadSink& sink) {
+  std::unique_lock<std::mutex> lock(mu_);
+  MP_CHECK(me < num_hosts_);
+  if (staged_[me].empty()) {
+    return false;
+  }
+  SimMsg m = std::move(staged_[me].front());
+  staged_[me].pop_front();
+  lock.unlock();  // the sink may re-enter the node; keep the fabric unlocked
+  *h = m.h;
+  if (!m.payload.empty()) {
+    std::byte* dst_ptr = sink(m.h);
+    if (dst_ptr != nullptr) {
+      std::memcpy(dst_ptr, m.payload.data(), m.payload.size());
+    } else {
+      h->flags &= static_cast<uint8_t>(~kFlagHasPayload);
+    }
+  }
+  return true;
+}
+
+}  // namespace millipage

@@ -1,0 +1,117 @@
+// SimNet: a deterministic discrete-event network for protocol simulation.
+//
+// Unlike InProcTransport (real threads racing on mailboxes), SimNet gives a
+// single external scheduler ownership of every message delivery: sends only
+// enqueue, stamped with a virtual-clock arrival time drawn from a seeded RNG,
+// and nothing is delivered until the driver calls ScheduleNext(), which picks
+// the globally earliest arrival (seeded tie-break), advances the virtual
+// clock, and stages exactly one message for its destination. The destination
+// node then consumes it with DsmNode::PumpOne(). Two runs with the same seed
+// and the same driver decisions therefore produce byte-for-byte identical
+// delivery orders — the reproducibility contract `ctest -L sim` checks.
+//
+// Per-(sender, receiver) FIFO is preserved: a message's arrival time is
+// clamped to be no earlier than the previous message on the same pair, and
+// ScheduleNext only ever considers pair-queue heads. Each host talks to the
+// fabric through its own SimEndpoint (a Transport), which is how the fabric
+// learns the sender — the base Transport::Send has no "from" parameter.
+
+#ifndef SRC_NET_SIM_TRANSPORT_H_
+#define SRC_NET_SIM_TRANSPORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/net/message.h"
+#include "src/net/transport.h"
+
+namespace millipage {
+
+struct SimOptions {
+  // Uniform per-message latency jitter, in virtual microseconds. The spread
+  // is what lets different seeds explore different interleavings.
+  uint64_t min_delay_us = 1;
+  uint64_t max_delay_us = 100;
+};
+
+class SimEndpoint;
+
+class SimNet {
+ public:
+  SimNet(uint16_t num_hosts, uint64_t seed, SimOptions options = SimOptions{});
+  ~SimNet();
+
+  SimNet(const SimNet&) = delete;
+  SimNet& operator=(const SimNet&) = delete;
+
+  // The per-host Transport to hand to DsmNode::Create.
+  Transport* endpoint(HostId h) const;
+
+  uint16_t num_hosts() const { return num_hosts_; }
+
+  // Virtual clock, microseconds. Advances only inside ScheduleNext.
+  uint64_t now_us() const;
+
+  // Messages enqueued or staged but not yet consumed by a Poll.
+  size_t pending() const;
+
+  // Picks the earliest-arrival queued message (seeded tie-break), advances
+  // the virtual clock to its arrival, and stages it for its destination.
+  // Returns false when no message is pending; otherwise *dst names the host
+  // whose PumpOne() will consume it.
+  bool ScheduleNext(HostId* dst);
+
+  // Deterministic targeted loss: the next `count` sends of `type` addressed
+  // to `dst` are swallowed at enqueue time.
+  void Drop(HostId dst, MsgType type, uint32_t count);
+
+  // Messages scheduled + dropped so far (diagnostics).
+  uint64_t delivered() const;
+  uint64_t dropped() const;
+
+ private:
+  friend class SimEndpoint;
+
+  struct SimMsg {
+    MsgHeader h;
+    std::vector<std::byte> payload;
+    uint64_t arrival_us = 0;
+  };
+
+  struct DropRule {
+    HostId dst = 0;
+    MsgType type = MsgType::kReadRequest;
+    uint32_t remaining = 0;
+  };
+
+  Status SendFrom(HostId from, HostId to, const MsgHeader& h, const void* payload,
+                  size_t len);
+  Result<bool> PollStaged(HostId me, MsgHeader* h, const PayloadSink& sink);
+
+  size_t PairIndex(HostId from, HostId to) const {
+    return static_cast<size_t>(from) * num_hosts_ + to;
+  }
+
+  const uint16_t num_hosts_;
+  const SimOptions options_;
+
+  mutable std::mutex mu_;
+  Rng rng_;
+  uint64_t now_us_ = 0;
+  uint64_t delivered_ = 0;
+  uint64_t dropped_ = 0;
+  std::vector<std::deque<SimMsg>> queues_;      // indexed by PairIndex
+  std::vector<uint64_t> pair_tail_us_;          // last arrival per pair (FIFO clamp)
+  std::vector<std::deque<SimMsg>> staged_;      // per destination
+  std::vector<DropRule> drop_rules_;
+  std::vector<std::unique_ptr<SimEndpoint>> endpoints_;
+};
+
+}  // namespace millipage
+
+#endif  // SRC_NET_SIM_TRANSPORT_H_

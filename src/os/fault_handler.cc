@@ -38,7 +38,11 @@ Status FaultHandler::Install() {
     struct sigaction sa;
     memset(&sa, 0, sizeof(sa));
     sa.sa_sigaction = reinterpret_cast<void (*)(int, siginfo_t*, void*)>(&SignalEntry);
-    sa.sa_flags = SA_SIGINFO | SA_RESTART;
+    // SA_NODEFER: a fault raised while the handler runs is delivered to the
+    // handler again (instead of the kernel force-killing the process with
+    // the signal blocked), which lets the depth guard in SignalEntry report
+    // nested faults before dying.
+    sa.sa_flags = SA_SIGINFO | SA_RESTART | SA_NODEFER;
     sigemptyset(&sa.sa_mask);
     if (sigaction(SIGSEGV, &sa, nullptr) != 0 || sigaction(SIGBUS, &sa, nullptr) != 0) {
       result = Status::Errno("sigaction");
@@ -75,11 +79,21 @@ void FaultHandler::Unregister(int slot) {
 
 namespace {
 
-// Async-signal-safe hex dump of an unhandled fault before the process dies.
-void ReportUnhandledFault(void* addr, bool is_write) {
+// Recursion depth of SignalEntry on this thread. Fault service legitimately
+// runs at depth 1 (the whole protocol executes inside the SIGSEGV handler);
+// a fault raised at depth >= 1 means the handler itself faulted and must not
+// be dispatched again.
+thread_local int tls_fault_depth = 0;
+
+// Async-signal-safe report before the process dies. `msg` names the class
+// of failure ("unhandled fault" / "nested fault").
+void ReportFatalFault(const char* msg, void* addr, bool is_write) {
   char buf[96];
   char* p = buf;
-  const char* msg = "[millipage] unhandled fault (";
+  const char* prefix = "[millipage] ";
+  while (*prefix != '\0') {
+    *p++ = *prefix++;
+  }
   while (*msg != '\0') {
     *p++ = *msg++;
   }
@@ -102,12 +116,24 @@ void FaultHandler::SignalEntry(int signo, void* info_raw, void* ucontext) {
   auto* info = static_cast<siginfo_t*>(info_raw);
   void* addr = info->si_addr;
   const bool is_write = FaultWasWrite(ucontext);
-  if (Instance().Dispatch(addr, is_write)) {
+  if (tls_fault_depth >= 1) {
+    // The handler (or protocol code it called) faulted while already
+    // servicing a fault on this thread. Dispatching again could recurse
+    // forever; reject it and die with a diagnostic instead.
+    ReportFatalFault("nested fault in handler (", addr, is_write);
+    signal(signo, SIG_DFL);
+    raise(signo);
+    return;
+  }
+  tls_fault_depth++;
+  const bool handled = Instance().Dispatch(addr, is_write);
+  tls_fault_depth--;
+  if (handled) {
     return;  // protection was upgraded; the faulting instruction retries
   }
   // Not ours: restore the default disposition and re-raise so the process
   // dies with the usual SIGSEGV semantics (core dump, correct si_addr).
-  ReportUnhandledFault(addr, is_write);
+  ReportFatalFault("unhandled fault (", addr, is_write);
   signal(signo, SIG_DFL);
   raise(signo);
 }

@@ -4,10 +4,15 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <thread>
 
+#include "src/common/time_util.h"
 #include "src/dsm/cluster.h"
 #include "src/dsm/global_ptr.h"
+#include "src/dsm/node.h"
+#include "src/net/faulty_transport.h"
+#include "src/net/inproc_transport.h"
 
 namespace millipage {
 namespace {
@@ -338,6 +343,70 @@ INSTANTIATE_TEST_SUITE_P(AllModes, ServiceModes,
                            }
                            return "unknown";
                          });
+
+// Regression: a reply that arrives after the requester has timed out and
+// retried carries a stale generation. The requester must (a) discard it —
+// not complete the fault with it — and (b) still ACK it, because in ACK mode
+// the manager keeps the minipage in service until the outstanding reply is
+// acknowledged; swallowing the ACK would wedge that minipage forever.
+TEST(Protocol, StaleReplyAfterRetryIsDiscardedAndAcked) {
+  DsmConfig cfg = Cfg(2);
+  cfg.request_timeout_ms = 300;
+  cfg.max_request_retries = 2;
+  cfg.sync_timeout_ms = 5000;
+  ASSERT_TRUE(cfg.enable_ack) << "the regression targets ACK-mode serialization";
+
+  // Hand-assembled pair so the manager's reply can be delayed in flight.
+  InProcTransport inner{2};
+  FaultyTransport t0{&inner};
+  FaultyTransport t1{&inner};
+  Result<std::unique_ptr<DsmNode>> r0 = DsmNode::Create(cfg, 0, &t0);
+  Result<std::unique_ptr<DsmNode>> r1 = DsmNode::Create(cfg, 1, &t1);
+  ASSERT_TRUE(r0.ok() && r1.ok());
+  std::unique_ptr<DsmNode> n0 = std::move(*r0);
+  std::unique_ptr<DsmNode> n1 = std::move(*r1);
+  n0->Start();
+  n1->Start();
+
+  Result<GlobalAddr> addr = n0->SharedMalloc(16 * sizeof(int));
+  ASSERT_TRUE(addr.ok()) << addr.status().ToString();
+  int* data0 = reinterpret_cast<int*>(n0->AppPtr(*addr));
+  for (int i = 0; i < 16; ++i) {
+    data0[i] = 900 + i;
+  }
+
+  // The manager's FIRST read reply to host 1 limps for 450 ms — past the
+  // 300 ms request timeout (so host 1 abandons the attempt and re-sends with
+  // a fresh generation before the original reply lands) but well inside the
+  // retry's own 300 ms window (so the retry itself does not time out while
+  // the manager's send thread is parked in the delay). One-shot: the
+  // re-served reply travels at full speed.
+  t0.DelaySends(1, MsgType::kReadReply, 450 * 1000, /*count=*/1);
+  ASSERT_TRUE(n1->OnFault(addr->view, addr->offset, /*is_write=*/false));
+
+  EXPECT_EQ(n1->timeout_retries(), 1u);
+  EXPECT_EQ(n1->stale_replies(), 1u) << "the late reply must be discarded by generation";
+  const int* data1 = reinterpret_cast<const int*>(n1->AppPtr(*addr));
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_EQ(data1[i], 900 + i) << "index " << i;
+  }
+
+  // The discarded reply was still ACKed: the manager's per-minipage
+  // transaction is closed, so a fresh operation on the SAME minipage
+  // completes promptly instead of queueing behind a wedged service.
+  const uint64_t t_write = MonotonicNowNs();
+  ASSERT_TRUE(n1->OnFault(addr->view, addr->offset, /*is_write=*/true));
+  const uint64_t write_ms = (MonotonicNowNs() - t_write) / 1000000;
+  EXPECT_LT(write_ms, cfg.request_timeout_ms) << "minipage service left open";
+  EXPECT_EQ(n1->timeout_retries(), 1u) << "the follow-up write must not retry";
+  EXPECT_TRUE(n1->health().ok());
+  EXPECT_TRUE(n0->health().ok());
+
+  n0->BeginShutdown();
+  n1->BeginShutdown();
+  n1->Stop();
+  n0->Stop();
+}
 
 TEST(Protocol, SequentialConsistencyStress) {
   // Dekker-style litmus: two hosts set their flag then read the other's.

@@ -169,6 +169,117 @@ TEST(Allocator, PageBasedModeSharesPages) {
   EXPECT_GE(big->minipages.size(), 2u);
 }
 
+TEST(Allocator, ExactPageFillIsPageAlignedSingleMinipage) {
+  MinipageTable mpt;
+  MinipageAllocator alloc(&mpt, 1 << 20, 4);
+  ASSERT_TRUE(alloc.Allocate(100).ok());  // dirty the first page
+  auto a = alloc.Allocate(PageSize());
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->offset % PageSize(), 0u);
+  ASSERT_EQ(a->minipages.size(), 1u);
+  const Minipage& mp = mpt.Get(a->minipages[0]);
+  EXPECT_EQ(mp.length, PageSize());
+  EXPECT_EQ(mp.first_vpage(), mp.last_vpage());  // exactly one vpage
+  // A page-exact minipage ends exactly on the boundary; the next sub-page
+  // allocation lands on a fresh page and may reuse view 0.
+  auto next = alloc.Allocate(64);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->offset, a->offset + PageSize());
+  EXPECT_EQ(next->view, 0u);
+}
+
+TEST(Allocator, RequestExactlyFillingPageRemainder) {
+  MinipageTable mpt;
+  MinipageAllocator alloc(&mpt, 1 << 20, 4);
+  auto head = alloc.Allocate(1024);
+  ASSERT_TRUE(head.ok());
+  // Exactly fills the rest of page 0: must stay on page 0 (no spill) in the
+  // next free view, ending flush on the boundary.
+  auto tail = alloc.Allocate(PageSize() - 1024);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(tail->offset, 1024u);
+  EXPECT_EQ(tail->view, 1u);
+  const Minipage& mp = mpt.Get(tail->minipages[0]);
+  EXPECT_EQ(mp.end(), PageSize());
+  EXPECT_EQ(mp.first_vpage(), 0u);
+  EXPECT_EQ(mp.last_vpage(), 0u);
+}
+
+TEST(Allocator, SubPageRequestThatWouldSpanMovesToNextPage) {
+  MinipageTable mpt;
+  MinipageAllocator alloc(&mpt, 1 << 20, 4);
+  ASSERT_TRUE(alloc.Allocate(104).ok());
+  // From offset 104 this would straddle the page boundary; sub-page
+  // minipages keep their <offset,length> inside one vpage, so the allocator
+  // must restart it on page 1.
+  auto a = alloc.Allocate(PageSize() - 50);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->offset, PageSize());
+  const Minipage& mp = mpt.Get(a->minipages[0]);
+  EXPECT_EQ(mp.first_vpage(), mp.last_vpage());
+}
+
+TEST(Allocator, MultiPageSpanIsOneMinipageAcrossVpages) {
+  MinipageTable mpt;
+  MinipageAllocator alloc(&mpt, 1 << 20, 4);
+  const uint64_t size = 2 * PageSize() + 512;
+  auto big = alloc.Allocate(size);
+  ASSERT_TRUE(big.ok());
+  ASSERT_EQ(big->minipages.size(), 1u);
+  const Minipage& mp = mpt.Get(big->minipages[0]);
+  EXPECT_EQ(mp.length, size);
+  EXPECT_EQ(mp.last_vpage() - mp.first_vpage(), 2u);  // spans three vpages
+  EXPECT_EQ(big->view, 0u);
+  // The tail vpage is only partially used; a small follow-up allocation may
+  // share it but must take a different view.
+  auto small = alloc.Allocate(64);
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(small->offset / PageSize(), mp.last_vpage());
+  EXPECT_NE(small->view, big->view);
+}
+
+TEST(Allocator, PageBasedSpanningRequestListsEveryMinipage) {
+  MinipageTable mpt;
+  AllocatorOptions opts;
+  opts.page_based = true;
+  MinipageAllocator alloc(&mpt, 1 << 20, 4, opts);
+  auto a = alloc.Allocate(3000);
+  ASSERT_TRUE(a.ok());
+  // Starts mid-page-0 and crosses into page 1: two page minipages, the first
+  // shared with the earlier allocation (false sharing by construction).
+  auto b = alloc.Allocate(3000);
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(b->minipages.size(), 2u);
+  EXPECT_EQ(b->minipages[0], a->minipages[0]);
+  EXPECT_EQ(mpt.Get(b->minipages[1]).offset, PageSize());
+}
+
+TEST(Allocator, DefaultAlignmentIsEightBytes) {
+  MinipageTable mpt;
+  MinipageAllocator alloc(&mpt, 1 << 20, 8);
+  uint64_t prev_end = 0;
+  for (uint64_t size : {3ull, 5ull, 7ull, 1ull, 9ull}) {
+    auto a = alloc.Allocate(size);
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(a->offset % 8, 0u) << "size " << size;
+    EXPECT_GE(a->offset, prev_end);  // no overlap with the previous object
+    prev_end = a->offset + size;
+  }
+}
+
+TEST(Allocator, HonorsCustomAlignment) {
+  MinipageTable mpt;
+  AllocatorOptions opts;
+  opts.alignment = 64;
+  MinipageAllocator alloc(&mpt, 1 << 20, 8, opts);
+  for (int i = 0; i < 4; ++i) {
+    auto a = alloc.Allocate(10);
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(a->offset % 64, 0u);
+    EXPECT_EQ(a->offset, static_cast<uint64_t>(i) * 64);
+  }
+}
+
 TEST(Allocator, ExhaustsObject) {
   MinipageTable mpt;
   MinipageAllocator alloc(&mpt, 8192, 4);

@@ -137,6 +137,82 @@ TEST(FaultHandlerTest, ReadAndWriteFaultsAreDistinguished) {
   FaultHandler::Instance().Unregister(slot);
 }
 
+// REG_ERR decode, write-first: the very first fault on the page is a store,
+// so the handler must see is_write=true without a preceding read fault
+// (guards against decoding the access kind from page state instead of the
+// fault error code).
+TEST(FaultHandlerTest, WriteFirstFaultDecodesAsWrite) {
+  ASSERT_TRUE(FaultHandler::Instance().Install().ok());
+  auto m = Mapping::MapAnonymous(PageSize(), Protection::kNoAccess);
+  ASSERT_TRUE(m.ok());
+  UpgradeCtx ctx;
+  ctx.mapping = &*m;
+  const int slot = FaultHandler::Instance().Register(&UpgradeOnFault, &ctx);
+  ASSERT_GE(slot, 0);
+
+  volatile int* p = reinterpret_cast<volatile int*>(m->base());
+  *p = 23;  // write fault on a NoAccess page
+  EXPECT_EQ(*p, 23);
+  EXPECT_EQ(ctx.write_faults.load(), 1);
+  EXPECT_EQ(ctx.read_faults.load(), 0);
+
+  FaultHandler::Instance().Unregister(slot);
+}
+
+// A fault on an address no registered view claims must not be swallowed: the
+// handler reports it (with the decoded access kind) and the process dies with
+// default SIGSEGV semantics. The target is a view that was mapped and then
+// torn down — the classic use-after-unmap.
+TEST(FaultHandlerDeathTest, ReadOfUnmappedViewReportsAndDies) {
+  ASSERT_TRUE(FaultHandler::Instance().Install().ok());
+  EXPECT_DEATH(
+      {
+        std::byte* gone = nullptr;
+        {
+          auto m = Mapping::MapAnonymous(PageSize(), Protection::kReadWrite);
+          gone = m->base();
+        }  // view unmapped here
+        (void)*reinterpret_cast<volatile int*>(gone);
+      },
+      "unhandled fault \\(R\\) at 0x");
+}
+
+TEST(FaultHandlerDeathTest, WriteToUnmappedViewReportsAndDies) {
+  ASSERT_TRUE(FaultHandler::Instance().Install().ok());
+  EXPECT_DEATH(
+      {
+        std::byte* gone = nullptr;
+        {
+          auto m = Mapping::MapAnonymous(PageSize(), Protection::kReadWrite);
+          gone = m->base();
+        }
+        *reinterpret_cast<volatile int*>(gone) = 1;
+      },
+      "unhandled fault \\(W\\) at 0x");
+}
+
+// A callback that itself faults while servicing a fault must not be
+// re-dispatched (infinite recursion); the depth guard reports the nested
+// fault and dies.
+TEST(FaultHandlerDeathTest, NestedFaultInHandlerIsRejected) {
+  ASSERT_TRUE(FaultHandler::Instance().Install().ok());
+  EXPECT_DEATH(
+      {
+        auto trap = Mapping::MapAnonymous(PageSize(), Protection::kNoAccess);
+        auto inner = Mapping::MapAnonymous(PageSize(), Protection::kNoAccess);
+        ASSERT_TRUE(trap.ok() && inner.ok());
+        FaultHandler::Instance().Register(
+            +[](void* ctx, void*, bool) {
+              // Faults at depth 1 — inside the SIGSEGV handler.
+              (void)*reinterpret_cast<volatile int*>(ctx);
+              return true;
+            },
+            inner->base());
+        (void)*reinterpret_cast<volatile int*>(trap->base());
+      },
+      "nested fault in handler");
+}
+
 TEST(FaultHandlerTest, RegisterUnregisterSlots) {
   ASSERT_TRUE(FaultHandler::Instance().Install().ok());
   int slots[FaultHandler::kMaxSlots];
