@@ -1,0 +1,134 @@
+// Manager contention: centralized vs sharded minipage management.
+//
+// With a single manager (the paper's deployment) every fault in the cluster
+// funnels through host 0, so the manager host is the scalability bottleneck
+// the moment many hosts fault on many *different* minipages — requests that
+// have no data conflict still queue behind one server thread. Sharding the
+// directory (ManagerPolicy::kSharded) hashes minipage/lock ids across hosts:
+// translation stays on host 0 (it owns the MPT), but per-id service —
+// directory state, invalidation rounds, ACK serialization — runs on the
+// owning shard.
+//
+// Workload: N writers on disjoint minipages, rotating ownership every round
+// so each round is a fresh write fault per (host, minipage) pair. Reported
+// per policy: wall time, how manager service spread over hosts (max/mean of
+// per-shard requests served; 1.0 = perfectly even), and how many translated
+// requests host 0 routed away. An uncontended single-writer pass checks that
+// sharding does not tax the no-contention fast path.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/dsm/cluster.h"
+#include "src/dsm/global_ptr.h"
+
+namespace millipage {
+namespace {
+
+DsmConfig Cfg(uint16_t hosts, ManagerPolicy policy) {
+  DsmConfig cfg;
+  cfg.num_hosts = hosts;
+  cfg.object_size = 1 << 20;
+  cfg.num_views = 8;
+  cfg.manager_policy = policy;
+  return cfg;
+}
+
+constexpr int kRounds = 100;
+
+struct BenchResult {
+  double wall_ms = 0;
+  uint64_t requests_served = 0;
+  uint64_t remote_routed = 0;
+  double shard_spread = 0;  // max/mean of per-shard requests served
+  int active_shards = 0;
+};
+
+// `writers_per_round` hosts write disjoint minipages each round; rotation
+// makes every (host, minipage) pair fault eventually.
+BenchResult RunContention(uint16_t hosts, ManagerPolicy policy, bool contended) {
+  auto cluster = DsmCluster::Create(Cfg(hosts, policy));
+  MP_CHECK(cluster.ok()) << cluster.status().ToString();
+  const int arrays = contended ? 4 * hosts : 1;
+  std::vector<GlobalPtr<int>> ptrs(arrays);
+  (*cluster)->RunOnManager([&](DsmNode&) {
+    for (int a = 0; a < arrays; ++a) {
+      ptrs[a] = SharedAlloc<int>(16);
+      ptrs[a][0] = 0;
+    }
+  });
+  const uint64_t t0 = MonotonicNowNs();
+  (*cluster)->RunParallel([&](DsmNode& node, HostId host) {
+    node.Barrier();
+    for (int r = 0; r < kRounds; ++r) {
+      if (contended) {
+        for (int a = 0; a < arrays; ++a) {
+          // Disjoint writers: exactly one host writes each minipage per
+          // round, and the assignment rotates.
+          if ((a + r) % hosts == host) {
+            ptrs[a][0] = ptrs[a][0] + 1;
+          }
+        }
+        node.Barrier();
+      } else if (host == 0) {
+        // Uncontended fast path: a single writer, no other host touches the
+        // minipage, no barrier chatter inside the loop.
+        ptrs[0][0] = ptrs[0][0] + 1;
+      }
+    }
+    node.Barrier();
+  });
+  BenchResult out;
+  out.wall_ms = static_cast<double>(MonotonicNowNs() - t0) / 1e6;
+  std::vector<uint64_t> per_shard;
+  for (uint16_t h = 0; h < hosts; ++h) {
+    Directory* dir = (*cluster)->node(h).directory();
+    if (dir == nullptr) {
+      continue;
+    }
+    per_shard.push_back(dir->counters().requests_served);
+    out.requests_served += dir->counters().requests_served;
+    out.remote_routed += dir->counters().remote_routed;
+  }
+  out.active_shards = static_cast<int>(per_shard.size());
+  const double mean =
+      static_cast<double>(out.requests_served) / static_cast<double>(per_shard.size());
+  const uint64_t peak = *std::max_element(per_shard.begin(), per_shard.end());
+  out.shard_spread = mean > 0 ? static_cast<double>(peak) / mean : 0.0;
+  return out;
+}
+
+void Report(uint16_t hosts, const char* mode, ManagerPolicy policy, bool contended) {
+  const BenchResult r = RunContention(hosts, policy, contended);
+  std::printf("  %-8u %-12s %-12s %9.1f %10lu %8lu %7d %11.2f\n", hosts, mode,
+              policy == ManagerPolicy::kSharded ? "sharded" : "centralized", r.wall_ms,
+              static_cast<unsigned long>(r.requests_served),
+              static_cast<unsigned long>(r.remote_routed), r.active_shards,
+              r.shard_spread);
+}
+
+}  // namespace
+}  // namespace millipage
+
+int main() {
+  using namespace millipage;
+  setvbuf(stdout, nullptr, _IONBF, 0);
+  PrintHeader("Manager contention: centralized vs sharded directory");
+  std::printf("  %-8s %-12s %-12s %9s %10s %8s %7s %11s\n", "hosts", "workload", "policy",
+              "wall ms", "mgr reqs", "routed", "shards", "max/mean");
+  for (uint16_t hosts : {2, 4, 8}) {
+    Report(hosts, "contended", ManagerPolicy::kCentralized, /*contended=*/true);
+    Report(hosts, "contended", ManagerPolicy::kSharded, /*contended=*/true);
+  }
+  for (uint16_t hosts : {2, 8}) {
+    Report(hosts, "uncontended", ManagerPolicy::kCentralized, /*contended=*/false);
+    Report(hosts, "uncontended", ManagerPolicy::kSharded, /*contended=*/false);
+  }
+  PrintNote("centralized runs one shard (host 0 serves everything: shards=1, max/mean=1);");
+  PrintNote("sharded spreads service across every host — max/mean near 1 means no shard is");
+  PrintNote("a hotspot (acceptance: <= 2). 'routed' counts translated requests host 0 handed");
+  PrintNote("to the owning shard; the uncontended rows check sharding adds no fast-path tax.");
+  return 0;
+}

@@ -21,8 +21,9 @@ AppRunResult RunApp(DsmCluster& cluster, App& app) {
       views.insert(manager.mpt()->Get(static_cast<MinipageId>(i)).view);
     }
     result.num_views = static_cast<uint32_t>(views.size());
-    result.competing_requests = manager.directory()->counters().competing_requests;
   });
+  // Aggregate across manager shards (a single shard when centralized).
+  result.competing_requests = cluster.TotalManagerCounters().competing_requests;
   result.barriers = cluster.node(cluster.num_hosts() > 1 ? 1 : 0).counters().barriers;
 
   result.timing.ns_per_work_unit = app.ns_per_work_unit();

@@ -166,7 +166,36 @@ CheckReport CheckCoherenceOracle(const std::vector<TraceEvent>& history) {
   return CheckReport{};
 }
 
-CheckReport CheckHistory(const std::vector<TraceEvent>& history, uint16_t num_hosts) {
+CheckReport CheckShardAffinity(const std::vector<TraceEvent>& history,
+                               uint16_t num_hosts) {
+  for (size_t i = 0; i < history.size(); ++i) {
+    const TraceEvent& e = history[i];
+    switch (e.kind) {
+      case TraceEventKind::kMgrSvcStart:
+      case TraceEventKind::kMgrSvcEnd:
+      case TraceEventKind::kMgrReadGrant:
+      case TraceEventKind::kMgrWriteGrant:
+      case TraceEventKind::kMgrInvalidate:
+      case TraceEventKind::kLockGrant:
+      case TraceEventKind::kLockRelease:
+        break;
+      default:
+        continue;
+    }
+    const uint16_t owner = static_cast<uint16_t>(e.minipage % num_hosts);
+    if (e.host != owner) {
+      return Violation(i, "shard affinity: " +
+                              std::string(TraceEventKindName(e.kind)) + " for id " +
+                              std::to_string(e.minipage) + " served by host " +
+                              std::to_string(e.host) + ", but the id's shard is host " +
+                              std::to_string(owner));
+    }
+  }
+  return CheckReport{};
+}
+
+CheckReport CheckHistory(const std::vector<TraceEvent>& history, uint16_t num_hosts,
+                         bool sharded_managers) {
   CheckReport r = CheckSwmr(history, num_hosts);
   if (!r.ok) {
     return r;
@@ -178,6 +207,12 @@ CheckReport CheckHistory(const std::vector<TraceEvent>& history, uint16_t num_ho
   r = CheckLockExclusivity(history);
   if (!r.ok) {
     return r;
+  }
+  if (sharded_managers) {
+    r = CheckShardAffinity(history, num_hosts);
+    if (!r.ok) {
+      return r;
+    }
   }
   return CheckCoherenceOracle(history);
 }

@@ -38,13 +38,21 @@ struct CheckReport {
 };
 
 // Runs every invariant over `history`; returns the first violation found.
-CheckReport CheckHistory(const std::vector<TraceEvent>& history, uint16_t num_hosts);
+// When `sharded_managers` is true the run used ManagerPolicy::kSharded and
+// shard affinity is additionally verified.
+CheckReport CheckHistory(const std::vector<TraceEvent>& history, uint16_t num_hosts,
+                         bool sharded_managers = false);
 
 // Individual invariants (exposed for targeted tests).
 CheckReport CheckSwmr(const std::vector<TraceEvent>& history, uint16_t num_hosts);
 CheckReport CheckBarrierEpochs(const std::vector<TraceEvent>& history, uint16_t num_hosts);
 CheckReport CheckLockExclusivity(const std::vector<TraceEvent>& history);
 CheckReport CheckCoherenceOracle(const std::vector<TraceEvent>& history);
+// Sharded deployments only: every manager-side event (service open/close,
+// grants, invalidation sends, lock hand-offs) must have been emitted by the
+// shard that owns the id, i.e. host == id % num_hosts. A violation means a
+// request was serviced by (or directory state mutated on) the wrong host.
+CheckReport CheckShardAffinity(const std::vector<TraceEvent>& history, uint16_t num_hosts);
 
 }  // namespace millipage
 

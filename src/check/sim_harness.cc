@@ -101,6 +101,7 @@ Status SimRun::Setup() {
   config.request_timeout_ms = 0;
   config.sync_timeout_ms = 0;
   config.trace = &trace_;
+  config.manager_policy = workload_.policy;
 
   net_ = std::make_unique<SimNet>(workload_.hosts, seed_);
   nodes_.reserve(workload_.hosts);

@@ -25,6 +25,7 @@
 
 #include "src/common/status.h"
 #include "src/common/trace.h"
+#include "src/dsm/config.h"
 
 namespace millipage {
 
@@ -47,6 +48,9 @@ struct SimWorkload {
   uint32_t rounds = 3;        // barrier-separated rounds
   uint32_t ops_per_round = 4; // per host per round
   bool use_locks = true;      // mix kLockedRmw into generated scripts
+  // Directory placement under test: centralized (host 0 serves everything)
+  // or sharded (each host serves the ids hashing to it).
+  ManagerPolicy policy = ManagerPolicy::kCentralized;
 };
 
 struct SimResult {

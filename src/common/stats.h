@@ -67,18 +67,23 @@ struct HostCounters {
   }
 };
 
-// Counters kept only at the manager host.
+// Counters kept per manager shard (one shard on host 0 when centralized,
+// one per host when the directory is sharded).
 struct ManagerCounters {
   uint64_t requests_served = 0;
   uint64_t competing_requests = 0;  // requests queued behind an in-flight one
   uint64_t invalidation_rounds = 0;
   uint64_t mpt_lookups = 0;
+  // Translated requests handed off to another host's shard (only the MPT
+  // host routes, so this is nonzero only on host 0, only when sharded).
+  uint64_t remote_routed = 0;
 
   ManagerCounters& operator+=(const ManagerCounters& o) {
     requests_served += o.requests_served;
     competing_requests += o.competing_requests;
     invalidation_rounds += o.invalidation_rounds;
     mpt_lookups += o.mpt_lookups;
+    remote_routed += o.remote_routed;
     return *this;
   }
 };

@@ -43,7 +43,11 @@ const char* TraceEventKindName(TraceEventKind k);
 struct TraceEvent {
   uint64_t lts = 0;       // process-global logical timestamp (total order)
   TraceEventKind kind = TraceEventKind::kProtSet;
-  uint16_t host = 0;      // host the event happened on
+  uint16_t host = 0;      // host the event happened on. For manager-side
+                          // events (kMgrSvcStart/End, kMgr*Grant,
+                          // kMgrInvalidate, kLockGrant/Release) this is the
+                          // *serving manager shard* — under a sharded policy
+                          // the checker verifies it equals ManagerOf(id).
   uint32_t minipage = 0;  // minipage id (or lock id), ~0u when not applicable
   uint64_t addr = 0;      // packed GlobalAddr when applicable
   uint64_t arg1 = 0;

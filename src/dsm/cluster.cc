@@ -127,4 +127,14 @@ HostCounters DsmCluster::TotalCounters() const {
   return total;
 }
 
+ManagerCounters DsmCluster::TotalManagerCounters() const {
+  ManagerCounters total;
+  for (const auto& node : nodes_) {
+    if (node->directory() != nullptr) {
+      total += node->directory()->counters();
+    }
+  }
+  return total;
+}
+
 }  // namespace millipage

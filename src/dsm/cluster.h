@@ -39,6 +39,11 @@ class DsmCluster {
 
   HostCounters TotalCounters() const;
 
+  // Sum of every host's manager-shard counters. With the centralized policy
+  // this equals host 0's shard; with the sharded policy it aggregates the
+  // whole directory.
+  ManagerCounters TotalManagerCounters() const;
+
  private:
   explicit DsmCluster(const DsmConfig& config) : config_(config) {}
 

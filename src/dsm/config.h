@@ -7,10 +7,25 @@
 #include <cstdint>
 
 #include "src/multiview/allocator.h"
+#include "src/net/message.h"
 
 namespace millipage {
 
 class TraceSink;
+
+// Placement of per-id manager state (directory entries, lock queues, the
+// barrier). Translation (MPT + allocator) always lives on kManagerHost: a
+// faulting host cannot know a minipage id before translation, so requests
+// take one extra header hop to the owning shard when the two differ.
+enum class ManagerPolicy : uint8_t {
+  kCentralized,  // everything on kManagerHost — bit-compatible with the
+                 // original single-manager protocol
+  kSharded,      // directory/lock/barrier state hashed across all hosts
+};
+
+// Reserved id that places the (single, global) barrier under the same
+// hash as minipages and locks, so it leaves host 0 in sharded mode.
+inline constexpr uint32_t kBarrierShardId = 0xfffffffeu;
 
 // How a host's DSM server thread waits for messages (Section 3.5.1). The
 // paper's poller busy-loops at low priority and its sweeper wakes on a 1 ms
@@ -30,6 +45,18 @@ struct DsmConfig {
 
   uint32_t chunking_level = 1;    // Section 4.4 aggregation switch
   bool page_based = false;        // Ivy-style full-page baseline
+
+  ManagerPolicy manager_policy = ManagerPolicy::kCentralized;
+
+  // Owning manager shard for a minipage/lock id. Centralized: always host 0.
+  // Sharded: static hash, the same placement rule the LRC variant uses for
+  // minipage homes (id mod hosts).
+  HostId ManagerOf(uint32_t id) const {
+    return manager_policy == ManagerPolicy::kCentralized
+               ? kManagerHost
+               : static_cast<HostId>(id % num_hosts);
+  }
+  HostId BarrierManager() const { return ManagerOf(kBarrierShardId); }
 
   ServiceMode service_mode = ServiceMode::kBlocking;
   uint64_t service_period_us = 1000;  // used by kPeriodic

@@ -1,7 +1,10 @@
 // Manager-side directory: per-minipage copyset/ownership, in-service
 // serialization with request queueing (the source of the paper's "competing
 // requests" statistic), pending-write invalidation rounds, plus the lock and
-// barrier tables. All state is touched exclusively by the manager host's
+// barrier tables. One Directory instance is one manager *shard*: centralized
+// deployments run a single shard on host 0; sharded deployments
+// (ManagerPolicy::kSharded) run one per host, holding exactly the ids that
+// hash to it. All state in a shard is touched exclusively by its host's
 // server thread, so no locking is needed.
 
 #ifndef SRC_DSM_DIRECTORY_H_
@@ -35,9 +38,21 @@ struct DirEntry {
   // Outstanding confirmations for an in-service push-update broadcast.
   uint32_t push_outstanding = 0;
 
-  bool HasCopy(HostId h) const { return (copyset & (1ULL << h)) != 0; }
-  void AddCopy(HostId h) { copyset |= (1ULL << h); }
-  void RemoveCopy(HostId h) { copyset &= ~(1ULL << h); }
+  // The copyset is a 64-bit mask, so host ids past 63 would shift out of
+  // range (undefined behavior, then silent membership aliasing). Node/cluster
+  // construction rejects num_hosts > 64; these checks catch corrupt ids.
+  bool HasCopy(HostId h) const {
+    MP_CHECK(h < 64) << "copyset host id " << h << " out of 64-bit mask range";
+    return (copyset & (1ULL << h)) != 0;
+  }
+  void AddCopy(HostId h) {
+    MP_CHECK(h < 64) << "copyset host id " << h << " out of 64-bit mask range";
+    copyset |= (1ULL << h);
+  }
+  void RemoveCopy(HostId h) {
+    MP_CHECK(h < 64) << "copyset host id " << h << " out of 64-bit mask range";
+    copyset &= ~(1ULL << h);
+  }
   int CopyCount() const { return __builtin_popcountll(copyset); }
   // Any copyset member, preferring one different from `avoid`. `hint`
   // rotates the starting position: when read ACKs are elided the copyset can
@@ -45,6 +60,10 @@ struct DirEntry {
   // choice guarantees a re-routed request eventually reaches the (always
   // existing) member with stable data.
   HostId PickReplica(HostId avoid, uint32_t hint = 0) const {
+    // An empty copyset has no replica to pick: hint % 0 divides by zero and
+    // ctzll(0) is undefined, so fail loudly instead of returning garbage.
+    MP_CHECK(copyset != 0) << "PickReplica on an empty copyset (minipage has no holder)";
+    MP_CHECK(avoid < 64) << "copyset host id " << avoid << " out of 64-bit mask range";
     const uint64_t others = copyset & ~(1ULL << avoid);
     const uint64_t pool = others != 0 ? others : copyset;
     const int n = __builtin_popcountll(pool);

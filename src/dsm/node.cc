@@ -43,6 +43,10 @@ Result<std::unique_ptr<DsmNode>> DsmNode::Create(const DsmConfig& config, HostId
     node->allocator_ = std::make_unique<MinipageAllocator>(
         node->mpt_.get(), node->views_->object_size(), config.num_views,
         config.MakeAllocatorOptions());
+  }
+  // Directory shard: host 0 holds the single shard when centralized; every
+  // host holds one when the manager role is sharded.
+  if (me == kManagerHost || config.manager_policy == ManagerPolicy::kSharded) {
     node->directory_ = std::make_unique<Directory>();
   }
   return node;
@@ -198,7 +202,7 @@ Status DsmNode::TryBarrier() {
   h.from = me_;
   h.seq = WaitSlots::MakeSeq(slot, gen);
   Trace(TraceEventKind::kBarrierEnter, ~0u, 0);
-  if (Status st = TrySendMsg(kManagerHost, h); !st.ok()) {
+  if (Status st = TrySendMsg(config_.BarrierManager(), h); !st.ok()) {
     return LivenessFailure("Barrier", st);
   }
   // Barrier entry increments the manager's arrival count, so a re-send would
@@ -233,7 +237,7 @@ Status DsmNode::TryLock(uint32_t lock_id) {
   h.from = me_;
   h.seq = WaitSlots::MakeSeq(slot, gen);
   h.minipage = lock_id;
-  if (Status st = TrySendMsg(kManagerHost, h); !st.ok()) {
+  if (Status st = TrySendMsg(config_.ManagerOf(lock_id), h); !st.ok()) {
     return LivenessFailure("Lock", st);
   }
   // A re-sent acquire would enqueue this host twice in the lock's FIFO:
@@ -254,7 +258,7 @@ void DsmNode::Unlock(uint32_t lock_id) {
   h.from = me_;
   h.seq = kNoWaitSlot;
   h.minipage = lock_id;
-  SendMsg(kManagerHost, h);
+  SendMsg(config_.ManagerOf(lock_id), h);
 }
 
 void DsmNode::Prefetch(GlobalAddr a) {
@@ -327,7 +331,7 @@ size_t DsmNode::FetchGroup(const GlobalAddr* addrs, size_t count) {
       ack.seq = kNoWaitSlot;
       ack.addr = reply->addr;
       ack.minipage = reply->minipage;
-      SendMsg(kManagerHost, ack);
+      SendMsg(config_.ManagerOf(ack.minipage), ack);
     }
   }
   return collected;
@@ -407,7 +411,7 @@ bool DsmNode::OnFault(uint32_t view, uint64_t offset, bool is_write) {
     ack.seq = kNoWaitSlot;
     ack.addr = reply.addr;
     ack.minipage = reply.minipage;
-    SendMsg(kManagerHost, ack);
+    SendMsg(config_.ManagerOf(ack.minipage), ack);
   }
 
   const uint64_t dt = MonotonicNowNs() - t0;
@@ -519,7 +523,7 @@ void DsmNode::HandleMessage(const MsgHeader& h) {
         // A serving host returned the request unserved; re-route it. This
         // check must precede the forwarded-flag check: bounced requests
         // still carry it.
-        MP_CHECK(is_manager()) << "bounced request received by non-manager";
+        MP_CHECK(OwnsShard(h.minipage)) << "bounced request received by non-owning shard";
         MsgHeader copy = h;
         copy.flags &= static_cast<uint8_t>(~(kFlagForwarded | kFlagBounced));
         MgrHandleBounced(copy);
@@ -529,15 +533,13 @@ void DsmNode::HandleMessage(const MsgHeader& h) {
         } else {
           ServeWriteRequest(h);
         }
+      } else if (!h.translated()) {
+        MgrTranslateAndRoute(h);
       } else {
-        MP_CHECK(is_manager()) << "request received by non-manager";
-        // Any protocol traffic means sharing has begun: stop aggregating
-        // allocations so open chunks can no longer grow (see MgrHandleAlloc).
-        allocator_->CloseChunk();
-        MsgHeader copy = h;
-        if (MgrTranslate(&copy)) {
-          MgrStartService(copy);
-        }
+        // Translated but not forwarded: a request host 0 routed to this
+        // host's shard (or a bounce-free retry hitting the same shard).
+        MP_CHECK(OwnsShard(h.minipage)) << "routed request received by non-owning shard";
+        MgrStartService(h);
       }
       break;
     case MsgType::kReadReply:
@@ -548,11 +550,11 @@ void DsmNode::HandleMessage(const MsgHeader& h) {
       HandleInvalidateRequest(h);
       break;
     case MsgType::kInvalidateReply:
-      MP_CHECK(is_manager());
+      MP_CHECK(OwnsShard(h.minipage));
       MgrHandleInvalidateReply(h);
       break;
     case MsgType::kAck:
-      MP_CHECK(is_manager());
+      MP_CHECK(OwnsShard(h.minipage));
       MgrHandleAck(h);
       break;
     case MsgType::kAllocRequest:
@@ -567,17 +569,21 @@ void DsmNode::HandleMessage(const MsgHeader& h) {
       }
       break;
     case MsgType::kBarrierEnter:
-      MP_CHECK(is_manager());
-      allocator_->CloseChunk();
+      MP_CHECK(me_ == config_.BarrierManager()) << "barrier entry at non-barrier shard";
+      if (allocator_ != nullptr) {
+        allocator_->CloseChunk();
+      }
       MgrHandleBarrierEnter(h);
       break;
     case MsgType::kLockAcquire:
-      MP_CHECK(is_manager());
-      allocator_->CloseChunk();
+      MP_CHECK(OwnsShard(h.minipage)) << "lock acquire at non-owning shard";
+      if (allocator_ != nullptr) {
+        allocator_->CloseChunk();
+      }
       MgrHandleLockAcquire(h);
       break;
     case MsgType::kLockRelease:
-      MP_CHECK(is_manager());
+      MP_CHECK(OwnsShard(h.minipage)) << "lock release at non-owning shard";
       MgrHandleLockRelease(h);
       break;
     case MsgType::kPushUpdate:
@@ -585,13 +591,11 @@ void DsmNode::HandleMessage(const MsgHeader& h) {
         ApplyPush(h);
       } else if ((h.flags & kFlagForwarded) != 0) {
         PusherBroadcast(h);
+      } else if (!h.translated()) {
+        MgrTranslateAndRoute(h);
       } else {
-        MP_CHECK(is_manager());
-        allocator_->CloseChunk();
-        MsgHeader copy = h;
-        if (MgrTranslate(&copy)) {
-          MgrStartService(copy);
-        }
+        MP_CHECK(OwnsShard(h.minipage)) << "routed push received by non-owning shard";
+        MgrStartService(h);
       }
       break;
     case MsgType::kShutdown:
@@ -613,11 +617,63 @@ bool DsmNode::MgrTranslate(MsgHeader* h) {
   h->minipage = mp->id;
   h->pgsize = static_cast<uint32_t>(mp->length);
   h->privbase = mp->offset;
+  if (mp->id >= mp_routed_.size()) {
+    mp_routed_.resize(mp->id + 1, false);
+  }
+  mp_routed_[mp->id] = true;
   return true;
+}
+
+void DsmNode::MgrTranslateAndRoute(const MsgHeader& h) {
+  MP_CHECK(is_manager()) << "untranslated request received by non-MPT host";
+  // Any protocol traffic means sharing has begun: stop aggregating
+  // allocations so open chunks can no longer grow (see MgrHandleAlloc).
+  allocator_->CloseChunk();
+  MsgHeader copy = h;
+  if (!MgrTranslate(&copy)) {
+    return;
+  }
+  const HostId owner = config_.ManagerOf(copy.minipage);
+  if (owner == me_) {
+    MgrStartService(copy);
+    return;
+  }
+  // Hand the translated (but still unforwarded) header to the owning shard;
+  // service, ACKs, and replies then bypass this host entirely.
+  directory_->counters().remote_routed++;
+  SendMsg(owner, copy);
+}
+
+void DsmNode::ForwardToReplica(HostId target, const MsgHeader& fwd) {
+  if (target == me_ && config_.manager_policy == ManagerPolicy::kSharded) {
+    // The owning shard holds the serving replica itself. Serve inline from
+    // the privileged view instead of a self round trip through the
+    // transport — the zero-copy send stays zero-copy and saves two local
+    // messages. (Centralized mode keeps the historical self-send so its
+    // message traces stay bit-compatible.)
+    if (fwd.msg_type() == MsgType::kReadRequest) {
+      ServeReadRequest(fwd);
+      return;
+    }
+    if (fwd.msg_type() == MsgType::kWriteRequest) {
+      ServeWriteRequest(fwd);
+      return;
+    }
+  }
+  SendMsg(target, fwd);
 }
 
 void DsmNode::MgrStartService(MsgHeader h) {
   DirEntry& e = directory_->Entry(h.minipage);
+  if (e.copyset == 0) {
+    // First request this shard sees for the id. The initial holder is always
+    // host 0: allocation opened the minipage ReadWrite there, and every
+    // first-touch request passes host 0's translation before arriving here
+    // (closing the growth chunk), so "never serviced" ⇒ "still manager-held".
+    // Centralized shards never hit this (MgrHandleAlloc seeds the entry).
+    e.copyset = 1ULL << kManagerHost;
+    e.writable = true;
+  }
   directory_->counters().requests_served++;
   if (e.in_service) {
     // A request queued behind another HOST's transaction is contention (the
@@ -677,7 +733,7 @@ void DsmNode::MgrProcessRead(const MsgHeader& h, DirEntry& e) {
   Trace(TraceEventKind::kMgrReadGrant, h.minipage, h.addr, h.from, e.copyset);
   MsgHeader fwd = h;
   fwd.flags |= kFlagForwarded;
-  SendMsg(replica, fwd);
+  ForwardToReplica(replica, fwd);
   if (!config_.enable_ack) {
     MgrFinishService(h.minipage);
   }
@@ -708,7 +764,7 @@ void DsmNode::MgrProcessWrite(const MsgHeader& h, DirEntry& e) {
     Trace(TraceEventKind::kMgrWriteGrant, h.minipage, h.addr, h.from, 1ULL << remaining);
     MsgHeader fwd = h;
     fwd.flags |= kFlagForwarded;
-    SendMsg(remaining, fwd);
+    ForwardToReplica(remaining, fwd);
     if (!config_.enable_ack) {
       MgrFinishService(h.minipage);
     }
@@ -765,7 +821,7 @@ void DsmNode::MgrFinishWriteRound(MinipageId id) {
   } else {
     MsgHeader fwd = w;
     fwd.flags |= kFlagForwarded;
-    SendMsg(e.write_remaining, fwd);
+    ForwardToReplica(e.write_remaining, fwd);
   }
   if (!config_.enable_ack) {
     MgrFinishService(id);
@@ -809,7 +865,7 @@ void DsmNode::MgrHandleBounced(const MsgHeader& h) {
     // inbound copy is on the wire.
     MsgHeader fwd = h;
     fwd.flags |= kFlagForwarded;
-    SendMsg(e.write_remaining, fwd);
+    ForwardToReplica(e.write_remaining, fwd);
     return;
   }
   // Reads: re-route from the current copyset.
@@ -846,6 +902,18 @@ void DsmNode::MgrHandleAlloc(const MsgHeader& h) {
     return;
   }
   for (MinipageId id : alloc->minipages) {
+    if (!OwnsShard(id)) {
+      // Sharded: the id's directory entry lives on another host and
+      // bootstraps lazily when that shard first services it. Locally we only
+      // keep the growing chunk's pages writable — unless the id has already
+      // been translated into sharing, in which case re-opening ReadWrite
+      // would undo a downgrade the owning shard ordered.
+      const bool routed = id < mp_routed_.size() && mp_routed_[id];
+      if (!routed) {
+        MP_CHECK_OK(views_->SetProtection(mpt_->Get(id), Protection::kReadWrite));
+      }
+      continue;
+    }
     DirEntry& e = directory_->Entry(id);
     if (e.copyset == 0) {
       e.copyset = 1ULL << kManagerHost;
@@ -968,7 +1036,7 @@ void DsmNode::HandleInvalidateRequest(const MsgHeader& h) {
   MsgHeader reply = h;
   reply.set_type(MsgType::kInvalidateReply);
   reply.flags = 0;
-  SendMsg(kManagerHost, reply);
+  SendMsg(config_.ManagerOf(h.minipage), reply);
 }
 
 void DsmNode::HandleReply(const MsgHeader& h) {
@@ -1011,7 +1079,7 @@ void DsmNode::HandleReply(const MsgHeader& h) {
       ack.set_type(MsgType::kAck);
       ack.from = me_;
       ack.flags = 0;
-      SendMsg(kManagerHost, ack);
+      SendMsg(config_.ManagerOf(ack.minipage), ack);
     }
     return;
   }
@@ -1025,7 +1093,7 @@ void DsmNode::ApplyPush(const MsgHeader& h) {
   ack.set_type(MsgType::kAck);
   ack.from = me_;
   ack.flags = 0;
-  SendMsg(kManagerHost, ack);
+  SendMsg(config_.ManagerOf(ack.minipage), ack);
 }
 
 void DsmNode::PusherBroadcast(const MsgHeader& h) {
@@ -1036,7 +1104,7 @@ void DsmNode::PusherBroadcast(const MsgHeader& h) {
   if (views_->GetProtection(mp) != Protection::kReadWrite) {
     // Lost the writable copy since the push was issued; abort.
     ack.flags = kFlagAbort;
-    SendMsg(kManagerHost, ack);
+    SendMsg(config_.ManagerOf(ack.minipage), ack);
     return;
   }
   // Downgrade first so no local writer can tear the broadcast contents.
@@ -1050,16 +1118,17 @@ void DsmNode::PusherBroadcast(const MsgHeader& h) {
     }
   }
   ack.flags = 0;
-  SendMsg(kManagerHost, ack);
+  SendMsg(config_.ManagerOf(ack.minipage), ack);
 }
 
 void DsmNode::Bounce(MsgHeader h) {
   // This host cannot serve the forwarded request (its copy is gone or has
   // not arrived) — a window that only opens when read ACKs are elided.
-  // Return it to the manager for re-routing against current directory state.
+  // Return it to the owning shard for re-routing against current directory
+  // state.
   bounced_.fetch_add(1, std::memory_order_relaxed);
   h.flags |= kFlagBounced;
-  SendMsg(kManagerHost, h);
+  SendMsg(config_.ManagerOf(h.minipage), h);
 }
 
 // ---- Liveness --------------------------------------------------------------
@@ -1102,7 +1171,7 @@ Result<MsgHeader> DsmNode::AwaitReply(uint32_t slot, uint32_t gen, uint64_t time
       ack.seq = kNoWaitSlot;
       ack.addr = r->addr;
       ack.minipage = r->minipage;
-      SendMsg(kManagerHost, ack);
+      SendMsg(config_.ManagerOf(ack.minipage), ack);
     }
   }
 }

@@ -1,6 +1,14 @@
 // DsmNode: one millipage host. Owns the host's memory object and views, the
 // SW/MR sequential-consistency protocol endpoint, the DSM server thread, and
-// (on host 0) the manager role: MPT, allocator, directory, locks, barriers.
+// the manager role. The manager role is really two roles:
+//   * translation (MPT + allocator) — always on host 0 (kManagerHost), the
+//     only host that can map a faulting address to a minipage id;
+//   * per-id service (directory entry, lock queue, barrier) — on host 0 when
+//     ManagerPolicy::kCentralized, or on ManagerOf(id) when kSharded, in
+//     which case every host runs a directory shard and untranslated requests
+//     take one extra header hop: host 0 translates, then routes the request
+//     to the owning shard, which serves it (from its own privileged view,
+//     zero-copy, when it also holds a replica).
 //
 // The protocol is the paper's Figure 3, message for message:
 //   * faults send a 32-byte request to the manager and block on an event;
@@ -64,7 +72,11 @@ class DsmNode {
 
   HostId id() const { return me_; }
   uint16_t num_hosts() const { return config_.num_hosts; }
+  // True for the MPT/allocator host (host 0), which also translates and
+  // routes every untranslated request.
   bool is_manager() const { return me_ == kManagerHost; }
+  // True when this host's shard serves directory/lock state for `id`.
+  bool OwnsShard(uint32_t id) const { return config_.ManagerOf(id) == me_; }
   const DsmConfig& config() const { return config_; }
   ViewSet& views() { return *views_; }
 
@@ -155,7 +167,8 @@ class DsmNode {
   // directory/barrier occupancy). Best-effort racy read, for diagnostics.
   std::string LivenessReport() const;
 
-  // Manager-only state (null/empty elsewhere).
+  // This host's manager shard (null on non-manager hosts when centralized);
+  // mpt/allocator are null everywhere but host 0.
   Directory* directory() { return directory_.get(); }
   const MinipageTable* mpt() const { return mpt_.get(); }
   const MinipageAllocator* allocator() const { return allocator_.get(); }
@@ -170,6 +183,13 @@ class DsmNode {
 
   // Manager role.
   bool MgrTranslate(MsgHeader* h);
+  // Host 0 only: translate an untranslated request and either serve it (own
+  // shard) or hand the translated header to the owning shard.
+  void MgrTranslateAndRoute(const MsgHeader& h);
+  // Forwards a translated request to the serving replica. When this shard is
+  // itself the replica (sharded mode), serves inline from the privileged
+  // view instead of bouncing the header through the transport.
+  void ForwardToReplica(HostId target, const MsgHeader& fwd);
   void MgrStartService(MsgHeader h);
   void MgrProcess(const MsgHeader& h);
   void MgrProcessRead(const MsgHeader& h, DirEntry& e);
@@ -243,10 +263,18 @@ class DsmNode {
   std::unique_ptr<ViewSet> views_;
   WaitSlots slots_;
 
-  // Manager-only.
+  // mpt_/allocator_ exist only on host 0. directory_ is this host's manager
+  // shard: host 0 only when centralized, every host when sharded.
   std::unique_ptr<MinipageTable> mpt_;
   std::unique_ptr<MinipageAllocator> allocator_;
   std::unique_ptr<Directory> directory_;
+
+  // Host 0, server thread only: minipage ids whose first request has been
+  // translated (= routed into service somewhere). A growing page-based chunk
+  // can re-present an already-shared id at allocation time; when sharded,
+  // host 0 cannot consult the remote shard's copyset, so this bit keeps
+  // MgrHandleAlloc from re-opening local RW protection over shared data.
+  std::vector<bool> mp_routed_;
 
   std::thread server_;
   std::atomic<bool> stop_{false};

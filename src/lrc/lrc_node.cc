@@ -16,6 +16,11 @@ Result<std::unique_ptr<LrcNode>> LrcNode::Create(const DsmConfig& config, HostId
   if (me >= config.num_hosts) {
     return Status::Invalid("LrcNode: host id out of range");
   }
+  if (config.num_hosts > 64) {
+    // Directory copysets are 64-bit masks; larger deployments would shift
+    // host bits out of range.
+    return Status::Invalid("LrcNode: num_hosts must be <= 64");
+  }
   auto node = std::unique_ptr<LrcNode>(new LrcNode(config, me, transport));
   MP_ASSIGN_OR_RETURN(node->views_, ViewSet::Create(config.object_size, config.num_views));
   node->local_mpt_ = std::make_unique<MinipageTable>();
@@ -24,6 +29,10 @@ Result<std::unique_ptr<LrcNode>> LrcNode::Create(const DsmConfig& config, HostId
     node->allocator_ = std::make_unique<MinipageAllocator>(
         node->mpt_.get(), node->views_->object_size(), config.num_views,
         config.MakeAllocatorOptions());
+  }
+  // Sync tables (locks, barrier): one shard on host 0 when centralized,
+  // one per host when sharded — lock ids hash across hosts like minipages.
+  if (me == kManagerHost || config.manager_policy == ManagerPolicy::kSharded) {
     node->directory_ = std::make_unique<Directory>();
   }
   return node;
@@ -102,7 +111,7 @@ void LrcNode::Barrier() {
   h.set_type(MsgType::kBarrierEnter);
   h.from = me_;
   h.seq = ThreadSlot();
-  SendMsg(kManagerHost, h);
+  SendMsg(config_.BarrierManager(), h);
   (void)slots_.Wait(h.seq);
   InvalidateCache();  // acquire
   std::lock_guard<std::mutex> lock(stats_mu_);
@@ -115,7 +124,7 @@ void LrcNode::Lock(uint32_t lock_id) {
   h.from = me_;
   h.seq = ThreadSlot();
   h.minipage = lock_id;
-  SendMsg(kManagerHost, h);
+  SendMsg(config_.ManagerOf(lock_id), h);
   (void)slots_.Wait(h.seq);
   InvalidateCache();  // acquire
   std::lock_guard<std::mutex> lock(stats_mu_);
@@ -129,7 +138,7 @@ void LrcNode::Unlock(uint32_t lock_id) {
   h.from = me_;
   h.seq = kNoWaitSlot;
   h.minipage = lock_id;
-  SendMsg(kManagerHost, h);
+  SendMsg(config_.ManagerOf(lock_id), h);
 }
 
 // ---- Fault path ----------------------------------------------------------------
@@ -318,17 +327,24 @@ void LrcNode::HandleMessage(const MsgHeader& h) {
       slots_.Post(h.seq, h);
       break;
     case MsgType::kBarrierEnter:
-      MP_CHECK(is_manager());
-      allocator_->CloseChunk();
+      MP_CHECK(me_ == config_.BarrierManager())
+          << "barrier entry received by a non-barrier host";
+      if (allocator_ != nullptr) {
+        allocator_->CloseChunk();
+      }
       MgrHandleBarrierEnter(h);
       break;
     case MsgType::kLockAcquire:
-      MP_CHECK(is_manager());
-      allocator_->CloseChunk();
+      MP_CHECK(config_.ManagerOf(h.minipage) == me_)
+          << "lock acquire received by a non-owning shard";
+      if (allocator_ != nullptr) {
+        allocator_->CloseChunk();
+      }
       MgrHandleLockAcquire(h);
       break;
     case MsgType::kLockRelease:
-      MP_CHECK(is_manager());
+      MP_CHECK(config_.ManagerOf(h.minipage) == me_)
+          << "lock release received by a non-owning shard";
       MgrHandleLockRelease(h);
       break;
     default:

@@ -146,7 +146,8 @@ class LrcNode {
   // fetches (guarded by mu_).
   std::unique_ptr<MinipageTable> local_mpt_;
 
-  // Manager-only (allocation + sync tables).
+  // MPT-host-only (allocation); sync tables live on host 0 when centralized
+  // and on every host when the manager policy is sharded.
   std::unique_ptr<MinipageTable> mpt_;
   std::unique_ptr<MinipageAllocator> allocator_;
   std::unique_ptr<Directory> directory_;

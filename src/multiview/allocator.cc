@@ -67,7 +67,10 @@ Result<Allocation> MinipageAllocator::AllocateFineGrain(uint64_t size) {
     const uint64_t aligned = AlignUp(cursor_, options_.alignment);
     if (aligned + size <= object_size_) {
       const MinipageId chunk_id = chunk_minipage_;
-      const Minipage& mp = mpt_->Get(chunk_id);
+      // Copy the geometry before ExtendLast: holding a reference into the
+      // table across a mutating call is a dangling-reference hazard if the
+      // table ever reallocates its backing store.
+      const Minipage mp = mpt_->Get(chunk_id);
       const uint64_t old_last = mp.last_vpage();
       const uint64_t new_length = aligned + size - mp.offset;
       MP_RETURN_IF_ERROR(mpt_->ExtendLast(chunk_id, new_length));

@@ -16,9 +16,17 @@
 namespace millipage {
 
 using HostId = uint16_t;
+// Host 0 owns the MPT and the allocator: every *untranslated* request goes
+// here first for minipage translation. Directory/lock/barrier shards may
+// live elsewhere (DsmConfig::ManagerOf) once the header is translated.
 inline constexpr HostId kManagerHost = 0;
 // seq value meaning "no thread is waiting for the reply" (prefetch).
 inline constexpr uint32_t kNoWaitSlot = 0xffffffffu;
+// minipage value meaning "not yet translated by the MPT host". Requests are
+// born with it; MgrTranslate replaces it with the real minipage id, and from
+// then on every hop (forward, reply, ACK, invalidate, bounce) can be routed
+// to the id's owning manager shard. Same value as kInvalidMinipage.
+inline constexpr uint32_t kNoMinipage = 0xffffffffu;
 
 enum class MsgType : uint8_t {
   kReadRequest = 1,
@@ -73,8 +81,10 @@ struct MsgHeader {
   HostId from = 0;       // original requester
   uint32_t seq = 0;      // requester's wait-slot (the paper's event handle)
   uint64_t addr = 0;     // packed GlobalAddr of the faulting access
-  // Translation info, filled by the manager (Manager::Translate):
-  uint32_t minipage = 0;  // minipage id (doubles as lock/barrier id)
+  // Translation info, filled by the MPT host (MgrTranslate). kNoMinipage
+  // until then — all 8 flag bits are taken, so "has this request been
+  // translated" is discriminated by this field, not a flag.
+  uint32_t minipage = kNoMinipage;  // minipage id (doubles as lock/barrier id)
   uint32_t pgsize = 0;    // minipage length; also payload length when
                           // kFlagHasPayload is set
   uint64_t privbase = 0;  // object offset of the minipage base (addr2priv)
@@ -83,6 +93,7 @@ struct MsgHeader {
   void set_type(MsgType t) { type = static_cast<uint8_t>(t); }
   GlobalAddr global_addr() const { return GlobalAddr::Unpack(addr); }
   bool has_payload() const { return (flags & kFlagHasPayload) != 0; }
+  bool translated() const { return minipage != kNoMinipage; }
 };
 
 static_assert(sizeof(MsgHeader) == 32, "header must stay at 32 bytes, as in the paper");

@@ -25,10 +25,14 @@ Status SetBufferSizes(int fd) {
   return Status::Ok();
 }
 
-// Receives exactly one datagram of `len` bytes into `buf`.
+// Receives exactly one datagram of `len` bytes into `buf`. MSG_TRUNC makes
+// recv report the datagram's *real* size even when it exceeds `len` —
+// without it the kernel silently truncates oversized SEQPACKET datagrams to
+// the buffer size, recv returns `len`, and a corrupt/mismatched sender goes
+// undetected (the excess bytes simply vanish).
 Status RecvDatagram(int fd, void* buf, size_t len) {
   for (;;) {
-    const ssize_t n = ::recv(fd, buf, len, 0);
+    const ssize_t n = ::recv(fd, buf, len, MSG_TRUNC);
     if (n < 0) {
       if (errno == EINTR) {
         continue;
@@ -45,8 +49,12 @@ Status RecvDatagram(int fd, void* buf, size_t len) {
       // so surviving hosts fail fast instead of hanging at the next barrier.
       return Status::Unavailable("peer host closed its connection");
     }
+    if (static_cast<size_t>(n) > len) {
+      return Status::Internal("recv: oversized datagram truncated (" + std::to_string(n) +
+                              " vs expected " + std::to_string(len) + ")");
+    }
     if (static_cast<size_t>(n) != len) {
-      return Status::Internal("recv: short/oversized datagram (" + std::to_string(n) +
+      return Status::Internal("recv: short datagram (" + std::to_string(n) +
                               " vs expected " + std::to_string(len) + ")");
     }
     return Status::Ok();

@@ -1,0 +1,235 @@
+// Sharded minipage management (ManagerPolicy::kSharded): each host runs a
+// directory shard and services the minipage, lock, and barrier ids that hash
+// to it; host 0 keeps the MPT and routes translated requests to the owning
+// shard. These tests verify the results match the centralized manager, that
+// request service genuinely spreads across hosts, and the copyset hardening
+// (empty-copyset PickReplica, 64-host mask limit) the sharded paths rely on.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/dsm/cluster.h"
+#include "src/dsm/directory.h"
+#include "src/dsm/global_ptr.h"
+#include "src/dsm/node.h"
+#include "src/lrc/lrc_cluster.h"
+
+namespace millipage {
+namespace {
+
+DsmConfig ShardedCfg(uint16_t hosts) {
+  DsmConfig cfg;
+  cfg.num_hosts = hosts;
+  cfg.object_size = 1 << 20;
+  cfg.num_views = 8;
+  cfg.manager_policy = ManagerPolicy::kSharded;
+  return cfg;
+}
+
+// The same deterministic workload — disjoint writers, full cross-reads —
+// must produce identical shared-memory contents whether the directory is
+// centralized or sharded.
+TEST(Sharded, ValuesMatchCentralized) {
+  constexpr uint16_t kHosts = 4;
+  constexpr int kArrays = 8;
+  for (ManagerPolicy policy : {ManagerPolicy::kCentralized, ManagerPolicy::kSharded}) {
+    DsmConfig cfg = ShardedCfg(kHosts);
+    cfg.manager_policy = policy;
+    auto cluster = DsmCluster::Create(cfg);
+    ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+    std::vector<GlobalPtr<int>> arrays(kArrays);
+    (*cluster)->RunOnManager([&](DsmNode&) {
+      for (int a = 0; a < kArrays; ++a) {
+        arrays[a] = SharedAlloc<int>(16);
+        arrays[a][0] = 0;
+      }
+    });
+    (*cluster)->RunParallel([&](DsmNode& node, HostId host) {
+      node.Barrier();
+      for (int a = 0; a < kArrays; ++a) {
+        if (a % kHosts == host) {
+          arrays[a][0] = 1000 + a;  // each array has exactly one writer
+        }
+      }
+      node.Barrier();
+      for (int a = 0; a < kArrays; ++a) {
+        EXPECT_EQ(arrays[a][0], 1000 + a) << "host " << host << " array " << a;
+      }
+      node.Barrier();
+    });
+  }
+}
+
+// With writers spread over many minipages, every host's shard must service
+// requests — and only host 0 (the MPT host) routes translated requests away.
+TEST(Sharded, RequestsSpreadAcrossShards) {
+  constexpr uint16_t kHosts = 4;
+  constexpr int kArrays = 12;
+  auto cluster = DsmCluster::Create(ShardedCfg(kHosts));
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  std::vector<GlobalPtr<int>> arrays(kArrays);
+  (*cluster)->RunOnManager([&](DsmNode&) {
+    for (int a = 0; a < kArrays; ++a) {
+      arrays[a] = SharedAlloc<int>(16);
+      arrays[a][0] = a;
+    }
+  });
+  (*cluster)->RunParallel([&](DsmNode& node, HostId host) {
+    node.Barrier();
+    for (int round = 0; round < 3; ++round) {
+      for (int a = 0; a < kArrays; ++a) {
+        if ((a + round) % kHosts == host) {
+          arrays[a][0] = arrays[a][0] + 1;  // rotating exclusive writer
+        }
+      }
+      node.Barrier();
+    }
+  });
+  uint64_t total_served = 0;
+  for (uint16_t h = 0; h < kHosts; ++h) {
+    Directory* dir = (*cluster)->node(h).directory();
+    ASSERT_NE(dir, nullptr) << "sharded node " << h << " has no directory shard";
+    const ManagerCounters& mc = dir->counters();
+    EXPECT_GT(mc.requests_served, 0u) << "shard " << h << " serviced nothing";
+    total_served += mc.requests_served;
+    if (h != kManagerHost) {
+      EXPECT_EQ(mc.remote_routed, 0u) << "only the MPT host routes";
+    }
+  }
+  EXPECT_GT((*cluster)->node(kManagerHost).directory()->counters().remote_routed, 0u)
+      << "host 0 never handed a translated request to another shard";
+  EXPECT_EQ((*cluster)->TotalManagerCounters().requests_served, total_served);
+}
+
+// A lock-protected counter per lock id, with ids hashing to every shard:
+// exclusion and hand-off must hold when lock service is distributed.
+TEST(Sharded, LocksHashAcrossShards) {
+  constexpr uint16_t kHosts = 3;
+  constexpr int kLocks = 6;
+  constexpr int kRounds = 4;
+  auto cluster = DsmCluster::Create(ShardedCfg(kHosts));
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  GlobalPtr<int> counters;
+  (*cluster)->RunOnManager([&](DsmNode&) {
+    counters = SharedAlloc<int>(kLocks);
+    for (int i = 0; i < kLocks; ++i) {
+      counters[i] = 0;
+    }
+  });
+  (*cluster)->RunParallel([&](DsmNode& node, HostId) {
+    node.Barrier();
+    for (int r = 0; r < kRounds; ++r) {
+      for (int l = 0; l < kLocks; ++l) {
+        node.Lock(l);
+        counters[l] = counters[l] + 1;
+        node.Unlock(l);
+      }
+    }
+    node.Barrier();
+  });
+  (*cluster)->RunOnManager([&](DsmNode&) {
+    for (int l = 0; l < kLocks; ++l) {
+      EXPECT_EQ(counters[l], kHosts * kRounds) << "lock " << l;
+    }
+  });
+}
+
+// Routing regression for the zero-copy privileged-view path: when the owning
+// shard itself holds the serving replica, it serves the request inline from
+// its privileged view. Host 1 takes ownership of a minipage on shard 1, then
+// host 0 faults it back — the request crosses translate → shard → requester.
+TEST(Sharded, OwningShardServesItsOwnReplica) {
+  auto cluster = DsmCluster::Create(ShardedCfg(2));
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  GlobalPtr<int> a;
+  GlobalPtr<int> b;
+  (*cluster)->RunOnManager([&](DsmNode&) {
+    a = SharedAlloc<int>(16);  // minipage 0 -> shard 0
+    b = SharedAlloc<int>(16);  // minipage 1 -> shard 1
+    a[0] = 1;
+    b[0] = 2;
+  });
+  (*cluster)->RunParallel([&](DsmNode& node, HostId host) {
+    node.Barrier();
+    if (host == 1) {
+      b[0] = 22;  // host 1 becomes the sole holder of shard 1's minipage
+    }
+    node.Barrier();
+    if (host == 0) {
+      // Shard 1 is both manager and replica for b: the read is served inline
+      // from its privileged view.
+      EXPECT_EQ(b[0], 22);
+    }
+    node.Barrier();
+  });
+  Directory* shard1 = (*cluster)->node(1).directory();
+  ASSERT_NE(shard1, nullptr);
+  EXPECT_GT(shard1->counters().requests_served, 0u);
+}
+
+// LRC variant: sharded lock/barrier service under the relaxed protocol.
+TEST(Sharded, LrcLocksAndBarriers) {
+  constexpr uint16_t kHosts = 3;
+  constexpr int kLocks = 5;
+  constexpr int kRounds = 3;
+  auto cluster = LrcCluster::Create(ShardedCfg(kHosts));
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  LrcPtr<int> counters;
+  (*cluster)->RunOnManager([&](LrcNode&) {
+    counters = LrcAlloc<int>(kLocks);
+    for (int i = 0; i < kLocks; ++i) {
+      counters[i] = 0;
+    }
+  });
+  (*cluster)->RunParallel([&](LrcNode& node, HostId) {
+    node.Barrier();
+    for (int r = 0; r < kRounds; ++r) {
+      for (int l = 0; l < kLocks; ++l) {
+        node.Lock(l);
+        counters[l] = counters[l] + 1;
+        node.Unlock(l);  // release: the diff reaches the home before hand-off
+      }
+    }
+    node.Barrier();
+  });
+  (*cluster)->RunOnManager([&](LrcNode& node) {
+    node.Lock(0);
+    for (int l = 0; l < kLocks; ++l) {
+      EXPECT_EQ(counters[l], kHosts * kRounds) << "lock " << l;
+    }
+    node.Unlock(0);
+  });
+}
+
+// ---- Copyset hardening (the bugs sharding exposed) -------------------------
+
+// PickReplica on an empty copyset used to divide by zero (hint % 0) and feed
+// ctzll(0) — both UB returning a garbage host. It must die loudly instead.
+TEST(ShardedDeathTest, PickReplicaOnEmptyCopysetDies) {
+  DirEntry e;
+  ASSERT_EQ(e.copyset, 0u);
+  EXPECT_DEATH((void)e.PickReplica(0), "empty copyset");
+}
+
+// Host ids >= 64 would shift out of the copyset mask (UB, then silent
+// membership aliasing). The accessors reject them...
+TEST(ShardedDeathTest, CopysetHostIdPast64Dies) {
+  DirEntry e;
+  EXPECT_DEATH(e.AddCopy(64), "out of 64-bit mask range");
+  EXPECT_DEATH((void)e.HasCopy(200), "out of 64-bit mask range");
+  EXPECT_DEATH(e.RemoveCopy(64), "out of 64-bit mask range");
+}
+
+// ...and cluster construction refuses deployments that could produce them.
+TEST(Sharded, RejectsMoreThan64Hosts) {
+  DsmConfig cfg = ShardedCfg(65);
+  cfg.num_views = 1;
+  auto cluster = DsmCluster::Create(cfg);
+  ASSERT_FALSE(cluster.ok());
+  EXPECT_EQ(cluster.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace millipage

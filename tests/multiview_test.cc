@@ -4,8 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <csetjmp>
 #include <csignal>
+#include <map>
+#include <utility>
 
 #include "src/multiview/allocator.h"
 #include "src/multiview/minipage.h"
@@ -137,6 +140,42 @@ TEST(Allocator, ChunkExtensionAcrossPageBoundary) {
   auto next = alloc.Allocate(672);
   ASSERT_TRUE(next.ok());
   EXPECT_NE(next->view, mp.view);
+}
+
+TEST(Allocator, ChunkExtensionSurvivesTableGrowth) {
+  // Chunk extension reads the chunk's geometry around mpt_->ExtendLast while
+  // the table keeps growing (each new chunk is a Define, and Define's
+  // push_back can reallocate the backing store). Enough allocations to force
+  // several reallocations must still yield disjoint, in-bounds extents with
+  // exact chunk geometry.
+  MinipageTable mpt;
+  AllocatorOptions opts;
+  opts.chunking_level = 4;
+  MinipageAllocator alloc(&mpt, 1 << 20, 8, opts);
+  constexpr int kAllocs = 256;  // 64 chunks -> multiple vector regrowths
+  constexpr uint64_t kSize = 96;
+  std::map<MinipageId, std::pair<uint64_t, uint64_t>> extent;  // id -> [min, max)
+  uint64_t prev_end = 0;
+  for (int i = 0; i < kAllocs; ++i) {
+    auto a = alloc.Allocate(kSize);
+    ASSERT_TRUE(a.ok()) << "allocation " << i << ": " << a.status().ToString();
+    EXPECT_GE(a->offset, prev_end) << "allocation " << i << " overlaps its predecessor";
+    prev_end = a->offset + a->size;
+    ASSERT_EQ(a->minipages.size(), 1u);
+    auto [it, fresh] = extent.emplace(a->minipages[0],
+                                      std::make_pair(a->offset, a->offset + a->size));
+    if (!fresh) {
+      it->second.first = std::min(it->second.first, a->offset);
+      it->second.second = std::max(it->second.second, a->offset + a->size);
+    }
+  }
+  EXPECT_EQ(extent.size(), kAllocs / 4u);
+  for (const auto& [id, span] : extent) {
+    const Minipage& mp = mpt.Get(id);
+    // The chunk minipage covers exactly its members' span.
+    EXPECT_EQ(mp.offset, span.first) << "minipage " << id;
+    EXPECT_EQ(mp.offset + mp.length, span.second) << "minipage " << id;
+  }
 }
 
 TEST(Allocator, CloseChunkStartsNewMinipage) {

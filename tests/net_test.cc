@@ -4,8 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <cstring>
+#include <string>
 #include <thread>
 
 #include "src/common/failpoint.h"
@@ -199,6 +203,65 @@ TEST(SocketTransportTest, DroppedPayloadIsDrained) {
   ASSERT_TRUE(polled.ok() && *polled);
   EXPECT_EQ(got.seq, 2u);
   EXPECT_FALSE(got.has_payload());
+}
+
+// Without MSG_TRUNC the kernel silently truncates an oversized SEQPACKET
+// datagram to the receive buffer: recv returns sizeof(MsgHeader), the excess
+// bytes vanish, and a corrupt/mismatched sender goes undetected. The
+// receiver must surface the oversize as an error instead.
+TEST(SocketTransportTest, OversizedDatagramIsDetected) {
+  auto mesh = SocketMesh::Create(2);
+  ASSERT_TRUE(mesh.ok());
+  std::vector<int> row0 = std::move(mesh->fds[0]);
+  std::vector<int> row1 = std::move(mesh->fds[1]);
+  mesh->fds.clear();
+  // Host 0 stays a raw fd so the test can send a malformed datagram that
+  // SocketTransport::Send would never produce.
+  SocketTransport t1(1, std::move(row1));
+
+  char oversized[sizeof(MsgHeader) + 16] = {};
+  ASSERT_EQ(::send(row0[1], oversized, sizeof(oversized), MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof(oversized)));
+
+  MsgHeader got;
+  const auto polled = t1.Poll(
+      1, &got, [](const MsgHeader&) -> std::byte* { return nullptr; }, 2000000);
+  ASSERT_FALSE(polled.ok()) << "oversized header datagram was silently truncated";
+  EXPECT_NE(polled.status().ToString().find("oversized"), std::string::npos)
+      << polled.status().ToString();
+
+  for (int fd : row0) {
+    if (fd >= 0) {
+      ::close(fd);
+    }
+  }
+}
+
+// The mirror case: a datagram shorter than a header is reported, not padded.
+TEST(SocketTransportTest, ShortDatagramIsDetected) {
+  auto mesh = SocketMesh::Create(2);
+  ASSERT_TRUE(mesh.ok());
+  std::vector<int> row0 = std::move(mesh->fds[0]);
+  std::vector<int> row1 = std::move(mesh->fds[1]);
+  mesh->fds.clear();
+  SocketTransport t1(1, std::move(row1));
+
+  char runt[8] = {};
+  ASSERT_EQ(::send(row0[1], runt, sizeof(runt), MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof(runt)));
+
+  MsgHeader got;
+  const auto polled = t1.Poll(
+      1, &got, [](const MsgHeader&) -> std::byte* { return nullptr; }, 2000000);
+  ASSERT_FALSE(polled.ok());
+  EXPECT_NE(polled.status().ToString().find("short"), std::string::npos)
+      << polled.status().ToString();
+
+  for (int fd : row0) {
+    if (fd >= 0) {
+      ::close(fd);
+    }
+  }
 }
 
 // A header that goes out without its payload would desynchronize the

@@ -7,6 +7,7 @@
 //   MILLIPAGE_SIM_SEED=<seed> ./sim_test --gtest_filter='*ReplayEnvSeed*'
 
 #include <cstdlib>
+#include <string>
 
 #include "gtest/gtest.h"
 #include "src/check/history_checker.h"
@@ -16,6 +17,15 @@
 namespace millipage {
 namespace {
 
+// MILLIPAGE_MANAGER_POLICY=sharded re-runs every simulation with the
+// directory sharded across hosts (the CI matrix sets it); default is the
+// centralized manager.
+ManagerPolicy PolicyFromEnv() {
+  const char* env = std::getenv("MILLIPAGE_MANAGER_POLICY");
+  return (env != nullptr && std::string(env) == "sharded") ? ManagerPolicy::kSharded
+                                                           : ManagerPolicy::kCentralized;
+}
+
 SimWorkload SweepWorkload() {
   SimWorkload w;
   w.hosts = 3;
@@ -23,17 +33,20 @@ SimWorkload SweepWorkload() {
   w.rounds = 3;
   w.ops_per_round = 4;
   w.use_locks = true;
+  w.policy = PolicyFromEnv();
   return w;
 }
 
-// Runs one seed and verifies every invariant, printing the seed and the
-// minimal violating history prefix on failure.
+// Runs one seed and verifies every invariant — including shard affinity when
+// the workload shards the directory — printing the seed and the minimal
+// violating history prefix on failure.
 void RunAndCheck(uint64_t seed, const SimWorkload& w) {
   SimResult r = RunSim(seed, w);
   ASSERT_TRUE(r.status.ok()) << "seed " << seed << ": " << r.status.ToString() << "\n"
                              << r.FormattedHistory();
   ASSERT_GT(r.history.size(), 0u) << "seed " << seed << " recorded no events";
-  const CheckReport report = CheckHistory(r.history, w.hosts);
+  const CheckReport report =
+      CheckHistory(r.history, w.hosts, w.policy == ManagerPolicy::kSharded);
   ASSERT_TRUE(report.ok) << "seed " << seed << ":\n"
                          << report.FormatViolation(r.history)
                          << "\nreplay: MILLIPAGE_SIM_SEED=" << seed
@@ -91,6 +104,51 @@ TEST(SimSweep, ContendedCellsHoldInvariants) {
     if (::testing::Test::HasFatalFailure()) {
       return;
     }
+  }
+}
+
+// The same sweep with the directory sharded across hosts (explicitly, not
+// via the environment): every id is serviced by the host it hashes to, and
+// the checker additionally verifies shard affinity on every manager event.
+TEST(SimSweepSharded, FiftySeedsHoldInvariants) {
+  SimWorkload w = SweepWorkload();
+  w.policy = ManagerPolicy::kSharded;
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    RunAndCheck(seed, w);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+TEST(SimSweepSharded, ContendedCellsHoldInvariants) {
+  SimWorkload w;
+  w.hosts = 4;
+  w.cells = 2;
+  w.rounds = 2;
+  w.ops_per_round = 3;
+  w.use_locks = false;
+  w.policy = ManagerPolicy::kSharded;
+  for (uint64_t seed = 1000; seed < 1010; ++seed) {
+    RunAndCheck(seed, w);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+// Determinism must hold under sharding too: the extra routing hop is part of
+// the scheduled message stream, not a source of nondeterminism.
+TEST(SimSweepSharded, SameSeedSameHistory) {
+  SimWorkload w = SweepWorkload();
+  w.policy = ManagerPolicy::kSharded;
+  for (uint64_t seed : {1ull, 7ull, 42ull}) {
+    SimResult a = RunSim(seed, w);
+    SimResult b = RunSim(seed, w);
+    ASSERT_TRUE(a.status.ok()) << a.status.ToString();
+    ASSERT_TRUE(b.status.ok()) << b.status.ToString();
+    ASSERT_GT(a.history.size(), 0u);
+    EXPECT_EQ(a.FormattedHistory(), b.FormattedHistory()) << "seed " << seed;
   }
 }
 
@@ -201,6 +259,18 @@ TEST(HistoryChecker, FlagsDoubleLockGrant) {
   h[0] = {0, TraceEventKind::kLockGrant, 0, 5, 0, 0, 0};
   h[1] = {1, TraceEventKind::kLockGrant, 0, 5, 0, 1, 0};
   ASSERT_FALSE(CheckLockExclusivity(h).ok);
+}
+
+TEST(HistoryChecker, FlagsWrongShard) {
+  // Minipage 5 with 4 hosts hashes to shard 1; a grant served by host 2 is
+  // an affinity violation, one served by host 1 is fine.
+  std::vector<TraceEvent> h(1);
+  h[0] = {0, TraceEventKind::kMgrReadGrant, 2, 5, 0, 0, 0};
+  const CheckReport bad = CheckShardAffinity(h, 4);
+  ASSERT_FALSE(bad.ok);
+  EXPECT_NE(bad.message.find("shard"), std::string::npos) << bad.message;
+  h[0].host = 1;
+  EXPECT_TRUE(CheckShardAffinity(h, 4).ok);
 }
 
 TEST(HistoryChecker, FlagsStaleRead) {
