@@ -69,15 +69,29 @@ GranResult Run(bool page_based, int rounds, int vars_per_host) {
 }  // namespace
 }  // namespace millipage
 
-int main() {
+int main(int argc, char** argv) {
   using namespace millipage;
+  const BenchEnv env = BenchEnv::Parse(argc, argv);
+  BenchReporter reporter("bench_ablation_granularity", env);
   PrintHeader("Ablation: minipage granularity vs full-page sharing (false sharing)");
   std::printf("  %-12s %10s %10s %12s %14s\n", "granularity", "rd faults", "wr faults",
               "data bytes", "modeled us");
-  constexpr int kRounds = 50;
+  const int kRounds = env.Scaled(50, 10);
   constexpr int kVars = 4;
   const GranResult fine = Run(false, kRounds, kVars);
   const GranResult coarse = Run(true, kRounds, kVars);
+  for (const auto& [label, g] :
+       {std::make_pair("minipage", &fine), std::make_pair("full_page", &coarse)}) {
+    BenchResult row;
+    row.name = label;
+    row.params = "rounds=" + std::to_string(kRounds) + " vars_per_host=" + std::to_string(kVars);
+    row.iterations = static_cast<uint64_t>(kRounds);
+    row.ns_per_op = g->modeled_us * 1000.0 / kRounds;
+    row.values["read_faults"] = static_cast<double>(g->read_faults);
+    row.values["write_faults"] = static_cast<double>(g->write_faults);
+    row.values["data_bytes"] = static_cast<double>(g->data_bytes);
+    reporter.Add(std::move(row));
+  }
   std::printf("  %-12s %10lu %10lu %12lu %14.0f\n", "minipage",
               static_cast<unsigned long>(fine.read_faults),
               static_cast<unsigned long>(fine.write_faults),
@@ -91,5 +105,5 @@ int main() {
                   static_cast<double>(fine.read_faults + fine.write_faults));
   PrintNote("expected: minipage faults stay O(vars) regardless of rounds; full-page");
   PrintNote("faults grow O(rounds * vars) — the slowdown class the paper eliminates.");
-  return 0;
+  return reporter.Finish();
 }

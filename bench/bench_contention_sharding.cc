@@ -36,9 +36,10 @@ DsmConfig Cfg(uint16_t hosts, ManagerPolicy policy) {
   return cfg;
 }
 
-constexpr int kRounds = 100;
+// Mutable round count (reduced by --smoke), fixed before clusters spawn.
+int g_rounds = 100;
 
-struct BenchResult {
+struct ContentionResult {
   double wall_ms = 0;
   uint64_t requests_served = 0;
   uint64_t remote_routed = 0;
@@ -48,7 +49,7 @@ struct BenchResult {
 
 // `writers_per_round` hosts write disjoint minipages each round; rotation
 // makes every (host, minipage) pair fault eventually.
-BenchResult RunContention(uint16_t hosts, ManagerPolicy policy, bool contended) {
+ContentionResult RunContention(uint16_t hosts, ManagerPolicy policy, bool contended) {
   auto cluster = DsmCluster::Create(Cfg(hosts, policy));
   MP_CHECK(cluster.ok()) << cluster.status().ToString();
   const int arrays = contended ? 4 * hosts : 1;
@@ -62,7 +63,7 @@ BenchResult RunContention(uint16_t hosts, ManagerPolicy policy, bool contended) 
   const uint64_t t0 = MonotonicNowNs();
   (*cluster)->RunParallel([&](DsmNode& node, HostId host) {
     node.Barrier();
-    for (int r = 0; r < kRounds; ++r) {
+    for (int r = 0; r < g_rounds; ++r) {
       if (contended) {
         for (int a = 0; a < arrays; ++a) {
           // Disjoint writers: exactly one host writes each minipage per
@@ -80,7 +81,7 @@ BenchResult RunContention(uint16_t hosts, ManagerPolicy policy, bool contended) 
     }
     node.Barrier();
   });
-  BenchResult out;
+  ContentionResult out;
   out.wall_ms = static_cast<double>(MonotonicNowNs() - t0) / 1e6;
   std::vector<uint64_t> per_shard;
   for (uint16_t h = 0; h < hosts; ++h) {
@@ -100,35 +101,53 @@ BenchResult RunContention(uint16_t hosts, ManagerPolicy policy, bool contended) 
   return out;
 }
 
-void Report(uint16_t hosts, const char* mode, ManagerPolicy policy, bool contended) {
-  const BenchResult r = RunContention(hosts, policy, contended);
-  std::printf("  %-8u %-12s %-12s %9.1f %10lu %8lu %7d %11.2f\n", hosts, mode,
-              policy == ManagerPolicy::kSharded ? "sharded" : "centralized", r.wall_ms,
-              static_cast<unsigned long>(r.requests_served),
+void Report(BenchReporter& reporter, uint16_t hosts, const char* mode, ManagerPolicy policy,
+            bool contended) {
+  const ContentionResult r = RunContention(hosts, policy, contended);
+  const char* policy_name = policy == ManagerPolicy::kSharded ? "sharded" : "centralized";
+  std::printf("  %-8u %-12s %-12s %9.1f %10lu %8lu %7d %11.2f\n", hosts, mode, policy_name,
+              r.wall_ms, static_cast<unsigned long>(r.requests_served),
               static_cast<unsigned long>(r.remote_routed), r.active_shards,
               r.shard_spread);
+  BenchResult row;
+  row.name = mode;
+  row.params = "hosts=" + std::to_string(hosts) + " policy=" + policy_name;
+  row.iterations = static_cast<uint64_t>(g_rounds);
+  row.ns_per_op = r.wall_ms * 1e6 / g_rounds;
+  row.values["requests_served"] = static_cast<double>(r.requests_served);
+  row.values["remote_routed"] = static_cast<double>(r.remote_routed);
+  row.values["active_shards"] = r.active_shards;
+  row.values["shard_spread"] = r.shard_spread;
+  reporter.Add(std::move(row));
 }
 
 }  // namespace
 }  // namespace millipage
 
-int main() {
+int main(int argc, char** argv) {
   using namespace millipage;
+  const BenchEnv env = BenchEnv::Parse(argc, argv);
+  BenchReporter reporter("bench_contention_sharding", env);
+  g_rounds = env.Scaled(100, 15);
   setvbuf(stdout, nullptr, _IONBF, 0);
   PrintHeader("Manager contention: centralized vs sharded directory");
   std::printf("  %-8s %-12s %-12s %9s %10s %8s %7s %11s\n", "hosts", "workload", "policy",
               "wall ms", "mgr reqs", "routed", "shards", "max/mean");
-  for (uint16_t hosts : {2, 4, 8}) {
-    Report(hosts, "contended", ManagerPolicy::kCentralized, /*contended=*/true);
-    Report(hosts, "contended", ManagerPolicy::kSharded, /*contended=*/true);
+  const std::vector<uint16_t> contended_hosts =
+      env.smoke() ? std::vector<uint16_t>{2, 4} : std::vector<uint16_t>{2, 4, 8};
+  for (uint16_t hosts : contended_hosts) {
+    Report(reporter, hosts, "contended", ManagerPolicy::kCentralized, /*contended=*/true);
+    Report(reporter, hosts, "contended", ManagerPolicy::kSharded, /*contended=*/true);
   }
-  for (uint16_t hosts : {2, 8}) {
-    Report(hosts, "uncontended", ManagerPolicy::kCentralized, /*contended=*/false);
-    Report(hosts, "uncontended", ManagerPolicy::kSharded, /*contended=*/false);
+  const std::vector<uint16_t> uncontended_hosts =
+      env.smoke() ? std::vector<uint16_t>{2} : std::vector<uint16_t>{2, 8};
+  for (uint16_t hosts : uncontended_hosts) {
+    Report(reporter, hosts, "uncontended", ManagerPolicy::kCentralized, /*contended=*/false);
+    Report(reporter, hosts, "uncontended", ManagerPolicy::kSharded, /*contended=*/false);
   }
   PrintNote("centralized runs one shard (host 0 serves everything: shards=1, max/mean=1);");
   PrintNote("sharded spreads service across every host — max/mean near 1 means no shard is");
   PrintNote("a hotspot (acceptance: <= 2). 'routed' counts translated requests host 0 handed");
   PrintNote("to the owning shard; the uncontended rows check sharding adds no fast-path tax.");
-  return 0;
+  return reporter.Finish();
 }

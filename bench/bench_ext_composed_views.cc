@@ -18,9 +18,10 @@
 namespace millipage {
 namespace {
 
-constexpr int kMolecules = 96;
+// Molecule/epoch counts, reduced by --smoke before any cluster spawns.
+int g_molecules = 96;
+int g_epochs = 4;
 constexpr int kMolInts = 168;  // 672 bytes, the paper's molecule
-constexpr int kEpochs = 4;
 constexpr uint16_t kHosts = 4;
 
 struct Row {
@@ -40,19 +41,19 @@ Row Run(bool use_group_fetch) {
   MP_CHECK(cluster.ok());
   std::vector<GlobalPtr<int>> mols;
   (*cluster)->RunOnManager([&](DsmNode&) {
-    for (int i = 0; i < kMolecules; ++i) {
+    for (int i = 0; i < g_molecules; ++i) {
       mols.push_back(SharedAlloc<int>(kMolInts));
     }
-    for (int i = 0; i < kMolecules; ++i) {
+    for (int i = 0; i < g_molecules; ++i) {
       mols[static_cast<size_t>(i)][0] = i;
     }
   });
   const uint64_t t0 = MonotonicNowNs();
   (*cluster)->RunParallel([&](DsmNode& node, HostId host) {
-    const int lo = kMolecules * host / kHosts;
-    const int hi = kMolecules * (host + 1) / kHosts;
+    const int lo = g_molecules * host / kHosts;
+    const int hi = g_molecules * (host + 1) / kHosts;
     node.Barrier();
-    for (int e = 0; e < kEpochs; ++e) {
+    for (int e = 0; e < g_epochs; ++e) {
       if (use_group_fetch) {
         // Composed view: one coarse fetch for the whole structure.
         std::vector<GlobalAddr> addrs;
@@ -62,7 +63,7 @@ Row Run(bool use_group_fetch) {
         (void)node.FetchGroup(addrs.data(), addrs.size());
       }
       long sum = 0;
-      for (int i = 0; i < kMolecules; ++i) {
+      for (int i = 0; i < g_molecules; ++i) {
         sum += mols[static_cast<size_t>(i)][0];  // read phase
       }
       node.Barrier();
@@ -90,8 +91,12 @@ Row Run(bool use_group_fetch) {
 }  // namespace
 }  // namespace millipage
 
-int main() {
+int main(int argc, char** argv) {
   using namespace millipage;
+  const BenchEnv env = BenchEnv::Parse(argc, argv);
+  BenchReporter reporter("bench_ext_composed_views", env);
+  g_molecules = env.Scaled(96, 24);
+  g_epochs = env.Scaled(4, 2);
   setvbuf(stdout, nullptr, _IONBF, 0);
   PrintHeader("Extension: composed-view coarse reads (Section 5, WATER read phase)");
   std::printf("  %-27s %10s %10s %16s %9s\n", "mode", "rd faults", "batched",
@@ -102,10 +107,20 @@ int main() {
                 static_cast<unsigned long>(r.blocking_faults),
                 static_cast<unsigned long>(r.batched_fetches), r.modeled_read_phase_us,
                 r.wall_ms);
+    BenchResult row;
+    row.name = group ? "group_fetch" : "per_minipage_faulting";
+    row.params = "molecules=" + std::to_string(g_molecules) +
+                 " epochs=" + std::to_string(g_epochs);
+    row.iterations = static_cast<uint64_t>(g_epochs);
+    row.ns_per_op = r.wall_ms * 1e6 / g_epochs;
+    row.values["blocking_faults"] = static_cast<double>(r.blocking_faults);
+    row.values["batched_fetches"] = static_cast<double>(r.batched_fetches);
+    row.values["modeled_read_us"] = r.modeled_read_phase_us;
+    reporter.Add(std::move(row));
   }
   PrintNote("expected: the group fetch converts every blocking read fault of the read");
   PrintNote("phase into a pipelined transfer (no trap, no per-fault wakeup, overlapped");
   PrintNote("service), while the write phase keeps fine-grain minipages -- the");
   PrintNote("arbitration between coarse and fine views the paper's Section 5 sketches.");
-  return 0;
+  return reporter.Finish();
 }

@@ -34,7 +34,9 @@ struct Row {
   double modeled_us = 0;
 };
 
-constexpr int kRounds = 30;
+// Round/epoch counts, reduced by --smoke before any cluster spawns.
+int g_rounds = 30;
+int g_epochs = 6;
 constexpr int kVarsPerHost = 8;
 
 DsmConfig Base(uint16_t hosts, bool page_based) {
@@ -68,7 +70,7 @@ Row RunScAlternating(bool page_based) {
   });
   (*cluster)->RunParallel([&](DsmNode& node, HostId host) {
     node.Barrier();
-    for (int r = 0; r < kRounds; ++r) {
+    for (int r = 0; r < g_rounds; ++r) {
       for (int i = 0; i < kVarsPerHost; ++i) {
         GlobalPtr<int>& v = vars[static_cast<size_t>(2 * i + host)];
         *v = *v + 1;
@@ -85,7 +87,7 @@ Row RunScAlternating(bool page_based) {
     row.modeled_us += static_cast<double>(c.read_faults) * kModel.ReadFaultUs(256) +
                       static_cast<double>(c.write_faults) * kModel.WriteFaultUs(256, 1);
   }
-  row.modeled_us += kRounds * kModel.BarrierUs(2);
+  row.modeled_us += g_rounds * kModel.BarrierUs(2);
   return row;
 }
 
@@ -103,7 +105,7 @@ Row RunLrcAlternating() {
   });
   (*cluster)->RunParallel([&](LrcNode& node, HostId host) {
     node.Barrier();
-    for (int r = 0; r < kRounds; ++r) {
+    for (int r = 0; r < g_rounds; ++r) {
       for (int i = 0; i < kVarsPerHost; ++i) {
         LrcPtr<int>& v = vars[static_cast<size_t>(2 * i + host)];
         *v = *v + 1;
@@ -121,7 +123,7 @@ Row RunLrcAlternating() {
                    static_cast<double>(c.local_upgrades) * kModel.fault_trap_us +
                    DiffUs(c.diff_bytes) +
                    static_cast<double>(c.diffs_flushed) * kModel.header_us +
-                   kRounds * kModel.BarrierUs(2);
+                   g_rounds * kModel.BarrierUs(2);
   return row;
 }
 
@@ -129,7 +131,6 @@ Row RunLrcAlternating() {
 
 constexpr int kRecords = 64;
 constexpr int kRecordInts = 64;  // 256-byte records
-constexpr int kEpochs = 6;
 
 Row RunScWaterish(uint32_t chunking) {
   DsmConfig cfg = Base(4, false);
@@ -149,7 +150,7 @@ Row RunScWaterish(uint32_t chunking) {
     const int lo = kRecords * host / 4;
     const int hi = kRecords * (host + 1) / 4;
     node.Barrier();
-    for (int e = 0; e < kEpochs; ++e) {
+    for (int e = 0; e < g_epochs; ++e) {
       long sum = 0;
       for (int i = 0; i < kRecords; ++i) {
         sum += recs[static_cast<size_t>(i)][0];  // bulk read phase
@@ -171,7 +172,7 @@ Row RunScWaterish(uint32_t chunking) {
     row.modeled_us += static_cast<double>(c.read_faults) * kModel.ReadFaultUs(avg) +
                       static_cast<double>(c.write_faults) * kModel.WriteFaultUs(avg, 1);
   }
-  row.modeled_us += 2.0 * kEpochs * kModel.BarrierUs(4);
+  row.modeled_us += 2.0 * g_epochs * kModel.BarrierUs(4);
   return row;
 }
 
@@ -193,7 +194,7 @@ Row RunLrcWaterish() {
     const int lo = kRecords * host / 4;
     const int hi = kRecords * (host + 1) / 4;
     node.Barrier();
-    for (int e = 0; e < kEpochs; ++e) {
+    for (int e = 0; e < g_epochs; ++e) {
       long sum = 0;
       for (int i = 0; i < kRecords; ++i) {
         sum += recs[static_cast<size_t>(i)][0];
@@ -215,41 +216,55 @@ Row RunLrcWaterish() {
                    static_cast<double>(c.local_upgrades) * kModel.fault_trap_us +
                    DiffUs(c.diff_bytes) +
                    static_cast<double>(c.diffs_flushed) * kModel.header_us +
-                   2.0 * kEpochs * kModel.BarrierUs(4);
+                   2.0 * g_epochs * kModel.BarrierUs(4);
   return row;
 }
 
-void Print(const Row& r) {
+void Print(BenchReporter& reporter, const char* pattern, const Row& r) {
   std::printf("  %-18s %8lu %10lu %12lu %7lu %12.0f\n", r.name,
               static_cast<unsigned long>(r.faults), static_cast<unsigned long>(r.messages),
               static_cast<unsigned long>(r.data_bytes), static_cast<unsigned long>(r.diffs),
               r.modeled_us);
+  BenchResult row;
+  row.name = r.name;
+  row.params = std::string("pattern=") + pattern;
+  row.iterations = 1;
+  row.ns_per_op = r.modeled_us * 1000.0;
+  row.values["faults"] = static_cast<double>(r.faults);
+  row.values["messages"] = static_cast<double>(r.messages);
+  row.values["data_bytes"] = static_cast<double>(r.data_bytes);
+  row.values["diffs"] = static_cast<double>(r.diffs);
+  reporter.Add(std::move(row));
 }
 
 }  // namespace
 }  // namespace millipage
 
-int main() {
+int main(int argc, char** argv) {
   using namespace millipage;
+  const BenchEnv env = BenchEnv::Parse(argc, argv);
+  BenchReporter reporter("bench_ext_lrc", env);
+  g_rounds = env.Scaled(30, 6);
+  g_epochs = env.Scaled(6, 2);
   PrintHeader("Extension: SC/minipages vs SC/pages vs home-based LRC (Section 5)");
 
   std::printf("\n  pattern (a): two hosts alternately write interleaved variables\n");
   std::printf("  %-18s %8s %10s %12s %7s %12s\n", "protocol", "faults", "messages",
               "data bytes", "diffs", "modeled us");
-  Print(RunScAlternating(false));
-  Print(RunScAlternating(true));
-  Print(RunLrcAlternating());
+  Print(reporter, "alternating", RunScAlternating(false));
+  Print(reporter, "alternating", RunScAlternating(true));
+  Print(reporter, "alternating", RunLrcAlternating());
 
   std::printf("\n  pattern (b): WATER-like bulk read phase + owner updates, 4 hosts\n");
   std::printf("  %-18s %8s %10s %12s %7s %12s\n", "protocol", "faults", "messages",
               "data bytes", "diffs", "modeled us");
-  Print(RunScWaterish(1));
-  Print(RunScWaterish(4));
-  Print(RunLrcWaterish());
+  Print(reporter, "waterish", RunScWaterish(1));
+  Print(reporter, "waterish", RunScWaterish(4));
+  Print(reporter, "waterish", RunLrcWaterish());
 
   PrintNote("expected: (a) SC/minipages and LRC both dodge the page ping-pong that hits");
   PrintNote("SC/pages; (b) chunking cuts fault counts for both models, and LRC tolerates");
   PrintNote("the false sharing chunking reintroduces at the price of diff traffic --");
   PrintNote("the hybrid the paper's Section 5 proposes.");
-  return 0;
+  return reporter.Finish();
 }

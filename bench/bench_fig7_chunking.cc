@@ -25,10 +25,10 @@ struct Sample {
   double modeled_us = 0;
 };
 
-Sample RunWater(uint16_t hosts, uint32_t chunking, bool page_based) {
+Sample RunWater(const BenchEnv& env, uint16_t hosts, uint32_t chunking, bool page_based) {
   WaterConfig cfg;
-  cfg.num_molecules = 96;
-  cfg.iterations = 3;
+  cfg.num_molecules = env.Scaled(96, 32);
+  cfg.iterations = env.Scaled(3, 1);
   WaterApp app(cfg);
   const AppRunResult r = RunAppOnCluster(AppBenchConfig(hosts, chunking, page_based), app);
   const CostModel model;
@@ -40,35 +40,50 @@ Sample RunWater(uint16_t hosts, uint32_t chunking, bool page_based) {
   return s;
 }
 
-void Sweep(uint16_t hosts) {
+void Sweep(const BenchEnv& env, BenchReporter& reporter, uint16_t hosts) {
   std::printf("\n  -- %u hosts --\n", hosts);
   std::printf("  %-6s %12s %14s %12s\n", "level", "compete req", "rd/wr faults", "efficiency");
   std::vector<Sample> samples;
-  for (uint32_t level = 1; level <= 6; ++level) {
-    samples.push_back(RunWater(hosts, level, false));
+  const uint32_t max_level = static_cast<uint32_t>(env.Scaled(6, 3));
+  for (uint32_t level = 1; level <= max_level; ++level) {
+    samples.push_back(RunWater(env, hosts, level, false));
   }
-  samples.push_back(RunWater(hosts, 1, true));
+  samples.push_back(RunWater(env, hosts, 1, true));
   double best_us = 1e100;
   for (const Sample& s : samples) {
     best_us = std::min(best_us, s.modeled_us);
   }
   for (const Sample& s : samples) {
+    const double efficiency = best_us / s.modeled_us;
     std::printf("  %-6s %12lu %14lu %11.2f\n", s.level.c_str(),
                 static_cast<unsigned long>(s.competing), static_cast<unsigned long>(s.faults),
-                best_us / s.modeled_us);
+                efficiency);
+    BenchResult row;
+    row.name = "water_chunking";
+    row.params = "hosts=" + std::to_string(hosts) + " level=" + s.level;
+    row.iterations = 1;
+    row.ns_per_op = s.modeled_us * 1000.0;
+    row.values["competing_requests"] = static_cast<double>(s.competing);
+    row.values["faults"] = static_cast<double>(s.faults);
+    row.values["efficiency"] = efficiency;
+    reporter.Add(std::move(row));
   }
 }
 
 }  // namespace
 }  // namespace millipage
 
-int main() {
+int main(int argc, char** argv) {
   using namespace millipage;
+  const BenchEnv env = BenchEnv::Parse(argc, argv);
+  BenchReporter reporter("bench_fig7_chunking", env);
   PrintHeader("Figure 7: chunking in WATER");
-  Sweep(4);
-  Sweep(8);
+  Sweep(env, reporter, 4);
+  if (!env.smoke()) {
+    Sweep(env, reporter, 8);
+  }
   PrintNote("paper shape: competing requests rise with the chunking level (up to 601 with");
   PrintNote("no false-sharing control, 21 at level 1 due to WATER's Write-Read race);");
   PrintNote("faults fall; efficiency peaks at level 4 (4 hosts) / 5 (8 hosts).");
-  return 0;
+  return reporter.Finish();
 }

@@ -1,14 +1,18 @@
 // Google-benchmark micro-suite over the substrate primitives: protection
 // control, MPT translation scaling, allocator throughput, diff costs by
-// size and dirtiness, address packing. Complements the paper-table benches
-// with statistically robust per-op numbers.
+// size and dirtiness, address packing, and the metrics layer's own overhead
+// (enabled vs disabled — the acceptance budget is <2% on fast paths).
+// Complements the paper-table benches with statistically robust per-op
+// numbers.
 
 #include <benchmark/benchmark.h>
 
 #include <cstring>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 #include "src/diff/diff.h"
 #include "src/multiview/allocator.h"
 #include "src/multiview/minipage.h"
@@ -138,7 +142,135 @@ void BM_GlobalAddrPack(benchmark::State& state) {
 }
 BENCHMARK(BM_GlobalAddrPack);
 
+// --- metrics layer overhead ------------------------------------------------
+// BM_SetProtection above runs with the ViewSet's counters live (the Global
+// registry is wired in ViewSet::Create), so comparing it against
+// BM_SetProtectionMetricsOff bounds the instrumentation tax on the hottest
+// instrumented syscall path.
+
+void BM_SetProtectionMetricsOff(benchmark::State& state) {
+  SetMetricsEnabled(false);
+  auto vs = ViewSet::Create(64 * PageSize(), 8);
+  MP_CHECK(vs.ok());
+  Minipage mp;
+  mp.view = 1;
+  mp.offset = 3 * PageSize();
+  mp.length = static_cast<uint64_t>(state.range(0));
+  bool flip = false;
+  for (auto _ : state) {
+    flip = !flip;
+    MP_CHECK_OK(
+        (*vs)->SetProtection(mp, flip ? Protection::kReadOnly : Protection::kReadWrite));
+  }
+  SetMetricsEnabled(true);
+}
+BENCHMARK(BM_SetProtectionMetricsOff)->Arg(128)->Arg(4096);
+
+void BM_MetricsCounterInc(benchmark::State& state) {
+  Counter c;
+  for (auto _ : state) {
+    c.Inc();
+  }
+  benchmark::DoNotOptimize(c.value());
+}
+BENCHMARK(BM_MetricsCounterInc);
+
+void BM_MetricsCounterIncDisabled(benchmark::State& state) {
+  SetMetricsEnabled(false);
+  Counter c;
+  for (auto _ : state) {
+    c.Inc();
+  }
+  SetMetricsEnabled(true);
+  benchmark::DoNotOptimize(c.value());
+}
+BENCHMARK(BM_MetricsCounterIncDisabled);
+
+void BM_MetricsHistogramRecord(benchmark::State& state) {
+  Histogram h;
+  uint64_t v = 1;
+  for (auto _ : state) {
+    h.Record(v);
+    v = (v * 2621 + 37) & 0xffff;
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_MetricsHistogramRecord);
+
+void BM_MetricsScopedTimer(benchmark::State& state) {
+  Histogram h;
+  for (auto _ : state) {
+    ScopedTimer t(&h);
+    benchmark::ClobberMemory();
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_MetricsScopedTimer);
+
+void BM_MetricsScopedTimerDisabled(benchmark::State& state) {
+  SetMetricsEnabled(false);
+  Histogram h;
+  for (auto _ : state) {
+    ScopedTimer t(&h);
+    benchmark::ClobberMemory();
+  }
+  SetMetricsEnabled(true);
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_MetricsScopedTimerDisabled);
+
+// Forwards console output unchanged while copying each run into the
+// BenchReporter so --bench_json emits the same rows CI consumes.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CaptureReporter(BenchReporter* out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) {
+        continue;
+      }
+      BenchResult r;
+      r.name = run.benchmark_name();
+      r.iterations = static_cast<uint64_t>(run.iterations);
+      r.ns_per_op = run.GetAdjustedRealTime();  // default time unit is ns
+      out_->Add(std::move(r));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  BenchReporter* out_;
+};
+
 }  // namespace
 }  // namespace millipage
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace millipage;
+  const BenchEnv env = BenchEnv::Parse(argc, argv);
+  // Rebuild argv without our flags (google-benchmark rejects unknown ones)
+  // and with a short min_time in smoke mode.
+  std::vector<char*> bm_argv;
+  bm_argv.push_back(argv[0]);
+  char min_time[] = "--benchmark_min_time=0.01";
+  if (env.smoke()) {
+    bm_argv.push_back(min_time);
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") != 0 &&
+        std::strncmp(argv[i], "--bench_json=", 13) != 0) {
+      bm_argv.push_back(argv[i]);
+    }
+  }
+  int bm_argc = static_cast<int>(bm_argv.size());
+  benchmark::Initialize(&bm_argc, bm_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bm_argc, bm_argv.data())) {
+    return 1;
+  }
+  BenchReporter reporter("bench_micro_primitives", env);
+  CaptureReporter console(&reporter);
+  benchmark::RunSpecifiedBenchmarks(&console);
+  benchmark::Shutdown();
+  return reporter.Finish();
+}

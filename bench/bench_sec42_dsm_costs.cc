@@ -26,7 +26,8 @@ DsmConfig Cfg(uint16_t hosts) {
 
 // Ping-pong: host 0 writes (invalidating host 1's copy), host 1 re-reads.
 // Host 1's read-fault latency histogram gives the service time.
-void MeasureFaults(size_t minipage_bytes, const char* paper_read, const char* paper_write) {
+void MeasureFaults(BenchReporter& reporter, int rounds, size_t minipage_bytes,
+                   const char* paper_read, const char* paper_write) {
   auto cluster = DsmCluster::Create(Cfg(2));
   MP_CHECK(cluster.ok());
   GlobalPtr<char> p;
@@ -35,9 +36,8 @@ void MeasureFaults(size_t minipage_bytes, const char* paper_read, const char* pa
     MP_CHECK(a.ok());
     p = GlobalPtr<char>(*a);
   });
-  constexpr int kRounds = 300;
   (*cluster)->RunParallel([&](DsmNode& node, HostId host) {
-    for (int r = 0; r < kRounds; ++r) {
+    for (int r = 0; r < rounds; ++r) {
       if (host == 0) {
         p[0] = static_cast<char>(r);  // write fault (invalidates reader)
       }
@@ -49,19 +49,29 @@ void MeasureFaults(size_t minipage_bytes, const char* paper_read, const char* pa
       node.Barrier();
     }
   });
-  const LatencyHistogram rd = (*cluster)->node(1).read_fault_latency();
-  const LatencyHistogram wr = (*cluster)->node(0).write_fault_latency();
+  const HistogramSnapshot rd = (*cluster)->node(1).read_fault_latency();
+  const HistogramSnapshot wr = (*cluster)->node(0).write_fault_latency();
   char label[96];
   std::snprintf(label, sizeof(label), "read fault, %zu-byte minipage", minipage_bytes);
-  PrintRow(label, rd.mean_ns() / 1000.0, paper_read);
+  PrintRow(label, rd.mean() / 1000.0, paper_read);
+  reporter.AddUs(label, "minipage_bytes=" + std::to_string(minipage_bytes), rd.mean() / 1000.0,
+                 rd.count);
   std::snprintf(label, sizeof(label), "write fault, %zu-byte minipage (1 reader)",
                 minipage_bytes);
-  PrintRow(label, wr.mean_ns() / 1000.0, paper_write);
+  PrintRow(label, wr.mean() / 1000.0, paper_write);
+  reporter.AddUs(label, "minipage_bytes=" + std::to_string(minipage_bytes), wr.mean() / 1000.0,
+                 wr.count);
+  if (minipage_bytes == 4096) {
+    // One representative cluster-wide snapshot in the JSON: the full metric
+    // surface as EXPERIMENTS.md documents it.
+    reporter.AttachMetrics((*cluster)->SnapshotMetrics());
+  }
 }
 
 // Write-fault cost as a function of the number of read copies invalidated.
-void MeasureInvalidationScaling() {
-  for (uint16_t hosts : {2, 4, 8}) {
+void MeasureInvalidationScaling(BenchReporter& reporter, int rounds,
+                                const std::vector<uint16_t>& host_counts) {
+  for (uint16_t hosts : host_counts) {
     auto cluster = DsmCluster::Create(Cfg(hosts));
     MP_CHECK(cluster.ok());
     GlobalPtr<int> p;
@@ -69,9 +79,8 @@ void MeasureInvalidationScaling() {
       (void)node;
       p = SharedAlloc<int>(32);
     });
-    constexpr int kRounds = 150;
     (*cluster)->RunParallel([&](DsmNode& node, HostId host) {
-      for (int r = 0; r < kRounds; ++r) {
+      for (int r = 0; r < rounds; ++r) {
         volatile int v = p[0];  // every host takes a read copy
         (void)v;
         node.Barrier();
@@ -81,34 +90,37 @@ void MeasureInvalidationScaling() {
         node.Barrier();
       }
     });
-    const LatencyHistogram wr = (*cluster)->node(1 % hosts).write_fault_latency();
+    const HistogramSnapshot wr = (*cluster)->node(1 % hosts).write_fault_latency();
     char label[96];
     std::snprintf(label, sizeof(label), "write fault invalidating %u read copies", hosts - 1);
-    PrintRow(label, wr.mean_ns() / 1000.0, "212-366 (more copies = slower)");
+    PrintRow(label, wr.mean() / 1000.0, "212-366 (more copies = slower)");
+    reporter.AddUs(label, "hosts=" + std::to_string(hosts), wr.mean() / 1000.0, wr.count);
   }
 }
 
-void MeasureBarriers() {
-  for (uint16_t hosts : {1, 2, 4, 8}) {
+void MeasureBarriers(BenchReporter& reporter, int rounds,
+                     const std::vector<uint16_t>& host_counts) {
+  for (uint16_t hosts : host_counts) {
     auto cluster = DsmCluster::Create(Cfg(hosts));
     MP_CHECK(cluster.ok());
-    constexpr int kRounds = 400;
     std::vector<double> per_host_us(hosts, 0);
     (*cluster)->RunParallel([&](DsmNode& node, HostId host) {
       node.Barrier();  // align
       const uint64_t t0 = MonotonicNowNs();
-      for (int r = 0; r < kRounds; ++r) {
+      for (int r = 0; r < rounds; ++r) {
         node.Barrier();
       }
-      per_host_us[host] = static_cast<double>(MonotonicNowNs() - t0) / 1000.0 / kRounds;
+      per_host_us[host] = static_cast<double>(MonotonicNowNs() - t0) / 1000.0 / rounds;
     });
     char label[64];
     std::snprintf(label, sizeof(label), "barrier, %u hosts", hosts);
     PrintRow(label, per_host_us[0], "59-153 (linear in hosts)");
+    reporter.AddUs(label, "hosts=" + std::to_string(hosts), per_host_us[0],
+                   static_cast<uint64_t>(rounds));
   }
 }
 
-void MeasureLocks() {
+void MeasureLocks(BenchReporter& reporter, int iters) {
   auto cluster = DsmCluster::Create(Cfg(2));
   MP_CHECK(cluster.ok());
   double us = 0;
@@ -119,14 +131,16 @@ void MeasureLocks() {
             node.Lock(1);
             node.Unlock(1);
           },
-          500);
+          iters);
     }
     node.Barrier();
   });
   PrintRow("lock + unlock (uncontended, remote manager)", us, "67-80");
+  reporter.AddUs("lock + unlock (uncontended, remote manager)", "", us,
+                 static_cast<uint64_t>(iters));
 }
 
-void MeasureDiffs() {
+void MeasureDiffs(BenchReporter& reporter, int iters) {
   for (size_t bytes : {1024UL, 4096UL, 16384UL}) {
     std::vector<char> page(bytes);
     for (size_t i = 0; i < bytes; ++i) {
@@ -138,10 +152,12 @@ void MeasureDiffs() {
       page[i] = static_cast<char>(page[i] + 1);
     }
     const double create_us =
-        MeasureUs([&] { (void)CreateDiff(twin, page.data(), bytes); }, 2000);
+        MeasureUs([&] { (void)CreateDiff(twin, page.data(), bytes); }, iters);
     char label[64];
     std::snprintf(label, sizeof(label), "run-length diff creation, %zu-byte page", bytes);
     PrintRow(label, create_us, bytes == 4096 ? "250 (linear in size)" : "linear in size");
+    reporter.AddUs(label, "bytes=" + std::to_string(bytes), create_us,
+                   static_cast<uint64_t>(iters));
   }
   PrintNote("the thin-layer protocol never pays this cost: no twins, no diffs.");
 }
@@ -149,17 +165,24 @@ void MeasureDiffs() {
 }  // namespace
 }  // namespace millipage
 
-int main() {
+int main(int argc, char** argv) {
   using namespace millipage;
+  const BenchEnv env = BenchEnv::Parse(argc, argv);
+  BenchReporter reporter("bench_sec42_dsm_costs", env);
   PrintHeader("Section 4.2: DSM operation costs (live protocol)");
-  MeasureFaults(128, "204", "212-366");
-  MeasureFaults(4096, "314", "327-480");
-  MeasureInvalidationScaling();
-  MeasureBarriers();
-  MeasureLocks();
-  MeasureDiffs();
+  const int fault_rounds = env.Scaled(300, 20);
+  MeasureFaults(reporter, fault_rounds, 128, "204", "212-366");
+  MeasureFaults(reporter, fault_rounds, 4096, "314", "327-480");
+  const std::vector<uint16_t> inval_hosts =
+      env.smoke() ? std::vector<uint16_t>{2, 4} : std::vector<uint16_t>{2, 4, 8};
+  MeasureInvalidationScaling(reporter, env.Scaled(150, 10), inval_hosts);
+  const std::vector<uint16_t> barrier_hosts =
+      env.smoke() ? std::vector<uint16_t>{1, 2, 4} : std::vector<uint16_t>{1, 2, 4, 8};
+  MeasureBarriers(reporter, env.Scaled(400, 30), barrier_hosts);
+  MeasureLocks(reporter, env.Scaled(500, 50));
+  MeasureDiffs(reporter, env.Scaled(2000, 100));
   PrintNote("paper values include Myrinet latency + the NT timer/polling delay; shapes to");
   PrintNote("check: 4 KB faults cost more than 128 B; write cost grows with copyset size;");
   PrintNote("barriers grow linearly with hosts; diff cost grows linearly with page size.");
-  return 0;
+  return reporter.Finish();
 }

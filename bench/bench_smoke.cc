@@ -1,0 +1,178 @@
+// CI perf-smoke driver: runs every bench binary at tiny sizes (--smoke),
+// collects each one's --bench_json output, and merges them into one
+// BENCH.json document:
+//   {"schema":"millipage-bench-v1","smoke":true,"benches":[<per-binary docs>]}
+// Exits nonzero if any binary is missing, fails, or emits malformed output —
+// this is the gate that keeps the bench harness itself from rotting.
+// Deeper validation (real JSON parse, baseline comparison) happens in
+// ci/check_bench.py.
+
+#include <limits.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+// Every bench target. bench_smoke refuses to pass if one is absent, so a new
+// bench that forgets to register here (or a renamed one) fails CI loudly
+// instead of silently dropping out of the report.
+const char* const kBenchBinaries[] = {
+    "bench_table1_basic_costs",
+    "bench_sec42_dsm_costs",
+    "bench_fig5_multiview_overhead",
+    "bench_table2_applications",
+    "bench_fig6_speedups",
+    "bench_fig7_chunking",
+    "bench_ablation_ack",
+    "bench_contention_sharding",
+    "bench_ablation_service",
+    "bench_ablation_granularity",
+    "bench_ext_lrc",
+    "bench_ext_composed_views",
+    "bench_micro_primitives",
+};
+
+std::string SelfDir() {
+  char buf[PATH_MAX];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) {
+    return ".";
+  }
+  buf[n] = '\0';
+  char* slash = std::strrchr(buf, '/');
+  if (slash == nullptr) {
+    return ".";
+  }
+  *slash = '\0';
+  return buf;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return false;
+  }
+  char buf[4096];
+  size_t n;
+  out->clear();
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  std::fclose(f);
+  return true;
+}
+
+void TrimTrailingWhitespace(std::string* s) {
+  while (!s->empty() && (s->back() == '\n' || s->back() == '\r' || s->back() == ' ')) {
+    s->pop_back();
+  }
+}
+
+// Cheap structural check: the per-binary document must be a single brace-
+// balanced object carrying the expected top-level keys. (check_bench.py
+// re-parses the merged file with a real JSON parser.)
+bool LooksLikeBenchDoc(const std::string& doc) {
+  if (doc.empty() || doc.front() != '{' || doc.back() != '}') {
+    return false;
+  }
+  if (doc.find("\"bench\":") == std::string::npos ||
+      doc.find("\"results\":") == std::string::npos) {
+    return false;
+  }
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : doc) {
+    if (escaped) {
+      escaped = false;
+    } else if (c == '\\') {
+      escaped = true;
+    } else if (c == '"') {
+      in_string = !in_string;
+    } else if (!in_string) {
+      depth += c == '{' ? 1 : c == '}' ? -1 : 0;
+      if (depth < 0) {
+        return false;
+      }
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--bench_json=", 13) == 0) {
+      out_path = argv[i] + 13;
+    }
+  }
+  const std::string dir = SelfDir();
+  const std::string tmp = out_path + ".part";
+
+  std::string merged = "{\"schema\":\"millipage-bench-v1\",\"smoke\":true,\"benches\":[";
+  int failures = 0;
+  bool first = true;
+  for (const char* name : kBenchBinaries) {
+    const std::string bin = dir + "/" + name;
+    if (::access(bin.c_str(), X_OK) != 0) {
+      std::fprintf(stderr, "bench_smoke: missing binary %s\n", bin.c_str());
+      failures++;
+      continue;
+    }
+    std::fprintf(stderr, "bench_smoke: running %s\n", name);
+    std::remove(tmp.c_str());
+    const std::string cmd = bin + " --smoke --bench_json=" + tmp;
+    const int rc = std::system(cmd.c_str());
+    if (rc != 0) {
+      std::fprintf(stderr, "bench_smoke: %s exited with status %d\n", name, rc);
+      failures++;
+      continue;
+    }
+    std::string doc;
+    if (!ReadFile(tmp, &doc)) {
+      std::fprintf(stderr, "bench_smoke: %s wrote no JSON output\n", name);
+      failures++;
+      continue;
+    }
+    TrimTrailingWhitespace(&doc);
+    if (!LooksLikeBenchDoc(doc)) {
+      std::fprintf(stderr, "bench_smoke: %s emitted malformed JSON\n", name);
+      failures++;
+      continue;
+    }
+    if (!first) {
+      merged.push_back(',');
+    }
+    first = false;
+    merged += doc;
+  }
+  std::remove(tmp.c_str());
+  merged += "]}";
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_smoke: cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  const bool wrote = std::fwrite(merged.data(), 1, merged.size(), f) == merged.size() &&
+                     std::fputc('\n', f) != EOF;
+  if (std::fclose(f) != 0 || !wrote) {
+    std::fprintf(stderr, "bench_smoke: short write to %s\n", out_path.c_str());
+    return 1;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "bench_smoke: %d of %zu benches failed\n", failures,
+                 sizeof(kBenchBinaries) / sizeof(kBenchBinaries[0]));
+    return 1;
+  }
+  std::fprintf(stderr, "bench_smoke: all %zu benches OK -> %s\n",
+               sizeof(kBenchBinaries) / sizeof(kBenchBinaries[0]), out_path.c_str());
+  return 0;
+}

@@ -19,6 +19,13 @@
 namespace millipage {
 namespace {
 
+// Prints the console row and mirrors it into the JSON report.
+void Row(BenchReporter& reporter, const std::string& label, double us, int iters,
+         const char* paper) {
+  PrintRow(label, us, paper);
+  reporter.AddUs(label, "", us, static_cast<uint64_t>(iters));
+}
+
 // --- access fault: full SIGSEGV round trip with a minimal handler ---------
 
 struct FaultBenchCtx {
@@ -33,7 +40,7 @@ bool FlipProtection(void* ctx_raw, void* addr, bool) {
   return ctx->mapping->ProtectAll(Protection::kReadWrite).ok();
 }
 
-double MeasureAccessFaultUs() {
+double MeasureAccessFaultUs(int iters) {
   MP_CHECK_OK(FaultHandler::Instance().Install());
   auto m = Mapping::MapAnonymous(PageSize(), Protection::kNoAccess);
   MP_CHECK(m.ok());
@@ -47,18 +54,18 @@ double MeasureAccessFaultUs() {
         MP_CHECK_OK(m->ProtectAll(Protection::kNoAccess));
         (void)*p;  // faults; handler re-enables access
       },
-      2000);
+      iters);
   FaultHandler::Instance().Unregister(slot);
   // Subtract the mprotect the loop body adds on top of the fault itself.
   const double protect_us =
-      MeasureUs([&] { MP_CHECK_OK(m->ProtectAll(Protection::kNoAccess)); }, 2000);
+      MeasureUs([&] { MP_CHECK_OK(m->ProtectAll(Protection::kNoAccess)); }, iters);
   return us - protect_us;
 }
 
 // --- messaging costs -------------------------------------------------------
 
 template <typename MakePair>
-void MeasureMessaging(const char* tag, MakePair make) {
+void MeasureMessaging(BenchReporter& reporter, int iters, const char* tag, MakePair make) {
   auto pair = make();
   Transport& a = *pair.first;
   Transport& b = *pair.second;
@@ -74,24 +81,28 @@ void MeasureMessaging(const char* tag, MakePair make) {
     MP_CHECK(polled.ok() && *polled);
   };
 
-  PrintRow(std::string(tag) + " header message send/recv (32 bytes)",
-           MeasureUs([&] { round_trip(0); }, 3000), "12");
-  PrintRow(std::string(tag) + " data message send/recv (0.5 KB)",
-           MeasureUs([&] { round_trip(512); }, 3000), "22");
-  PrintRow(std::string(tag) + " data message send/recv (1 KB)",
-           MeasureUs([&] { round_trip(1024); }, 3000), "34");
-  PrintRow(std::string(tag) + " data message send/recv (4 KB)",
-           MeasureUs([&] { round_trip(4096); }, 3000), "90");
+  Row(reporter, std::string(tag) + " header message send/recv (32 bytes)",
+      MeasureUs([&] { round_trip(0); }, iters), iters, "12");
+  Row(reporter, std::string(tag) + " data message send/recv (0.5 KB)",
+      MeasureUs([&] { round_trip(512); }, iters), iters, "22");
+  Row(reporter, std::string(tag) + " data message send/recv (1 KB)",
+      MeasureUs([&] { round_trip(1024); }, iters), iters, "34");
+  Row(reporter, std::string(tag) + " data message send/recv (4 KB)",
+      MeasureUs([&] { round_trip(4096); }, iters), iters, "90");
 }
 
 }  // namespace
 }  // namespace millipage
 
-int main() {
+int main(int argc, char** argv) {
   using namespace millipage;
+  const BenchEnv env = BenchEnv::Parse(argc, argv);
+  BenchReporter reporter("bench_table1_basic_costs", env);
   PrintHeader("Table 1: cost of basic operations in millipage");
 
-  PrintRow("access fault (SIGSEGV round trip)", MeasureAccessFaultUs(), "26");
+  const int fault_iters = env.Scaled(2000, 100);
+  Row(reporter, "access fault (SIGSEGV round trip)", MeasureAccessFaultUs(fault_iters),
+      fault_iters, "26");
 
   // Protection operations on a view set (shadow get, mprotect set).
   auto vs = ViewSet::Create(64 * PageSize(), 8);
@@ -100,22 +111,26 @@ int main() {
   mp.view = 3;
   mp.offset = 5 * PageSize() + 128;
   mp.length = 256;
-  PrintRow("get protection (shadow table)",
-           MeasureUs([&] { (void)(*vs)->GetProtection(mp); }, 100000), "7");
+  const int get_iters = env.Scaled(100000, 2000);
+  Row(reporter, "get protection (shadow table)",
+      MeasureUs([&] { (void)(*vs)->GetProtection(mp); }, get_iters), get_iters, "7");
   std::atomic<int> flip{0};
-  PrintRow("set protection (mprotect one vpage)",
-           MeasureUs(
-               [&] {
-                 const Protection p = (flip.fetch_add(1) & 1) ? Protection::kReadOnly
-                                                              : Protection::kReadWrite;
-                 MP_CHECK_OK((*vs)->SetProtection(mp, p));
-               },
-               20000),
-           "12");
+  const int set_iters = env.Scaled(20000, 1000);
+  Row(reporter, "set protection (mprotect one vpage)",
+      MeasureUs(
+          [&] {
+            const Protection p = (flip.fetch_add(1) & 1) ? Protection::kReadOnly
+                                                         : Protection::kReadWrite;
+            MP_CHECK_OK((*vs)->SetProtection(mp, p));
+          },
+          set_iters),
+      set_iters, "12");
 
+  const int msg_iters = env.Scaled(3000, 200);
   {
     auto shared = std::make_shared<InProcTransport>(2);
-    MeasureMessaging("in-proc:", [&] { return std::make_pair(shared, shared); });
+    MeasureMessaging(reporter, msg_iters, "in-proc:",
+                     [&] { return std::make_pair(shared, shared); });
   }
   {
     auto mesh = SocketMesh::Create(2);
@@ -125,17 +140,19 @@ int main() {
     mesh->fds.clear();
     auto t0 = std::make_shared<SocketTransport>(0, std::move(row0));
     auto t1 = std::make_shared<SocketTransport>(1, std::move(row1));
-    MeasureMessaging("socket: ", [&] { return std::make_pair(t0, t1); });
+    MeasureMessaging(reporter, msg_iters, "socket: ",
+                     [&] { return std::make_pair(t0, t1); });
   }
 
   // MPT lookup at realistic table sizes.
-  for (const size_t minipages : {1000UL, 100000UL}) {
+  for (const size_t minipages : {1000UL, env.smoke() ? 10000UL : 100000UL}) {
     MinipageTable mpt;
     MinipageAllocator alloc(&mpt, minipages * 512, 16);
     for (size_t i = 0; i < minipages; ++i) {
       MP_CHECK(alloc.Allocate(256).ok());
     }
     uint64_t probe = 0;
+    const int lookup_iters = env.Scaled(100000, 5000);
     const double us = MeasureUs(
         [&] {
           const Minipage* found =
@@ -143,10 +160,15 @@ int main() {
           (void)found;
           probe++;
         },
-        100000);
-    PrintRow("minipage translation (MPT, " + std::to_string(minipages) + " entries)", us, "7");
+        lookup_iters);
+    Row(reporter, "minipage translation (MPT, " + std::to_string(minipages) + " entries)", us,
+        lookup_iters, "7");
   }
 
+  // The socket rows above ran through the instrumented transport; attach the
+  // process-global snapshot so the JSON shows the net.* distributions too.
+  reporter.AttachMetrics(MetricsRegistry::Global().Snapshot());
+
   PrintNote("shape check: header < data(0.5K) < data(1K) < data(4K); get < set protection");
-  return 0;
+  return reporter.Finish();
 }

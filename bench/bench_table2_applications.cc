@@ -19,67 +19,84 @@
 namespace millipage {
 namespace {
 
-void PrintAppRow(const AppRunResult& r, const char* paper_row) {
+void ReportApp(BenchReporter& reporter, uint16_t hosts, const AppRunResult& r,
+               const char* paper_row) {
   std::printf("  %-6s | %-38s | %8.1f KB | %5u | %-22s | %6lu | %6lu\n", r.name.c_str(),
               r.input_desc.c_str(), static_cast<double>(r.shared_bytes) / 1024.0, r.num_views,
               r.granularity_desc.c_str(), static_cast<unsigned long>(r.barriers),
               static_cast<unsigned long>(r.locks));
   std::printf("  %-6s | paper: %s\n", "", paper_row);
+  // Structural row: no per-op time (ns_per_op=0 opts it out of the perf
+  // comparison in ci/check_bench.py); the shape lives in `values`.
+  BenchResult row;
+  row.name = r.name;
+  row.params = "hosts=" + std::to_string(hosts) + " input=" + r.input_desc;
+  row.iterations = 1;
+  row.values["shared_kb"] = static_cast<double>(r.shared_bytes) / 1024.0;
+  row.values["views"] = r.num_views;
+  row.values["barriers"] = static_cast<double>(r.barriers);
+  row.values["locks"] = static_cast<double>(r.locks);
+  row.values["read_faults"] = static_cast<double>(r.read_faults);
+  row.values["write_faults"] = static_cast<double>(r.write_faults);
+  reporter.Add(std::move(row));
 }
 
 }  // namespace
 }  // namespace millipage
 
-int main() {
+int main(int argc, char** argv) {
   using namespace millipage;
-  PrintHeader("Table 2: application suite (8 hosts)");
+  const BenchEnv env = BenchEnv::Parse(argc, argv);
+  BenchReporter reporter("bench_table2_applications", env);
+  const uint16_t hosts = static_cast<uint16_t>(env.Scaled(8, 4));
+  PrintHeader("Table 2: application suite (" + std::to_string(hosts) + " hosts)");
   std::printf("  %-6s | %-38s | %11s | %5s | %-22s | %6s | %6s\n", "app", "input (scaled)",
               "shared mem", "views", "granularity", "barr", "locks");
 
   {
     SorConfig cfg;
-    cfg.rows = 512;
+    cfg.rows = env.Scaled(512, 128);
     cfg.cols = 64;
-    cfg.iterations = 10;
+    cfg.iterations = env.Scaled(10, 2);
     SorApp app(cfg);
-    PrintAppRow(RunAppOnCluster(AppBenchConfig(8), app),
-                "32768x64, 8 MB shared, 16 views, a row (256 B), 21 barriers, no locks");
+    ReportApp(reporter, hosts, RunAppOnCluster(AppBenchConfig(hosts), app),
+              "32768x64, 8 MB shared, 16 views, a row (256 B), 21 barriers, no locks");
   }
   {
     IsConfig cfg;
-    cfg.num_keys = 1 << 15;
-    cfg.iterations = 10;
+    cfg.num_keys = 1 << env.Scaled(15, 12);
+    cfg.iterations = env.Scaled(10, 2);
     IsApp app(cfg);
-    PrintAppRow(RunAppOnCluster(AppBenchConfig(8), app),
-                "2^23 keys / 2^9 values, 2 KB shared, 8 views, 256 B, 90 barriers, no locks");
+    ReportApp(reporter, hosts, RunAppOnCluster(AppBenchConfig(hosts), app),
+              "2^23 keys / 2^9 values, 2 KB shared, 8 views, 256 B, 90 barriers, no locks");
   }
   {
     WaterConfig cfg;
-    cfg.num_molecules = 512;  // paper size: lock volume is the comparison
-    cfg.iterations = 3;
+    cfg.num_molecules = env.Scaled(512, 64);  // paper size: lock volume is the comparison
+    cfg.iterations = env.Scaled(3, 1);
     WaterApp app(cfg);
-    PrintAppRow(RunAppOnCluster(AppBenchConfig(8), app),
-                "512 molecules, 336 KB shared, 6 views, a molecule (672 B), 29 barr, 6720 locks");
+    ReportApp(reporter, hosts, RunAppOnCluster(AppBenchConfig(hosts), app),
+              "512 molecules, 336 KB shared, 6 views, a molecule (672 B), 29 barr, 6720 locks");
   }
   {
     LuConfig cfg;
-    cfg.n = 256;
+    cfg.n = env.Scaled(256, 128);
     cfg.block = 32;
     LuApp app(cfg);
-    PrintAppRow(RunAppOnCluster(AppBenchConfig(8), app),
-                "1024x1024 / 32x32 blocks, 8 MB shared, 1 view, a block (4 KB), 577 barriers");
+    ReportApp(reporter, hosts, RunAppOnCluster(AppBenchConfig(hosts), app),
+              "1024x1024 / 32x32 blocks, 8 MB shared, 1 view, a block (4 KB), 577 barriers");
   }
   {
     TspConfig cfg;
-    cfg.num_cities = 11;
-    cfg.prefix_depth = 4;
+    cfg.num_cities = env.Scaled(11, 9);
+    cfg.prefix_depth = env.Scaled(4, 3);
     TspApp app(cfg);
-    PrintAppRow(RunAppOnCluster(AppBenchConfig(8), app),
-                "19 cities depth 12, 785 KB shared, 27 views, a tour (148 B), 3 barr, 681 locks");
+    ReportApp(reporter, hosts, RunAppOnCluster(AppBenchConfig(hosts), app),
+              "19 cities depth 12, 785 KB shared, 27 views, a tour (148 B), 3 barr, 681 locks");
   }
 
   PrintNote("shape check: SOR/IS/LU barrier-only; WATER/TSP lock-heavy; LU single view;");
   PrintNote("granularities match the paper exactly (256 B rows, 672 B molecules, 4 KB blocks,");
   PrintNote("148 B tours); shared sizes scale with the reduced inputs.");
-  return 0;
+  return reporter.Finish();
 }

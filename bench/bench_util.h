@@ -1,16 +1,24 @@
 // Shared helpers for the paper-reproduction benchmark binaries: simple
-// best-of-k timing and aligned table printing with paper-vs-measured
-// columns.
+// best-of-k timing, aligned table printing with paper-vs-measured columns,
+// and a machine-readable reporting layer. Every bench binary accepts
+//   --smoke              run at tiny sizes (CI shape check, not a measurement)
+//   --bench_json=<path>  write structured results as JSON
+// and routes its rows through a BenchReporter so `bench_smoke` can merge all
+// binaries into one BENCH.json (schema in EXPERIMENTS.md).
 
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <functional>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/common/time_util.h"
 
 namespace millipage {
@@ -42,6 +50,176 @@ inline void PrintRow(const std::string& label, double measured_us, const char* p
 }
 
 inline void PrintNote(const std::string& note) { std::printf("  %s\n", note.c_str()); }
+
+// Command-line environment shared by all bench binaries.
+class BenchEnv {
+ public:
+  static BenchEnv Parse(int argc, char** argv) {
+    BenchEnv env;
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strcmp(arg, "--smoke") == 0) {
+        env.smoke_ = true;
+      } else if (std::strncmp(arg, "--bench_json=", 13) == 0) {
+        env.json_path_ = arg + 13;
+      }
+    }
+    return env;
+  }
+
+  bool smoke() const { return smoke_; }
+  const std::string& json_path() const { return json_path_; }
+
+  // Pick the full-run or smoke-run value for a size/iteration knob.
+  int Scaled(int full, int smoke_value) const { return smoke_ ? smoke_value : full; }
+
+ private:
+  bool smoke_ = false;
+  std::string json_path_;
+};
+
+// One measured row: what ran, at what size, and what it cost.
+struct BenchResult {
+  std::string name;
+  std::string params;  // human-readable knob settings, e.g. "hosts=4 chunking=2"
+  uint64_t iterations = 0;
+  double ns_per_op = 0.0;
+  std::map<std::string, double> values;  // extra named values (speedup, bytes, ...)
+  std::string metrics_json;              // optional MetricsSnapshot::DumpJson()
+};
+
+namespace bench_internal {
+
+inline void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+inline void AppendDouble(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out->append(buf);
+}
+
+}  // namespace bench_internal
+
+// Collects BenchResults and writes the per-binary JSON document:
+//   {"bench": <name>, "smoke": <bool>, "results": [...]}
+// Call Finish() last; it returns the process exit code (nonzero if the JSON
+// file could not be written), so mains end with `return reporter.Finish();`.
+class BenchReporter {
+ public:
+  BenchReporter(std::string bench_name, const BenchEnv& env)
+      : bench_name_(std::move(bench_name)), env_(env) {}
+
+  void Add(BenchResult result) { results_.push_back(std::move(result)); }
+
+  // Convenience for the common "one label, measured in us/op" row.
+  void AddUs(const std::string& name, const std::string& params, double us_per_op,
+             uint64_t iterations) {
+    BenchResult r;
+    r.name = name;
+    r.params = params;
+    r.iterations = iterations;
+    r.ns_per_op = us_per_op * 1000.0;
+    results_.push_back(std::move(r));
+  }
+
+  // Attach a metrics snapshot to the most recently added result.
+  void AttachMetrics(const MetricsSnapshot& snapshot) {
+    if (!results_.empty()) {
+      results_.back().metrics_json = snapshot.DumpJson();
+    }
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\"bench\":";
+    bench_internal::AppendJsonString(&out, bench_name_);
+    out += ",\"smoke\":";
+    out += env_.smoke() ? "true" : "false";
+    out += ",\"results\":[";
+    bool first = true;
+    for (const BenchResult& r : results_) {
+      if (!first) {
+        out.push_back(',');
+      }
+      first = false;
+      out += "{\"name\":";
+      bench_internal::AppendJsonString(&out, r.name);
+      out += ",\"params\":";
+      bench_internal::AppendJsonString(&out, r.params);
+      out += ",\"iterations\":" + std::to_string(r.iterations);
+      out += ",\"ns_per_op\":";
+      bench_internal::AppendDouble(&out, r.ns_per_op);
+      if (!r.values.empty()) {
+        out += ",\"values\":{";
+        bool vf = true;
+        for (const auto& [k, v] : r.values) {
+          if (!vf) {
+            out.push_back(',');
+          }
+          vf = false;
+          bench_internal::AppendJsonString(&out, k);
+          out.push_back(':');
+          bench_internal::AppendDouble(&out, v);
+        }
+        out.push_back('}');
+      }
+      if (!r.metrics_json.empty()) {
+        out += ",\"metrics\":" + r.metrics_json;  // already-serialized JSON object
+      }
+      out.push_back('}');
+    }
+    out += "]}";
+    return out;
+  }
+
+  // Writes the JSON file if --bench_json was given. Returns the exit code.
+  int Finish() const {
+    if (env_.json_path().empty()) {
+      return 0;
+    }
+    std::FILE* f = std::fopen(env_.json_path().c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot open %s for writing\n", env_.json_path().c_str());
+      return 1;
+    }
+    const std::string json = ToJson();
+    const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size() &&
+                    std::fputc('\n', f) != EOF;
+    if (std::fclose(f) != 0 || !ok) {
+      std::fprintf(stderr, "bench: short write to %s\n", env_.json_path().c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+ private:
+  std::string bench_name_;
+  BenchEnv env_;
+  std::vector<BenchResult> results_;
+};
 
 }  // namespace millipage
 

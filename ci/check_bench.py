@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Validate a merged BENCH.json and compare it against the checked-in baseline.
+
+Hard failures (exit 1) are reserved for a broken harness: missing file,
+unparseable JSON, wrong schema, or a bench document without the required
+fields. Performance swings are *soft*: CI runners are noisy shared VMs, so a
+>3x ns/op change versus ci/bench_baseline.json only prints a warning (and a
+::warning:: annotation when running under GitHub Actions) and still exits 0.
+
+Rows with ns_per_op <= 0 are structural (e.g. the Table 2 application
+characterization rows) and are skipped by the comparison.
+
+Usage:
+  check_bench.py --bench build/BENCH.json --baseline ci/bench_baseline.json
+  check_bench.py --bench build/BENCH.json --baseline ci/bench_baseline.json --update
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "millipage-bench-v1"
+# Ratio beyond which a row is flagged. Generous on purpose: smoke runs are
+# short and CI machines are heterogeneous.
+SWING = 3.0
+
+
+def fail(msg):
+    print(f"check_bench: ERROR: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def warn(msg):
+    print(f"check_bench: warning: {msg}", file=sys.stderr)
+    # GitHub Actions annotation; harmless noise when run locally.
+    print(f"::warning::{msg}")
+
+
+def load_bench(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+    if doc.get("schema") != SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    benches = doc.get("benches")
+    if not isinstance(benches, list) or not benches:
+        fail(f"{path}: 'benches' must be a non-empty list")
+    for b in benches:
+        if not isinstance(b.get("bench"), str):
+            fail(f"{path}: bench document missing 'bench' name: {b!r}")
+        if not isinstance(b.get("results"), list):
+            fail(f"{path}: bench {b['bench']!r} missing 'results' list")
+        for r in b["results"]:
+            for key in ("name", "params", "iterations", "ns_per_op"):
+                if key not in r:
+                    fail(f"{path}: bench {b['bench']!r} result missing {key!r}: {r!r}")
+    return doc
+
+
+def flatten(doc):
+    """Map (bench, name, params) -> ns_per_op for comparable rows."""
+    rows = {}
+    for b in doc["benches"]:
+        for r in b["results"]:
+            ns = r["ns_per_op"]
+            if not isinstance(ns, (int, float)) or ns <= 0:
+                continue  # structural row: opted out of perf comparison
+            rows[(b["bench"], r["name"], r["params"])] = float(ns)
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--bench", required=True, help="merged BENCH.json from bench_smoke")
+    ap.add_argument("--baseline", required=True, help="checked-in baseline JSON")
+    ap.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from --bench instead of comparing",
+    )
+    args = ap.parse_args()
+
+    doc = load_bench(args.bench)
+    rows = flatten(doc)
+    print(
+        f"check_bench: {args.bench} OK "
+        f"({len(doc['benches'])} benches, {len(rows)} comparable rows)"
+    )
+
+    if args.update:
+        baseline = {
+            "schema": SCHEMA,
+            "note": "Regenerate with: ci/check_bench.py --bench build/BENCH.json "
+            "--baseline ci/bench_baseline.json --update",
+            "rows": [
+                {"bench": b, "name": n, "params": p, "ns_per_op": ns}
+                for (b, n, p), ns in sorted(rows.items())
+            ],
+        }
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=1)
+            f.write("\n")
+        print(f"check_bench: wrote {len(rows)} baseline rows to {args.baseline}")
+        return
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except OSError:
+        warn(f"no baseline at {args.baseline}; skipping comparison")
+        return
+    except json.JSONDecodeError as e:
+        fail(f"{args.baseline} is not valid JSON: {e}")
+
+    base_rows = {
+        (r["bench"], r["name"], r["params"]): float(r["ns_per_op"])
+        for r in baseline.get("rows", [])
+        if r.get("ns_per_op", 0) > 0
+    }
+
+    swings = 0
+    for key, ns in sorted(rows.items()):
+        base = base_rows.get(key)
+        if base is None:
+            continue  # new row: becomes part of the baseline on next --update
+        ratio = ns / base
+        if ratio > SWING or ratio < 1.0 / SWING:
+            swings += 1
+            bench, name, params = key
+            warn(
+                f"{bench} / {name} [{params}]: {ns:.1f} ns/op vs baseline "
+                f"{base:.1f} ns/op ({ratio:.2f}x)"
+            )
+    missing = sorted(set(base_rows) - set(rows))
+    for bench, name, params in missing:
+        warn(f"baseline row disappeared: {bench} / {name} [{params}]")
+
+    if swings or missing:
+        print(
+            f"check_bench: {swings} swing(s) beyond {SWING}x and "
+            f"{len(missing)} missing row(s) — soft warning only (CI noise is real); "
+            "refresh with --update if the change is intentional"
+        )
+    else:
+        print(f"check_bench: all {len(rows)} rows within {SWING}x of baseline")
+
+
+if __name__ == "__main__":
+    main()

@@ -22,8 +22,9 @@ AppRunResult RunApp(DsmCluster& cluster, App& app) {
     }
     result.num_views = static_cast<uint32_t>(views.size());
   });
-  // Aggregate across manager shards (a single shard when centralized).
-  result.competing_requests = cluster.TotalManagerCounters().competing_requests;
+  // Each shard attributes the competing requests it queues to its own host
+  // counters, so the cluster total aggregates the whole directory.
+  result.competing_requests = cluster.TotalCounters().competing_requests;
   result.barriers = cluster.node(cluster.num_hosts() > 1 ? 1 : 0).counters().barriers;
 
   result.timing.ns_per_work_unit = app.ns_per_work_unit();

@@ -1,66 +1,8 @@
 #include "src/common/stats.h"
 
 #include <cmath>
-#include <cstring>
-#include <sstream>
 
 namespace millipage {
-
-LatencyHistogram::LatencyHistogram() { std::memset(buckets_, 0, sizeof(buckets_)); }
-
-// Buckets are powers of two of nanoseconds: bucket i covers (2^(i-1), 2^i].
-uint64_t LatencyHistogram::BucketUpperBound(int i) { return 1ULL << i; }
-
-int LatencyHistogram::BucketFor(uint64_t ns) {
-  if (ns <= 1) {
-    return 0;
-  }
-  int b = 64 - __builtin_clzll(ns - 1);
-  return b >= kBuckets ? kBuckets - 1 : b;
-}
-
-void LatencyHistogram::Record(uint64_t ns) {
-  buckets_[BucketFor(ns)]++;
-  count_++;
-  sum_ns_ += ns;
-  min_ns_ = std::min(min_ns_, ns);
-  max_ns_ = std::max(max_ns_, ns);
-}
-
-uint64_t LatencyHistogram::QuantileNs(double q) const {
-  if (count_ == 0) {
-    return 0;
-  }
-  const uint64_t target =
-      static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_ - 1)));
-  uint64_t seen = 0;
-  for (int i = 0; i < kBuckets; ++i) {
-    seen += buckets_[i];
-    if (seen > target) {
-      return BucketUpperBound(i);
-    }
-  }
-  return max_ns_;
-}
-
-void LatencyHistogram::Merge(const LatencyHistogram& other) {
-  for (int i = 0; i < kBuckets; ++i) {
-    buckets_[i] += other.buckets_[i];
-  }
-  count_ += other.count_;
-  sum_ns_ += other.sum_ns_;
-  min_ns_ = std::min(min_ns_, other.min_ns_);
-  max_ns_ = std::max(max_ns_, other.max_ns_);
-}
-
-std::string LatencyHistogram::ToString() const {
-  std::ostringstream os;
-  os << "n=" << count_ << " mean=" << mean_ns() / 1000.0 << "us"
-     << " p50=" << QuantileNs(0.5) / 1000.0 << "us"
-     << " p99=" << QuantileNs(0.99) / 1000.0 << "us"
-     << " max=" << max_ns_ / 1000.0 << "us";
-  return os.str();
-}
 
 SampleStats SampleStats::FromSamples(std::vector<double> samples) {
   SampleStats s;

@@ -10,26 +10,31 @@
 #include <string>
 #include <vector>
 
+#include "src/common/metrics.h"
+
 namespace millipage {
 
 // Event counters for a single DSM host. Fields mirror the quantities the
 // paper reports: fault counts by kind, message/byte volume, synchronization
 // activity, and application work units (the deterministic compute proxy).
+// Fields are relaxed atomics: application threads, the server thread, and
+// introspection readers all touch a live block concurrently, and a copy of a
+// live block (e.g. an epoch snapshot) is a tear-free-per-field read.
 struct HostCounters {
-  uint64_t read_faults = 0;
-  uint64_t write_faults = 0;
-  uint64_t read_fault_bytes = 0;   // minipage bytes fetched by read faults
-  uint64_t write_fault_bytes = 0;  // minipage bytes fetched by write faults
-  uint64_t invalidations_received = 0;
-  uint64_t messages_sent = 0;
-  uint64_t bytes_sent = 0;
-  uint64_t barriers = 0;
-  uint64_t lock_acquires = 0;
-  uint64_t prefetches = 0;
-  uint64_t prefetch_bytes = 0;
-  uint64_t work_units = 0;  // app-reported deterministic compute units
+  RelaxedCounter read_faults;
+  RelaxedCounter write_faults;
+  RelaxedCounter read_fault_bytes;   // minipage bytes fetched by read faults
+  RelaxedCounter write_fault_bytes;  // minipage bytes fetched by write faults
+  RelaxedCounter invalidations_received;
+  RelaxedCounter messages_sent;
+  RelaxedCounter bytes_sent;
+  RelaxedCounter barriers;
+  RelaxedCounter lock_acquires;
+  RelaxedCounter prefetches;
+  RelaxedCounter prefetch_bytes;
+  RelaxedCounter work_units;  // app-reported deterministic compute units
   // Requests that queued behind an in-service minipage (manager host only).
-  uint64_t competing_requests = 0;
+  RelaxedCounter competing_requests;
 
   HostCounters& operator+=(const HostCounters& o) {
     read_faults += o.read_faults;
@@ -68,19 +73,20 @@ struct HostCounters {
 };
 
 // Counters kept per manager shard (one shard on host 0 when centralized,
-// one per host when the directory is sharded).
+// one per host when the directory is sharded). Written by the shard's server
+// thread, read from any thread (liveness reports, cluster totals): relaxed
+// atomics. Competing requests live in HostCounters only — the shard used to
+// keep a duplicate count.
 struct ManagerCounters {
-  uint64_t requests_served = 0;
-  uint64_t competing_requests = 0;  // requests queued behind an in-flight one
-  uint64_t invalidation_rounds = 0;
-  uint64_t mpt_lookups = 0;
+  RelaxedCounter requests_served;
+  RelaxedCounter invalidation_rounds;
+  RelaxedCounter mpt_lookups;
   // Translated requests handed off to another host's shard (only the MPT
   // host routes, so this is nonzero only on host 0, only when sharded).
-  uint64_t remote_routed = 0;
+  RelaxedCounter remote_routed;
 
   ManagerCounters& operator+=(const ManagerCounters& o) {
     requests_served += o.requests_served;
-    competing_requests += o.competing_requests;
     invalidation_rounds += o.invalidation_rounds;
     mpt_lookups += o.mpt_lookups;
     remote_routed += o.remote_routed;
@@ -95,35 +101,9 @@ struct EpochRecord {
   HostCounters delta;
 };
 
-// Fixed-boundary latency histogram (nanoseconds). Cheap enough to update on
-// the fault path.
-class LatencyHistogram {
- public:
-  LatencyHistogram();
-
-  void Record(uint64_t ns);
-  uint64_t count() const { return count_; }
-  uint64_t sum_ns() const { return sum_ns_; }
-  uint64_t min_ns() const { return count_ == 0 ? 0 : min_ns_; }
-  uint64_t max_ns() const { return max_ns_; }
-  double mean_ns() const { return count_ == 0 ? 0.0 : static_cast<double>(sum_ns_) / count_; }
-  // Approximate quantile from bucket boundaries, q in [0,1].
-  uint64_t QuantileNs(double q) const;
-
-  void Merge(const LatencyHistogram& other);
-  std::string ToString() const;
-
- private:
-  static constexpr int kBuckets = 64;
-  static uint64_t BucketUpperBound(int i);
-  static int BucketFor(uint64_t ns);
-
-  uint64_t buckets_[kBuckets];
-  uint64_t count_ = 0;
-  uint64_t sum_ns_ = 0;
-  uint64_t min_ns_ = ~0ULL;
-  uint64_t max_ns_ = 0;
-};
+// Latency histograms live in src/common/metrics.h (Histogram /
+// HistogramSnapshot); the fault paths record into the node's
+// MetricsRegistry.
 
 // Simple descriptive statistics over a sample vector.
 struct SampleStats {

@@ -137,4 +137,13 @@ ManagerCounters DsmCluster::TotalManagerCounters() const {
   return total;
 }
 
+MetricsSnapshot DsmCluster::SnapshotMetrics() const {
+  MetricsSnapshot total;
+  for (const auto& node : nodes_) {
+    total.Merge(node->SnapshotMetrics());
+  }
+  total.Merge(MetricsRegistry::Global().Snapshot());
+  return total;
+}
+
 }  // namespace millipage

@@ -44,6 +44,10 @@ class DsmCluster {
   // whole directory.
   ManagerCounters TotalManagerCounters() const;
 
+  // Cluster-wide metric aggregation: every node's SnapshotMetrics merged
+  // with the process-global registry (fault handler, standalone transports).
+  MetricsSnapshot SnapshotMetrics() const;
+
  private:
   explicit DsmCluster(const DsmConfig& config) : config_(config) {}
 

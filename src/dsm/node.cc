@@ -38,6 +38,7 @@ Result<std::unique_ptr<DsmNode>> DsmNode::Create(const DsmConfig& config, HostId
   auto node = std::unique_ptr<DsmNode>(new DsmNode(config, me, transport));
   MP_ASSIGN_OR_RETURN(node->views_, ViewSet::Create(config.object_size, config.num_views));
   node->views_->SetTrace(config.trace, me);
+  node->views_->SetMetrics(&node->metrics_);  // per-host mv.* attribution
   if (me == kManagerHost) {
     node->mpt_ = std::make_unique<MinipageTable>();
     node->allocator_ = std::make_unique<MinipageAllocator>(
@@ -53,7 +54,12 @@ Result<std::unique_ptr<DsmNode>> DsmNode::Create(const DsmConfig& config, HostId
 }
 
 DsmNode::DsmNode(const DsmConfig& config, HostId me, Transport* transport)
-    : config_(config), me_(me), transport_(transport) {}
+    : config_(config), me_(me), transport_(transport) {
+  read_fault_ns_ = metrics_.GetHistogram("dsm.read_fault_ns");
+  write_fault_ns_ = metrics_.GetHistogram("dsm.write_fault_ns");
+  barrier_ns_ = metrics_.GetHistogram("dsm.barrier_ns");
+  lock_ns_ = metrics_.GetHistogram("dsm.lock_ns");
+}
 
 DsmNode::~DsmNode() { Stop(); }
 
@@ -88,41 +94,51 @@ uint32_t DsmNode::ThreadSlot() {
   return slot;
 }
 
-void DsmNode::AddWorkUnits(uint64_t n) {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  counters_.work_units += n;
-}
-
-HostCounters DsmNode::counters() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return counters_;
-}
+void DsmNode::AddWorkUnits(uint64_t n) { counters_.work_units += n; }
 
 std::vector<EpochRecord> DsmNode::epochs() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  std::lock_guard<std::mutex> lock(epoch_mu_);
   return epochs_;
-}
-
-LatencyHistogram DsmNode::read_fault_latency() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return read_lat_;
-}
-
-LatencyHistogram DsmNode::write_fault_latency() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return write_lat_;
 }
 
 uint64_t DsmNode::bounced_requests() const {
   return bounced_.load(std::memory_order_relaxed);
 }
 
-Status DsmNode::TrySendMsg(HostId to, const MsgHeader& h, const void* payload, size_t len) {
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    counters_.messages_sent++;
-    counters_.bytes_sent += sizeof(MsgHeader) + len;
+MetricsSnapshot DsmNode::SnapshotMetrics() const {
+  MetricsSnapshot s = metrics_.Snapshot();
+  const HostCounters c = counters_;
+  auto& cs = s.counters;
+  cs["host.read_faults"] += c.read_faults;
+  cs["host.write_faults"] += c.write_faults;
+  cs["host.read_fault_bytes"] += c.read_fault_bytes;
+  cs["host.write_fault_bytes"] += c.write_fault_bytes;
+  cs["host.invalidations_received"] += c.invalidations_received;
+  cs["host.messages_sent"] += c.messages_sent;
+  cs["host.bytes_sent"] += c.bytes_sent;
+  cs["host.barriers"] += c.barriers;
+  cs["host.lock_acquires"] += c.lock_acquires;
+  cs["host.prefetches"] += c.prefetches;
+  cs["host.prefetch_bytes"] += c.prefetch_bytes;
+  cs["host.work_units"] += c.work_units;
+  cs["host.competing_requests"] += c.competing_requests;
+  cs["dsm.fault_retries"] += fault_retries();
+  cs["dsm.timeout_retries"] += timeout_retries();
+  cs["dsm.stale_replies"] += stale_replies();
+  cs["dsm.bounced_requests"] += bounced_requests();
+  if (directory_ != nullptr) {
+    const ManagerCounters m = directory_->counters();
+    cs["mgr.requests_served"] += m.requests_served;
+    cs["mgr.invalidation_rounds"] += m.invalidation_rounds;
+    cs["mgr.mpt_lookups"] += m.mpt_lookups;
+    cs["mgr.remote_routed"] += m.remote_routed;
   }
+  return s;
+}
+
+Status DsmNode::TrySendMsg(HostId to, const MsgHeader& h, const void* payload, size_t len) {
+  counters_.messages_sent++;
+  counters_.bytes_sent += sizeof(MsgHeader) + len;
   Status st = transport_->Send(to, h, payload, len);
   if (!st.ok() && st.code() == StatusCode::kUnavailable) {
     OnPeerDown(to);
@@ -195,6 +211,7 @@ void DsmNode::Barrier() {
 }
 
 Status DsmNode::TryBarrier() {
+  ScopedTimer timer(barrier_ns_);
   const uint32_t slot = ThreadSlot();
   const uint32_t gen = NextGen(slot);
   MsgHeader h;
@@ -213,8 +230,8 @@ Status DsmNode::TryBarrier() {
   }
   // The manager stamps the epoch being released into the minipage field.
   Trace(TraceEventKind::kBarrierRelease, ~0u, 0, reply->minipage);
-  std::lock_guard<std::mutex> lock(stats_mu_);
   counters_.barriers++;
+  std::lock_guard<std::mutex> lock(epoch_mu_);
   EpochRecord rec;
   rec.epoch = epoch_++;
   rec.host = me_;
@@ -230,6 +247,7 @@ void DsmNode::Lock(uint32_t lock_id) {
 }
 
 Status DsmNode::TryLock(uint32_t lock_id) {
+  ScopedTimer timer(lock_ns_);
   const uint32_t slot = ThreadSlot();
   const uint32_t gen = NextGen(slot);
   MsgHeader h;
@@ -247,7 +265,6 @@ Status DsmNode::TryLock(uint32_t lock_id) {
   if (!reply.ok()) {
     return LivenessFailure("Lock", reply.status());
   }
-  std::lock_guard<std::mutex> lock(stats_mu_);
   counters_.lock_acquires++;
   return Status::Ok();
 }
@@ -275,10 +292,7 @@ void DsmNode::Prefetch(GlobalAddr a) {
   h.from = me_;
   h.seq = kNoWaitSlot;
   h.addr = a.Pack();
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    counters_.prefetches++;
-  }
+  counters_.prefetches++;
   SendMsg(kManagerHost, h);
 }
 
@@ -304,10 +318,7 @@ size_t DsmNode::FetchGroup(const GlobalAddr* addrs, size_t count) {
     }
     issued++;
   }
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    counters_.prefetches += issued;
-  }
+  counters_.prefetches += issued;
   // Split transaction: collect the replies (any order) and ACK each one so
   // the manager releases the minipages. Each reply gets its own deadline; on
   // failure the group is abandoned (outstanding replies become stale by
@@ -320,10 +331,7 @@ size_t DsmNode::FetchGroup(const GlobalAddr* addrs, size_t count) {
       return collected;
     }
     collected++;
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      counters_.prefetch_bytes += reply->has_payload() ? reply->pgsize : 0;
-    }
+    counters_.prefetch_bytes += reply->has_payload() ? reply->pgsize : 0;
     if (config_.enable_ack) {
       MsgHeader ack;
       ack.set_type(MsgType::kAck);
@@ -352,15 +360,13 @@ void DsmNode::PushToAll(GlobalAddr a) {
 // ---- Fault path ------------------------------------------------------------
 
 bool DsmNode::OnFault(uint32_t view, uint64_t offset, bool is_write) {
-  const uint64_t t0 = MonotonicNowNs();
+  const bool timed = MetricsEnabled();
+  const uint64_t t0 = timed ? MonotonicNowNs() : 0;
   const char* const what = is_write ? "write fault" : "read fault";
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    if (is_write) {
-      counters_.write_faults++;
-    } else {
-      counters_.read_faults++;
-    }
+  if (is_write) {
+    counters_.write_faults++;
+  } else {
+    counters_.read_faults++;
   }
   const uint32_t slot = ThreadSlot();
   const uint64_t addr = GlobalAddr{view, offset}.Pack();
@@ -414,17 +420,14 @@ bool DsmNode::OnFault(uint32_t view, uint64_t offset, bool is_write) {
     SendMsg(config_.ManagerOf(ack.minipage), ack);
   }
 
-  const uint64_t dt = MonotonicNowNs() - t0;
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    const uint64_t data_bytes = reply.has_payload() ? reply.pgsize : 0;
-    if (is_write) {
-      counters_.write_fault_bytes += data_bytes;
-      write_lat_.Record(dt);
-    } else {
-      counters_.read_fault_bytes += data_bytes;
-      read_lat_.Record(dt);
-    }
+  const uint64_t data_bytes = reply.has_payload() ? reply.pgsize : 0;
+  if (is_write) {
+    counters_.write_fault_bytes += data_bytes;
+  } else {
+    counters_.read_fault_bytes += data_bytes;
+  }
+  if (timed) {
+    (is_write ? write_fault_ns_ : read_fault_ns_)->RecordAlways(MonotonicNowNs() - t0);
   }
   Trace(TraceEventKind::kFaultEnd, reply.minipage, addr, is_write ? 1 : 0);
   return true;
@@ -682,8 +685,6 @@ void DsmNode::MgrStartService(MsgHeader h) {
     // PREFETCH blocks nobody (its issuer is not waiting) — neither is
     // priced as contention.
     if (h.from != e.in_service_for && (h.flags & kFlagPrefetch) == 0) {
-      directory_->counters().competing_requests++;
-      std::lock_guard<std::mutex> lock(stats_mu_);
       counters_.competing_requests++;
     }
     e.pending.push_back(h);
@@ -1029,10 +1030,7 @@ void DsmNode::HandleInvalidateRequest(const MsgHeader& h) {
       }
     }
   }
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    counters_.invalidations_received++;
-  }
+  counters_.invalidations_received++;
   MsgHeader reply = h;
   reply.set_type(MsgType::kInvalidateReply);
   reply.flags = 0;
@@ -1070,10 +1068,7 @@ void DsmNode::HandleReply(const MsgHeader& h) {
   MP_CHECK_OK(views_->SetProtection(mp, prot));
   if (h.seq == kNoWaitSlot) {
     // Prefetch completion: account and ACK on behalf of the (absent) waiter.
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      counters_.prefetch_bytes += h.has_payload() ? h.pgsize : 0;
-    }
+    counters_.prefetch_bytes += h.has_payload() ? h.pgsize : 0;
     if (config_.enable_ack) {
       MsgHeader ack = h;
       ack.set_type(MsgType::kAck);

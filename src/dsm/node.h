@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 #include "src/common/stats.h"
 #include "src/common/trace.h"
 #include "src/dsm/config.h"
@@ -150,10 +151,10 @@ class DsmNode {
 
   // ---- Introspection -----------------------------------------------------
 
-  HostCounters counters() const;
+  HostCounters counters() const { return counters_; }
   std::vector<EpochRecord> epochs() const;
-  LatencyHistogram read_fault_latency() const;
-  LatencyHistogram write_fault_latency() const;
+  HistogramSnapshot read_fault_latency() const { return read_fault_ns_->Snapshot(); }
+  HistogramSnapshot write_fault_latency() const { return write_fault_ns_->Snapshot(); }
   uint64_t bounced_requests() const;
   uint64_t fault_retries() const { return fault_retries_.load(std::memory_order_relaxed); }
   // Idempotent requests re-sent after a reply deadline expired.
@@ -166,6 +167,17 @@ class DsmNode {
   // One-line snapshot of liveness state (peers down, retry counts, manager
   // directory/barrier occupancy). Best-effort racy read, for diagnostics.
   std::string LivenessReport() const;
+
+  // This node's metric registry (fault/sync latency histograms plus whatever
+  // the node's ViewSet records). Register bench- or app-specific metrics
+  // here for per-host attribution.
+  MetricsRegistry& metrics() { return metrics_; }
+
+  // Everything observable about this host under flat names: the registry's
+  // histograms, HostCounters as host.*, liveness counters and manager-shard
+  // counters as dsm.* / mgr.*. Merge snapshots across nodes (or feed
+  // DumpJson) for cluster-wide views.
+  MetricsSnapshot SnapshotMetrics() const;
 
   // This host's manager shard (null on non-manager hosts when centralized);
   // mpt/allocator are null everywhere but host 0.
@@ -298,13 +310,22 @@ class DsmNode {
   std::atomic<uint64_t> timeout_retries_{0};
   std::atomic<uint64_t> stale_replies_{0};
 
-  mutable std::mutex stats_mu_;
+  // Lock-free event counters (relaxed-atomic fields; see stats.h). The mutex
+  // guards only the epoch bookkeeping closed at barriers.
   HostCounters counters_;
+  mutable std::mutex epoch_mu_;
   HostCounters epoch_snapshot_;
   std::vector<EpochRecord> epochs_;
   uint32_t epoch_ = 0;
-  LatencyHistogram read_lat_;
-  LatencyHistogram write_lat_;
+
+  // Per-node metric registry; the named pointers are registered once in the
+  // constructor and updated lock-free on the hot paths.
+  MetricsRegistry metrics_;
+  Histogram* read_fault_ns_ = nullptr;   // full fault service, entry to retry
+  Histogram* write_fault_ns_ = nullptr;
+  Histogram* barrier_ns_ = nullptr;      // barrier entry to release
+  Histogram* lock_ns_ = nullptr;         // lock request to grant
+
   std::atomic<uint64_t> bounced_{0};
 };
 

@@ -26,6 +26,7 @@ Result<std::unique_ptr<ViewSet>> ViewSet::Create(size_t object_size, uint32_t nu
     }
     vs->shadow_.push_back(std::move(arr));
   }
+  vs->SetMetrics(&MetricsRegistry::Global());
   return vs;
 }
 
@@ -54,6 +55,8 @@ Status ViewSet::SetProtection(const Minipage& mp, Protection prot) {
   for (uint64_t vp = first; vp <= last; ++vp) {
     shadow_[mp.view][vp].store(static_cast<uint8_t>(prot), std::memory_order_release);
   }
+  prot_sets_->Inc();
+  prot_set_pages_->Inc(last - first + 1);
   if (trace_ != nullptr) {
     // addr uses the GlobalAddr packing (view << 48 | offset) without pulling
     // in the net layer.

@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/common/status.h"
 #include "src/common/trace.h"
 #include "src/multiview/minipage.h"
@@ -76,6 +77,16 @@ class ViewSet {
     trace_host_ = host;
   }
 
+  // Re-homes the mv.* metrics into `registry` (DsmNode points them at its
+  // per-host registry; standalone view sets default to the process-global
+  // one). Counters only on this path — a scoped timer would be a measurable
+  // fraction of a single-page mprotect; the mprotect latency curve lives in
+  // bench_micro_primitives instead.
+  void SetMetrics(MetricsRegistry* registry) {
+    prot_sets_ = registry->GetCounter("mv.prot_sets");
+    prot_set_pages_ = registry->GetCounter("mv.prot_set_pages");
+  }
+
  private:
   ViewSet() = default;
 
@@ -88,6 +99,8 @@ class ViewSet {
 
   TraceSink* trace_ = nullptr;
   uint16_t trace_host_ = 0;
+  Counter* prot_sets_ = nullptr;       // SetProtection calls (mprotect syscalls)
+  Counter* prot_set_pages_ = nullptr;  // vpages those calls re-protected
 };
 
 }  // namespace millipage

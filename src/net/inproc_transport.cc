@@ -30,7 +30,6 @@ Status InProcTransport::Send(HostId to, MsgHeader h, const void* payload, size_t
     box.q.push_back(std::move(item));
   }
   box.cv.notify_one();
-  CountSend(len);
   return Status::Ok();
 }
 

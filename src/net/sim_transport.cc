@@ -13,7 +13,6 @@ class SimEndpoint : public Transport {
   SimEndpoint(SimNet* net, HostId me) : net_(net), me_(me) {}
 
   Status Send(HostId to, MsgHeader h, const void* payload, size_t len) override {
-    CountSend(payload != nullptr ? len : 0);
     return net_->SendFrom(me_, to, h, payload, len);
   }
 

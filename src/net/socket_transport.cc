@@ -150,6 +150,12 @@ SocketTransport::SocketTransport(HostId me, std::vector<int> fds_by_peer)
   for (size_t i = 0; i < fds_.size(); ++i) {
     send_mu_.push_back(std::make_unique<std::mutex>());
   }
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  msgs_sent_ = reg.GetCounter("net.msgs_sent");
+  msgs_recv_ = reg.GetCounter("net.msgs_recv");
+  send_ns_ = reg.GetHistogram("net.send_ns");
+  send_bytes_ = reg.GetHistogram("net.send_bytes");
+  recv_bytes_ = reg.GetHistogram("net.recv_bytes");
 }
 
 int SocketTransport::ClosePeer(int fd) {
@@ -189,6 +195,7 @@ Status SocketTransport::Send(HostId to, MsgHeader h, const void* payload, size_t
     h.flags |= kFlagHasPayload;
     h.pgsize = static_cast<uint32_t>(len);
   }
+  ScopedTimer timer(send_ns_);
   std::lock_guard<std::mutex> lock(*send_mu_[to]);
   const int fd = fds_[to];
   if (fd < 0) {
@@ -210,7 +217,8 @@ Status SocketTransport::Send(HostId to, MsgHeader h, const void* payload, size_t
       return payload_st;
     }
   }
-  CountSend(h.has_payload() ? len : 0);
+  msgs_sent_->Inc();
+  send_bytes_->Record(sizeof(h) + (h.has_payload() ? len : 0));
   return Status::Ok();
 }
 
@@ -303,6 +311,8 @@ Result<bool> SocketTransport::Poll(HostId me, MsgHeader* h, const PayloadSink& s
       }
       MP_RETURN_IF_ERROR(payload_st);
     }
+    msgs_recv_->Inc();
+    recv_bytes_->Record(sizeof(*h) + (h->has_payload() ? h->pgsize : 0));
     return true;
   }
   return false;

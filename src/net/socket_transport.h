@@ -12,6 +12,7 @@
 #include <mutex>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/net/transport.h"
 
 namespace millipage {
@@ -72,6 +73,14 @@ class SocketTransport : public Transport {
   // and server thread may send concurrently).
   std::vector<std::unique_ptr<std::mutex>> send_mu_;
   uint32_t rotation_ = 0;  // fairness cursor over peers (poller thread only)
+
+  // Wire metrics (process-global registry: one socket transport per process
+  // in the forked deployment). Datagram sizes include the 32-byte header.
+  Counter* msgs_sent_ = nullptr;
+  Counter* msgs_recv_ = nullptr;
+  Histogram* send_ns_ = nullptr;     // header(+payload) syscall pair
+  Histogram* send_bytes_ = nullptr;
+  Histogram* recv_bytes_ = nullptr;
 };
 
 }  // namespace millipage

@@ -54,15 +54,7 @@ class Transport {
     peer_down_ = std::move(handler);
   }
 
-  uint64_t messages_sent() const { return messages_sent_.load(std::memory_order_relaxed); }
-  uint64_t bytes_sent() const { return bytes_sent_.load(std::memory_order_relaxed); }
-
  protected:
-  void CountSend(size_t payload_len) {
-    messages_sent_.fetch_add(1, std::memory_order_relaxed);
-    bytes_sent_.fetch_add(sizeof(MsgHeader) + payload_len, std::memory_order_relaxed);
-  }
-
   void NotifyPeerDown(HostId peer) {
     PeerDownHandler handler;
     {
@@ -75,8 +67,6 @@ class Transport {
   }
 
  private:
-  std::atomic<uint64_t> messages_sent_{0};
-  std::atomic<uint64_t> bytes_sent_{0};
   std::mutex peer_down_mu_;
   PeerDownHandler peer_down_;
 };

@@ -35,6 +35,10 @@ Status FaultHandler::Install() {
   static std::once_flag once;
   Status result = Status::Ok();
   std::call_once(once, [&result, this] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    dispatched_metric_ = reg.GetCounter("fault.dispatched");
+    decode_ns_ = reg.GetHistogram("fault.decode_ns");
+    service_ns_ = reg.GetHistogram("fault.service_ns");
     struct sigaction sa;
     memset(&sa, 0, sizeof(sa));
     sa.sa_sigaction = reinterpret_cast<void (*)(int, siginfo_t*, void*)>(&SignalEntry);
@@ -113,9 +117,18 @@ void ReportFatalFault(const char* msg, void* addr, bool is_write) {
 }  // namespace
 
 void FaultHandler::SignalEntry(int signo, void* info_raw, void* ucontext) {
+  FaultHandler& fh = Instance();
+  // clock_gettime is on the vDSO fast path and the histogram updates are
+  // relaxed atomics, so timing at signal depth is safe; when metrics are off
+  // the handler pays one load and a branch.
+  const bool timed = MetricsEnabled() && fh.service_ns_ != nullptr;
+  const uint64_t t0 = timed ? MonotonicNowNs() : 0;
   auto* info = static_cast<siginfo_t*>(info_raw);
   void* addr = info->si_addr;
   const bool is_write = FaultWasWrite(ucontext);
+  if (timed) {
+    fh.decode_ns_->RecordAlways(MonotonicNowNs() - t0);
+  }
   if (tls_fault_depth >= 1) {
     // The handler (or protocol code it called) faulted while already
     // servicing a fault on this thread. Dispatching again could recurse
@@ -126,9 +139,12 @@ void FaultHandler::SignalEntry(int signo, void* info_raw, void* ucontext) {
     return;
   }
   tls_fault_depth++;
-  const bool handled = Instance().Dispatch(addr, is_write);
+  const bool handled = fh.Dispatch(addr, is_write);
   tls_fault_depth--;
   if (handled) {
+    if (timed) {
+      fh.service_ns_->RecordAlways(MonotonicNowNs() - t0);
+    }
     return;  // protection was upgraded; the faulting instruction retries
   }
   // Not ours: restore the default disposition and re-raise so the process
@@ -140,6 +156,9 @@ void FaultHandler::SignalEntry(int signo, void* info_raw, void* ucontext) {
 
 bool FaultHandler::Dispatch(void* fault_addr, bool is_write) {
   faults_dispatched_.fetch_add(1, std::memory_order_relaxed);
+  if (dispatched_metric_ != nullptr) {
+    dispatched_metric_->Inc();
+  }
   for (Slot& slot : slots_) {
     FaultCallback cb = slot.cb.load(std::memory_order_acquire);
     if (cb == nullptr) {

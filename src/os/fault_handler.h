@@ -13,6 +13,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "src/common/metrics.h"
 #include "src/common/status.h"
 
 namespace millipage {
@@ -54,6 +55,13 @@ class FaultHandler {
   Slot slots_[kMaxSlots];
   std::atomic<bool> installed_{false};
   std::atomic<uint64_t> faults_dispatched_{0};
+
+  // Registered in Install() (before the sigaction goes live) so SignalEntry
+  // only ever touches stable pointers — no registry locking in the handler.
+  // Histogram updates are relaxed atomics, safe at signal depth.
+  Counter* dispatched_metric_ = nullptr;   // fault.dispatched
+  Histogram* decode_ns_ = nullptr;         // SIGSEGV entry -> addr/W decode
+  Histogram* service_ns_ = nullptr;        // SIGSEGV entry -> fault resolved
 };
 
 }  // namespace millipage

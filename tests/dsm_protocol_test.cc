@@ -15,6 +15,7 @@
 #include "src/dsm/node.h"
 #include "src/net/faulty_transport.h"
 #include "src/net/inproc_transport.h"
+#include "src/os/fault_handler.h"
 
 namespace millipage {
 namespace {
@@ -98,7 +99,7 @@ TEST(Protocol, CompetingRequestsAreCountedAndServed) {
   const ManagerCounters mc = (*cluster)->TotalManagerCounters();
   EXPECT_GE(mc.requests_served, 5u);
   // At least some of the simultaneous faults must have queued.
-  EXPECT_GE(mc.competing_requests, 1u);
+  EXPECT_GE(uint64_t{(*cluster)->TotalCounters().competing_requests}, 1u);
 }
 
 TEST(Protocol, PrefetchAvoidsBlockingFault) {
@@ -482,6 +483,55 @@ TEST(Protocol, ManyMinipagesManyHosts) {
       EXPECT_EQ(*counters[i], kRounds) << "counter " << i;
     }
   });
+}
+
+TEST(Protocol, MetricsMoveAsProtocolRuns) {
+  // The fault -> fetch -> grant pipeline must leave tracks in the metric
+  // snapshot: host fault counters, per-node fault-latency histograms, the
+  // manager's service counters, and the SIGSEGV dispatcher itself.
+  SetMetricsEnabled(true);
+  const uint64_t dispatched_before = FaultHandler::Instance().faults_dispatched();
+  auto cluster = DsmCluster::Create(Cfg(3));
+  ASSERT_TRUE(cluster.ok());
+  GlobalPtr<int> p;
+  (*cluster)->RunOnManager([&](DsmNode&) {
+    p = SharedAlloc<int>(16);
+    p[0] = 7;
+  });
+  (*cluster)->RunParallel([&](DsmNode& node, HostId host) {
+    node.Barrier();
+    EXPECT_EQ(p[0], 7);   // read fault on hosts 1 and 2
+    if (host == 1) {
+      p[1] = 11;          // write fault: invalidation round + data grant
+    }
+    node.Barrier();
+  });
+
+  const MetricsSnapshot s = (*cluster)->SnapshotMetrics();
+  EXPECT_GE(s.counters.at("host.read_faults"), 2u);
+  EXPECT_GE(s.counters.at("host.write_faults"), 1u);
+  EXPECT_GE(s.counters.at("mgr.requests_served"), 3u);
+  EXPECT_GE(s.counters.at("mgr.mpt_lookups"), 3u);
+  EXPECT_GE(s.counters.at("mgr.invalidation_rounds"), 1u);
+  EXPECT_GE(s.counters.at("host.barriers"), 6u);
+  // Every recorded fault latency corresponds to a counted fault.
+  const HistogramSnapshot& rf = s.histograms.at("dsm.read_fault_ns");
+  EXPECT_GE(rf.count, 2u);
+  EXPECT_GT(rf.min, 0u);
+  EXPECT_GE(s.histograms.at("dsm.write_fault_ns").count, 1u);
+  EXPECT_GE(s.histograms.at("dsm.barrier_ns").count, 6u);
+  // SIGSEGV entry instrumentation (process-global registry).
+  EXPECT_GT(FaultHandler::Instance().faults_dispatched(), dispatched_before);
+  EXPECT_GE(s.histograms.at("fault.service_ns").count, 3u);
+  // The per-host counter blocks agree with the flat snapshot.
+  EXPECT_EQ(s.counters.at("host.read_faults"),
+            uint64_t{(*cluster)->TotalCounters().read_faults});
+  // And the emitter produces something a JSON consumer will accept.
+  const std::string json = (*cluster)->SnapshotMetrics().DumpJson();
+  EXPECT_NE(json.find("\"host.read_faults\""), std::string::npos);
+  EXPECT_NE(json.find("\"dsm.read_fault_ns\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
 }
 
 }  // namespace

@@ -134,7 +134,9 @@ TEST(Allocator, ChunkExtensionAcrossPageBoundary) {
     }
     EXPECT_EQ(a->minipages[0], chunk);
   }
-  const Minipage& mp = mpt.Get(chunk);
+  // Copy: the next Allocate's Define can reallocate the table's backing
+  // store, which would dangle a reference.
+  const Minipage mp = mpt.Get(chunk);
   EXPECT_GT(mp.last_vpage(), mp.first_vpage());
   // Next chunk must avoid the extended chunk's view on the shared vpage.
   auto next = alloc.Allocate(672);
@@ -265,7 +267,8 @@ TEST(Allocator, MultiPageSpanIsOneMinipageAcrossVpages) {
   auto big = alloc.Allocate(size);
   ASSERT_TRUE(big.ok());
   ASSERT_EQ(big->minipages.size(), 1u);
-  const Minipage& mp = mpt.Get(big->minipages[0]);
+  // Copy, not a reference: the follow-up Allocate below can grow the table.
+  const Minipage mp = mpt.Get(big->minipages[0]);
   EXPECT_EQ(mp.length, size);
   EXPECT_EQ(mp.last_vpage() - mp.first_vpage(), 2u);  // spans three vpages
   EXPECT_EQ(big->view, 0u);

@@ -12,6 +12,14 @@
 #include "src/os/page.h"
 #include "src/os/protection.h"
 
+#if defined(__SANITIZE_THREAD__)
+#define MILLIPAGE_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MILLIPAGE_TSAN 1
+#endif
+#endif
+
 namespace millipage {
 namespace {
 
@@ -195,6 +203,11 @@ TEST(FaultHandlerDeathTest, WriteToUnmappedViewReportsAndDies) {
 // re-dispatched (infinite recursion); the depth guard reports the nested
 // fault and dies.
 TEST(FaultHandlerDeathTest, NestedFaultInHandlerIsRejected) {
+#ifdef MILLIPAGE_TSAN
+  // tsan's interceptor consumes the nested SIGSEGV before our depth guard can
+  // report, so the child dies without the expected message.
+  GTEST_SKIP() << "nested-SIGSEGV death message is unobservable under tsan";
+#endif
   ASSERT_TRUE(FaultHandler::Instance().Install().ok());
   EXPECT_DEATH(
       {
