@@ -34,6 +34,7 @@ const char* const kBenchBinaries[] = {
     "bench_ablation_granularity",
     "bench_ext_lrc",
     "bench_ext_composed_views",
+    "bench_epoch",
     "bench_micro_primitives",
 };
 

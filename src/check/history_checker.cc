@@ -51,8 +51,25 @@ CheckReport CheckSwmr(const std::vector<TraceEvent>& history, uint16_t num_hosts
   // replayed from the kProtSet stream.
   std::unordered_map<uint32_t, uint64_t> readers;
   std::unordered_map<uint32_t, uint64_t> writers;
+  uint64_t dead = 0;
   for (size_t i = 0; i < history.size(); ++i) {
     const TraceEvent& e = history[i];
+    if (e.kind == TraceEventKind::kEpochBump) {
+      // A dead host's copies cease to exist with it: no invalidation will
+      // ever reach them, and they can never again be read. Drop them from
+      // the model so post-recovery grants are not flagged against ghosts.
+      const uint64_t newly = e.arg2 & ~dead;
+      if (newly != 0) {
+        dead |= e.arg2;
+        for (auto& [id, mask] : readers) {
+          mask &= ~newly;
+        }
+        for (auto& [id, mask] : writers) {
+          mask &= ~newly;
+        }
+      }
+      continue;
+    }
     if (e.kind != TraceEventKind::kProtSet) {
       continue;
     }
@@ -117,10 +134,22 @@ CheckReport CheckBarrierEpochs(const std::vector<TraceEvent>& history,
 CheckReport CheckLockExclusivity(const std::vector<TraceEvent>& history) {
   // lock id -> holder (or no entry when free).
   std::map<uint32_t, uint64_t> held;
+  // Death implicitly releases: a dead holder can never unlock, and when the
+  // holder was also the lock's shard no survivor even knows it held the lock
+  // (the adopter's probe only finds LIVE holders), so no release is traced.
+  uint64_t dead = 0;
   for (size_t i = 0; i < history.size(); ++i) {
     const TraceEvent& e = history[i];
+    if (e.kind == TraceEventKind::kEpochBump) {
+      dead |= e.arg2;
+      continue;
+    }
     if (e.kind == TraceEventKind::kLockGrant) {
       auto [it, inserted] = held.emplace(e.minipage, e.arg1);
+      if (!inserted && (dead & (1ULL << (it->second & 63u))) != 0) {
+        it->second = e.arg1;  // the old holder died: implicit release
+        inserted = true;
+      }
       if (!inserted) {
         return Violation(i, "lock " + std::to_string(e.minipage) +
                                 " granted to host " + std::to_string(e.arg1) +
@@ -129,6 +158,11 @@ CheckReport CheckLockExclusivity(const std::vector<TraceEvent>& history) {
     } else if (e.kind == TraceEventKind::kLockRelease) {
       auto it = held.find(e.minipage);
       if (it == held.end()) {
+        // Repair releases a dead holder's lock idempotently; anything else
+        // releasing a free lock is a protocol bug.
+        if ((dead & (1ULL << (e.arg1 & 63u))) != 0) {
+          continue;
+        }
         return Violation(i, "lock " + std::to_string(e.minipage) +
                                 " released while free");
       }
@@ -168,8 +202,18 @@ CheckReport CheckCoherenceOracle(const std::vector<TraceEvent>& history) {
 
 CheckReport CheckShardAffinity(const std::vector<TraceEvent>& history,
                                uint16_t num_hosts) {
+  // The owning shard depends on membership: home slot id % num_hosts,
+  // linear-probed past dead hosts. Replay the kEpochBump stream to track the
+  // cumulative dead mask in force at each point (the bump is traced before
+  // any repair or adopted-id service on the same host, so trace order is
+  // sufficient).
+  uint64_t dead = 0;
   for (size_t i = 0; i < history.size(); ++i) {
     const TraceEvent& e = history[i];
+    if (e.kind == TraceEventKind::kEpochBump) {
+      dead |= e.arg2;
+      continue;
+    }
     switch (e.kind) {
       case TraceEventKind::kMgrSvcStart:
       case TraceEventKind::kMgrSvcEnd:
@@ -182,13 +226,90 @@ CheckReport CheckShardAffinity(const std::vector<TraceEvent>& history,
       default:
         continue;
     }
-    const uint16_t owner = static_cast<uint16_t>(e.minipage % num_hosts);
+    uint16_t owner = static_cast<uint16_t>(e.minipage % num_hosts);
+    for (uint16_t probe = 0; probe < num_hosts; ++probe) {
+      const uint16_t c = static_cast<uint16_t>((owner + probe) % num_hosts);
+      if ((dead & (1ULL << c)) == 0) {
+        owner = c;
+        break;
+      }
+    }
     if (e.host != owner) {
       return Violation(i, "shard affinity: " +
                               std::string(TraceEventKindName(e.kind)) + " for id " +
                               std::to_string(e.minipage) + " served by host " +
                               std::to_string(e.host) + ", but the id's shard is host " +
-                              std::to_string(owner));
+                              std::to_string(owner) + " (dead mask 0x" +
+                              std::to_string(dead) + ")");
+    }
+  }
+  return CheckReport{};
+}
+
+CheckReport CheckEpochMonotonicity(const std::vector<TraceEvent>& history,
+                                   uint16_t num_hosts) {
+  std::vector<uint32_t> epoch(num_hosts, 0);
+  std::vector<uint64_t> dead(num_hosts, 0);
+  // Trace index (plus one; zero = never) of each host's latest kEpochBump.
+  // Epochs propagate asynchronously, so the granting shard's local epoch at
+  // grant time says nothing about what the requester had observed — the
+  // enforceable invariant is ordered per requester: once a host traces a
+  // bump, its kicked retry must produce a FRESH grant, so any fault it
+  // completes afterwards is backed by a grant traced after its own bump.
+  std::vector<size_t> last_bump(num_hosts, 0);
+  // (minipage, grantee) -> trace index of the latest grant.
+  std::map<std::pair<uint32_t, uint64_t>, size_t> grant_index;
+  for (size_t i = 0; i < history.size(); ++i) {
+    const TraceEvent& e = history[i];
+    if (e.host >= num_hosts) {
+      continue;  // out-of-range hosts are CheckSwmr's complaint
+    }
+    switch (e.kind) {
+      case TraceEventKind::kEpochBump: {
+        const uint32_t new_epoch = static_cast<uint32_t>(e.arg1);
+        const uint64_t new_dead = e.arg2;
+        if (new_epoch < epoch[e.host]) {
+          return Violation(i, "membership epoch moved backwards on host " +
+                                  std::to_string(e.host) + ": " +
+                                  std::to_string(epoch[e.host]) + " -> " +
+                                  std::to_string(new_epoch));
+        }
+        if ((new_dead & dead[e.host]) != dead[e.host]) {
+          return Violation(i, "dead-host mask shrank on host " +
+                                  std::to_string(e.host) + " (hosts {" +
+                                  HostList(dead[e.host] & ~new_dead) +
+                                  "} came back from the dead)");
+        }
+        if ((new_dead & (1ULL << e.host)) != 0) {
+          return Violation(i, "host " + std::to_string(e.host) +
+                                  " declared itself dead");
+        }
+        epoch[e.host] = new_epoch;
+        dead[e.host] = new_dead;
+        last_bump[e.host] = i + 1;
+        break;
+      }
+      case TraceEventKind::kMgrReadGrant:
+      case TraceEventKind::kMgrWriteGrant:
+        grant_index[{e.minipage, e.arg1}] = i;
+        break;
+      case TraceEventKind::kFaultEnd: {
+        const auto it = grant_index.find({e.minipage, e.host});
+        if (it != grant_index.end() && last_bump[e.host] != 0 &&
+            it->second < last_bump[e.host] - 1) {
+          return Violation(i, "host " + std::to_string(e.host) +
+                                  " completed a fault on minipage " +
+                                  std::to_string(e.minipage) +
+                                  " against a grant traced before its own "
+                                  "epoch-" +
+                                  std::to_string(epoch[e.host]) +
+                                  " membership bump (pre-death grant honored "
+                                  "after the bump)");
+        }
+        break;
+      }
+      default:
+        break;
     }
   }
   return CheckReport{};
@@ -213,6 +334,10 @@ CheckReport CheckHistory(const std::vector<TraceEvent>& history, uint16_t num_ho
     if (!r.ok) {
       return r;
     }
+  }
+  r = CheckEpochMonotonicity(history, num_hosts);
+  if (!r.ok) {
+    return r;
   }
   return CheckCoherenceOracle(history);
 }

@@ -50,9 +50,21 @@ CheckReport CheckLockExclusivity(const std::vector<TraceEvent>& history);
 CheckReport CheckCoherenceOracle(const std::vector<TraceEvent>& history);
 // Sharded deployments only: every manager-side event (service open/close,
 // grants, invalidation sends, lock hand-offs) must have been emitted by the
-// shard that owns the id, i.e. host == id % num_hosts. A violation means a
-// request was serviced by (or directory state mutated on) the wrong host.
+// shard that owns the id under the membership in force at that point: the
+// home slot id % num_hosts, linear-probed past hosts the kEpochBump stream
+// has declared dead. A violation means a request was serviced by (or
+// directory state mutated on) the wrong host.
 CheckReport CheckShardAffinity(const std::vector<TraceEvent>& history, uint16_t num_hosts);
+// Membership-epoch invariants for runs with host-death recovery:
+//   * per host, kEpochBump epochs never decrease and dead-host masks only
+//     grow (concurrent detectors may merge the same death at equal epochs,
+//     so equality is legal; shrinking is not);
+//   * a host never declares itself dead;
+//   * no pre-death grant is honored after the bump — for every kFaultEnd,
+//     the granting shard's epoch at the latest matching grant must not be
+//     older than the requester's epoch when the fault completes.
+CheckReport CheckEpochMonotonicity(const std::vector<TraceEvent>& history,
+                                   uint16_t num_hosts);
 
 }  // namespace millipage
 

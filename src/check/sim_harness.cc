@@ -13,6 +13,7 @@
 #include "src/dsm/node.h"
 #include "src/net/sim_transport.h"
 #include "src/os/fault_handler.h"
+#include "src/os/protection.h"
 
 namespace millipage {
 
@@ -65,8 +66,11 @@ class SimRun {
   Status Setup();
   void WorkerMain(uint16_t h);
   bool ExecuteOp(uint16_t h, const SimOp& op, Status* failure);
-  void ReadCell(uint16_t h, uint32_t cell);
-  void WriteCell(uint16_t h, uint32_t cell);
+  // Performs the cell access, pre-faulting through FaultService when host
+  // death is enabled so a lost minipage surfaces as a skipped op instead of
+  // an unservable SIGSEGV. Returns false (with *failure set) on a protocol
+  // error other than loss.
+  bool AccessCell(uint16_t h, uint32_t cell, bool is_write, Status* failure);
   // Blocks until worker h is in a stable state: idle/done/failed, or running
   // but provably parked in a wait slot. Returns the observed state.
   Worker::State AwaitStable(uint16_t h);
@@ -196,39 +200,61 @@ bool SimRun::ExecuteOp(uint16_t h, const SimOp& op, Status* failure) {
       }
       return true;
     case SimOpKind::kRead:
-      ReadCell(h, op.cell);
-      return true;
+      return AccessCell(h, op.cell, /*is_write=*/false, failure);
     case SimOpKind::kWrite:
-      WriteCell(h, op.cell);
-      return true;
+      return AccessCell(h, op.cell, /*is_write=*/true, failure);
     case SimOpKind::kLockedRmw:
       if (Status st = node.TryLock(op.cell); !st.ok()) {
         *failure = st;
         return false;
       }
-      ReadCell(h, op.cell);
-      WriteCell(h, op.cell);
+      if (!AccessCell(h, op.cell, /*is_write=*/false, failure) ||
+          !AccessCell(h, op.cell, /*is_write=*/true, failure)) {
+        node.Unlock(op.cell);
+        return false;
+      }
       node.Unlock(op.cell);
       return true;
   }
   return true;
 }
 
-void SimRun::ReadCell(uint16_t h, uint32_t cell) {
+bool SimRun::AccessCell(uint16_t h, uint32_t cell, bool is_write, Status* failure) {
   const GlobalAddr a = cell_addr_[cell];
-  auto* p = reinterpret_cast<volatile uint64_t*>(nodes_[h]->AppPtr(a));
-  const uint64_t v = *p;  // may fault into the protocol
-  trace_.Emit(TraceEventKind::kAppRead, h, ~0u, a.Pack(), v, cell);
-}
-
-void SimRun::WriteCell(uint16_t h, uint32_t cell) {
-  const GlobalAddr a = cell_addr_[cell];
-  // Unique nonzero values (host tag + per-host sequence) make the coherence
-  // oracle's "which write did this read observe" unambiguous.
-  const uint64_t v = (static_cast<uint64_t>(h + 1) << 32) | ++write_seq_[h];
-  auto* p = reinterpret_cast<volatile uint64_t*>(nodes_[h]->AppPtr(a));
-  *p = v;  // may fault into the protocol
-  trace_.Emit(TraceEventKind::kAppWrite, h, ~0u, a.Pack(), v, cell);
+  DsmNode& node = *nodes_[h];
+  if (workload_.kill_one_host) {
+    // With host death in play a fault can end in "minipage lost" — an error
+    // the SIGSEGV path cannot absorb (the access itself is unservable). Call
+    // the fault service explicitly first: on loss, skip the op without
+    // recording an application event, so the coherence oracle never sees a
+    // read of vanished data.
+    const Protection p =
+        node.views().GetVpageProtection(a.view, a.offset / PageSize());
+    const bool sufficient =
+        is_write ? p == Protection::kReadWrite : p != Protection::kNoAccess;
+    if (!sufficient) {
+      const Status st = node.FaultService(a.view, a.offset, is_write);
+      if (st.code() == StatusCode::kNotFound) {
+        return true;  // the cell died with its host: per-cell skip
+      }
+      if (!st.ok()) {
+        *failure = st;
+        return false;
+      }
+    }
+  }
+  auto* p = reinterpret_cast<volatile uint64_t*>(node.AppPtr(a));
+  if (is_write) {
+    // Unique nonzero values (host tag + per-host sequence) make the
+    // coherence oracle's "which write did this read observe" unambiguous.
+    const uint64_t v = (static_cast<uint64_t>(h + 1) << 32) | ++write_seq_[h];
+    *p = v;  // may fault into the protocol
+    trace_.Emit(TraceEventKind::kAppWrite, h, ~0u, a.Pack(), v, cell);
+  } else {
+    const uint64_t v = *p;  // may fault into the protocol
+    trace_.Emit(TraceEventKind::kAppRead, h, ~0u, a.Pack(), v, cell);
+  }
+  return true;
 }
 
 SimRun::Worker::State SimRun::AwaitStable(uint16_t h) {
@@ -261,19 +287,44 @@ SimResult SimRun::Run() {
   // The driver's own choices (launch vs deliver, which host) draw from a
   // stream independent of the fabric's latency draws.
   Rng drv(seed_ * 0x9e3779b97f4a7c15ULL + 1);
+  // Host-death injection: seeded victim and step, fired once the victim's
+  // worker is between ops (a worker parked mid-op would be stranded on an
+  // access that can never complete).
+  const bool kill_enabled = workload_.kill_one_host && workload_.hosts > 1;
+  HostId victim = 0;
+  uint64_t kill_step = 0;
+  bool killed = false;
+  if (kill_enabled) {
+    MP_CHECK(workload_.policy == ManagerPolicy::kSharded)
+        << "kill_one_host needs sharded managers (centralized death is sticky)";
+    victim = static_cast<HostId>(1 + seed_ % (workload_.hosts - 1));
+    Rng kill_rng(seed_ ^ 0x6b696c6cULL);
+    kill_step = kill_rng.Below(300);
+  }
   constexpr uint64_t kMaxSteps = 2'000'000;
   for (;;) {
     std::vector<uint16_t> launchable;
     size_t done = 0;
     size_t parked = 0;
+    bool victim_between_ops = false;
     Status failure;
     for (uint16_t h = 0; h < workload_.hosts; ++h) {
       switch (AwaitStable(h)) {
         case Worker::State::kIdle:
-          launchable.push_back(h);
+          if (killed && h == victim) {
+            done++;  // dead host: the rest of its script never runs
+          } else {
+            launchable.push_back(h);
+          }
+          if (h == victim) {
+            victim_between_ops = true;
+          }
           break;
         case Worker::State::kDone:
           done++;
+          if (h == victim) {
+            victim_between_ops = true;
+          }
           break;
         case Worker::State::kRunning:
           parked++;
@@ -292,6 +343,32 @@ SimResult SimRun::Run() {
     if (!failure.ok()) {
       res.status = failure;
       break;
+    }
+    // The seeded step picks the kill point; a run too short to reach it
+    // still kills at the end, so every kill_one_host run exercises recovery.
+    const bool run_finishing =
+        launchable.empty() && parked == 0 && net_->pending() == 0;
+    if (kill_enabled && !killed && victim_between_ops &&
+        (res.steps >= kill_step || run_finishing)) {
+      // The kill: the fabric silences the victim (in-flight datagrams die
+      // with it), then each survivor's detector verdict is injected and its
+      // recovery run synchronously, in host order — one deterministic
+      // recovery schedule per seed. Survivor workers parked on requests to
+      // the dead host are kicked by the epoch bump and re-send.
+      net_->KillHost(victim);
+      for (uint16_t s = 0; s < workload_.hosts; ++s) {
+        if (s == victim) {
+          continue;
+        }
+        nodes_[s]->InjectPeerDeath(victim);
+        nodes_[s]->ProcessPendingDeaths();
+      }
+      killed = true;
+      res.killed = true;
+      res.killed_host = victim;
+      res.kill_virtual_us = net_->now_us();
+      res.steps++;
+      continue;  // re-evaluate worker stability under the new membership
     }
     const bool deliverable = net_->pending() > 0;
     const size_t n_candidates = launchable.size() + (deliverable ? 1 : 0);
@@ -331,6 +408,13 @@ SimResult SimRun::Run() {
     res.steps++;
   }
   res.virtual_us = net_->now_us();
+  if (killed) {
+    for (uint16_t h = 0; h < workload_.hosts; ++h) {
+      if (h != victim) {
+        res.minipages_lost += nodes_[h]->minipages_lost();
+      }
+    }
+  }
   Teardown();
   res.history = trace_.Snapshot();
   return res;

@@ -51,6 +51,14 @@ struct SimWorkload {
   // Directory placement under test: centralized (host 0 serves everything)
   // or sharded (each host serves the ids hashing to it).
   ManagerPolicy policy = ManagerPolicy::kCentralized;
+  // Host-death injection: at a seeded driver step, permanently kill one
+  // non-zero host (victim = 1 + seed % (hosts-1)) and drive the survivors'
+  // membership recovery. The kill fires only while the victim is between
+  // script ops, so the remaining scripts stay executable; survivor accesses
+  // to minipages that died with their sole copy are skipped (no kAppRead/
+  // kAppWrite is recorded for them). Requires policy == kSharded — with a
+  // centralized directory a dead host is unrecoverable by design.
+  bool kill_one_host = false;
 };
 
 struct SimResult {
@@ -58,6 +66,12 @@ struct SimResult {
   std::vector<TraceEvent> history;
   uint64_t steps = 0;             // driver actions taken
   uint64_t virtual_us = 0;        // final virtual-clock reading
+
+  // Host-death injection outcome (kill_one_host runs only).
+  bool killed = false;            // the kill actually fired
+  uint16_t killed_host = 0;
+  uint64_t kill_virtual_us = 0;   // virtual clock at the kill
+  uint64_t minipages_lost = 0;    // summed over surviving shards
 
   std::string FormattedHistory() const { return FormatTraceHistory(history); }
 };

@@ -34,6 +34,10 @@ const char* TraceEventKindName(TraceEventKind k) {
       return "AppRead";
     case TraceEventKind::kAppWrite:
       return "AppWrite";
+    case TraceEventKind::kEpochBump:
+      return "EpochBump";
+    case TraceEventKind::kMinipageLost:
+      return "MinipageLost";
   }
   return "?";
 }

@@ -36,6 +36,10 @@ enum class TraceEventKind : uint8_t {
   kLockRelease,     // manager processed a release (arg1 = holder)
   kAppRead,         // application-level read (addr, arg1 = value)
   kAppWrite,        // application-level write (addr, arg1 = value)
+  kEpochBump,       // host adopted a membership epoch (arg1 = epoch,
+                    // arg2 = cumulative dead-host mask)
+  kMinipageLost,    // owning shard degraded a minipage whose sole copy died
+                    // (arg1 = dead host)
 };
 
 const char* TraceEventKindName(TraceEventKind k);

@@ -58,6 +58,26 @@ struct DsmConfig {
   }
   HostId BarrierManager() const { return ManagerOf(kBarrierShardId); }
 
+  // Owning shard under a degraded membership: if the id's home hash lands on
+  // a dead host, probe linearly to the next live one. Linear probing keeps
+  // the reassignment minimal (only ids homed on dead hosts move) and every
+  // host with the same live mask agrees on the answer — the property shard
+  // failover relies on. Centralized deployments never rehash: losing host 0
+  // loses the only directory (and the MPT), which is unrecoverable.
+  HostId ManagerOfLive(uint32_t id, uint64_t live_mask) const {
+    if (manager_policy == ManagerPolicy::kCentralized) {
+      return kManagerHost;
+    }
+    HostId h = static_cast<HostId>(id % num_hosts);
+    for (uint16_t probe = 0; probe < num_hosts; ++probe) {
+      const HostId c = static_cast<HostId>((h + probe) % num_hosts);
+      if ((live_mask & (1ULL << c)) != 0) {
+        return c;
+      }
+    }
+    return h;  // unreachable while at least one host lives
+  }
+
   ServiceMode service_mode = ServiceMode::kBlocking;
   uint64_t service_period_us = 1000;  // used by kPeriodic
 
@@ -88,6 +108,26 @@ struct DsmConfig {
   // acquire — none is idempotent, so they fail rather than resend). 0 = no
   // deadline. The default matches the process-cluster watchdog sweep.
   uint64_t sync_timeout_ms = 120000;
+
+  // Retry pacing: attempt k of an idempotent fetch waits
+  //   request_timeout_ms * retry_backoff_base^k
+  // (capped at retry_backoff_max_ms) before re-sending, with a seeded
+  // uniform jitter of ±retry_jitter_pct percent so a cluster of hosts that
+  // timed out together does not re-fire in lockstep against the same
+  // recovering shard. base = 1.0 with jitter 0 reproduces the historical
+  // fixed-interval policy. The jitter stream is seeded from
+  // retry_jitter_seed ^ host id, so a run's retry schedule is reproducible.
+  double retry_backoff_base = 2.0;
+  uint64_t retry_backoff_max_ms = 30000;
+  uint32_t retry_jitter_pct = 20;
+  uint64_t retry_jitter_seed = 0x9e3779b97f4a7c15ULL;
+
+  // ---- Membership / recovery policy --------------------------------------
+  // When true (and the directory is sharded), a peer-down verdict on a
+  // non-zero host is answered with recovery — membership epoch bump, shard
+  // failover, copyset repair — instead of the sticky whole-cluster abort.
+  // Host 0's death is always unrecoverable: it owns the MPT and allocator.
+  bool recover_on_host_death = true;
 
   // History recorder (src/common/trace.h). When non-null, the node and its
   // ViewSet append protocol events to this sink for the offline checker.

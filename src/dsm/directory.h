@@ -27,16 +27,43 @@ struct DirEntry {
   bool writable = false;    // single copyset member holds ReadWrite
   bool in_service = false;  // a request is being serviced (until ACK)
   HostId in_service_for = 0;      // requester of the in-service transaction
+  // The in-service request itself, kept so repair can re-issue the
+  // transaction against a surviving replica when its data source dies.
+  // Closing the service instead would break the 1:1 pairing between open
+  // services and the requester ACKs that retire them (ACKs carry no
+  // generation, so a stale ACK would close the wrong transaction).
+  MsgHeader in_service_req{};
   std::deque<MsgHeader> pending;  // competing requests, FIFO
 
-  // Outstanding invalidation round for a write request.
+  // Outstanding invalidation round for a write request. The outstanding set
+  // is a host mask (not a count) so copyset repair can retire the
+  // invalidations a dead host will never answer.
   bool write_pending = false;
   MsgHeader pending_write{};
   HostId write_remaining = 0;  // host that will supply the data
-  uint32_t invalidates_outstanding = 0;
+  uint64_t invalidates_pending_mask = 0;
 
   // Outstanding confirmations for an in-service push-update broadcast.
   uint32_t push_outstanding = 0;
+
+  // The replica asked to supply data for the in-service transaction (read
+  // fetch or write forward). The requester joins the copyset at grant time,
+  // before its copy exists, so when the source dies mid-flight repair must
+  // know whom the transaction was waiting on to retract that provisional
+  // copy and close or restart the service.
+  bool fetch_pending = false;
+  HostId fetch_from = 0;
+
+  // ---- Recovery state ------------------------------------------------------
+  // An adopted id whose copyset is being rebuilt: the new owning shard has
+  // broadcast kCopysetQuery and is waiting for the hosts in
+  // rebuild_pending_mask to answer. Requests queue in `pending` meanwhile.
+  bool rebuilding = false;
+  uint64_t rebuild_pending_mask = 0;
+  // The minipage's sole copy died with its host: every copy is gone and the
+  // id is permanently degraded. Requests are answered with a per-minipage
+  // error (kFlagAbort data reply), never served — and never a cluster abort.
+  bool lost = false;
 
   // The copyset is a 64-bit mask, so host ids past 63 would shift out of
   // range (undefined behavior, then silent membership aliasing). Node/cluster
@@ -80,11 +107,34 @@ struct LockEntry {
   bool held = false;
   HostId holder = 0;
   std::deque<MsgHeader> waiters;
+
+  // Adopted-lock rebuild: before first grant after a failover, the new
+  // owning shard probes every live host for an existing holder (a grant by
+  // the dead shard that is still live must be honored, not double-granted).
+  // Acquires queue in `waiters` until the hosts in probe_pending_mask answer.
+  // `probed` latches so an adopted lock is probed at most once.
+  bool probing = false;
+  bool probed = false;
+  uint64_t probe_pending_mask = 0;
+
+  bool HasWaiter(HostId h) const {
+    for (const MsgHeader& w : waiters) {
+      if (FromHost(w.from) == h) {
+        return true;
+      }
+    }
+    return false;
+  }
 };
 
 struct BarrierState {
   uint32_t generation = 0;
+  // Arrival count, used by the LRC variant's fixed-membership barrier.
   uint32_t arrived = 0;
+  // Arrival mask, used by the DSM barrier: duplicate entries (post-failover
+  // re-sends) collapse instead of double-counting, and release re-evaluates
+  // against the live-host mask when membership shrinks.
+  uint64_t arrived_mask = 0;
   std::vector<MsgHeader> waiters;
 };
 
@@ -111,6 +161,8 @@ class Directory {
   const ManagerCounters& counters() const { return counters_; }
 
   size_t num_entries() const { return entries_.size(); }
+  // Lock ids with table slots so far (repair iterates [0, num_locks)).
+  size_t num_locks() const { return locks_.size(); }
 
   // Minipages currently in service (their ACK or invalidation round is
   // outstanding). Read from liveness diagnostics off the manager thread, so

@@ -3,11 +3,13 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
 
 #include "src/common/failpoint.h"
 #include "src/common/logging.h"
+#include "src/common/rng.h"
 #include "src/common/time_util.h"
 #include "src/os/page.h"
 
@@ -59,6 +61,7 @@ DsmNode::DsmNode(const DsmConfig& config, HostId me, Transport* transport)
   write_fault_ns_ = metrics_.GetHistogram("dsm.write_fault_ns");
   barrier_ns_ = metrics_.GetHistogram("dsm.barrier_ns");
   lock_ns_ = metrics_.GetHistogram("dsm.lock_ns");
+  recovery_ns_ = metrics_.GetHistogram("dsm.recovery_ns");
 }
 
 DsmNode::~DsmNode() { Stop(); }
@@ -126,6 +129,10 @@ MetricsSnapshot DsmNode::SnapshotMetrics() const {
   cs["dsm.timeout_retries"] += timeout_retries();
   cs["dsm.stale_replies"] += stale_replies();
   cs["dsm.bounced_requests"] += bounced_requests();
+  cs["dsm.epoch_bumps"] += epoch_bumps();
+  cs["dsm.shards_adopted"] += shards_adopted();
+  cs["dsm.copyset_repairs"] += copyset_repairs();
+  cs["dsm.minipages_lost"] += minipages_lost();
   if (directory_ != nullptr) {
     const ManagerCounters m = directory_->counters();
     cs["mgr.requests_served"] += m.requests_served;
@@ -139,7 +146,13 @@ MetricsSnapshot DsmNode::SnapshotMetrics() const {
 Status DsmNode::TrySendMsg(HostId to, const MsgHeader& h, const void* payload, size_t len) {
   counters_.messages_sent++;
   counters_.bytes_sent += sizeof(MsgHeader) + len;
-  Status st = transport_->Send(to, h, payload, len);
+  // Stamp the wire copy with the sender's membership epoch (high bits of
+  // `from`); HandleMessage strips it on receive, so all internal logic sees
+  // pure host ids. At epoch 0 the stamped field is bit-identical to the id.
+  MsgHeader wire = h;
+  wire.from = PackFromEpoch(FromHost(h.from),
+                            member_epoch_.load(std::memory_order_acquire));
+  Status st = transport_->Send(to, wire, payload, len);
   if (!st.ok() && st.code() == StatusCode::kUnavailable) {
     OnPeerDown(to);
   }
@@ -213,23 +226,47 @@ void DsmNode::Barrier() {
 Status DsmNode::TryBarrier() {
   ScopedTimer timer(barrier_ns_);
   const uint32_t slot = ThreadSlot();
-  const uint32_t gen = NextGen(slot);
-  MsgHeader h;
-  h.set_type(MsgType::kBarrierEnter);
-  h.from = me_;
-  h.seq = WaitSlots::MakeSeq(slot, gen);
+  // The barrier generation this host expects to be released from (= barriers
+  // completed locally). It travels in pgsize so a failed-over barrier shard
+  // can release each waiter with its *own* generation, keeping per-host
+  // release sequences gap-free across the hand-off.
+  uint32_t expected_gen;
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    expected_gen = epoch_;
+  }
   Trace(TraceEventKind::kBarrierEnter, ~0u, 0);
-  if (Status st = TrySendMsg(config_.BarrierManager(), h); !st.ok()) {
-    return LivenessFailure("Barrier", st);
+  MsgHeader reply;
+  for (;;) {
+    const uint32_t gen = NextGen(slot);
+    MsgHeader h;
+    h.set_type(MsgType::kBarrierEnter);
+    h.from = me_;
+    h.seq = WaitSlots::MakeSeq(slot, gen);
+    h.minipage = kBarrierShardId;
+    h.pgsize = expected_gen;
+    const uint32_t epoch_before = member_epoch_.load(std::memory_order_acquire);
+    if (Status st = TrySendMsg(LiveManagerOf(kBarrierShardId), h); !st.ok()) {
+      if (AwaitMembershipChange(epoch_before)) {
+        continue;  // barrier shard moved: re-enter at its successor
+      }
+      return LivenessFailure("Barrier", st);
+    }
+    // Arrival is tracked as a host mask, so a post-failover re-send collapses
+    // instead of double-counting; a membership kick (kFailedPrecondition)
+    // re-enters, anything else fails within the sync deadline.
+    Result<MsgHeader> r = AwaitReply(slot, gen, config_.sync_timeout_ms, "Barrier");
+    if (r.ok()) {
+      reply = *r;
+      break;
+    }
+    if (r.status().code() == StatusCode::kFailedPrecondition) {
+      continue;
+    }
+    return LivenessFailure("Barrier", r.status());
   }
-  // Barrier entry increments the manager's arrival count, so a re-send would
-  // count this host twice: deadline only, no retry.
-  Result<MsgHeader> reply = AwaitReply(slot, gen, config_.sync_timeout_ms, "Barrier");
-  if (!reply.ok()) {
-    return LivenessFailure("Barrier", reply.status());
-  }
-  // The manager stamps the epoch being released into the minipage field.
-  Trace(TraceEventKind::kBarrierRelease, ~0u, 0, reply->minipage);
+  // The manager stamps the generation being released into the minipage field.
+  Trace(TraceEventKind::kBarrierRelease, ~0u, 0, reply.minipage);
   counters_.barriers++;
   std::lock_guard<std::mutex> lock(epoch_mu_);
   EpochRecord rec;
@@ -249,33 +286,56 @@ void DsmNode::Lock(uint32_t lock_id) {
 Status DsmNode::TryLock(uint32_t lock_id) {
   ScopedTimer timer(lock_ns_);
   const uint32_t slot = ThreadSlot();
-  const uint32_t gen = NextGen(slot);
-  MsgHeader h;
-  h.set_type(MsgType::kLockAcquire);
-  h.from = me_;
-  h.seq = WaitSlots::MakeSeq(slot, gen);
-  h.minipage = lock_id;
-  if (Status st = TrySendMsg(config_.ManagerOf(lock_id), h); !st.ok()) {
-    return LivenessFailure("Lock", st);
-  }
-  // A re-sent acquire would enqueue this host twice in the lock's FIFO:
-  // deadline only, no retry. (A held lock also legitimately blocks for as
-  // long as its holder computes — the generous sync deadline reflects that.)
-  Result<MsgHeader> reply = AwaitReply(slot, gen, config_.sync_timeout_ms, "Lock");
-  if (!reply.ok()) {
+  for (;;) {
+    const uint32_t gen = NextGen(slot);
+    MsgHeader h;
+    h.set_type(MsgType::kLockAcquire);
+    h.from = me_;
+    h.seq = WaitSlots::MakeSeq(slot, gen);
+    h.minipage = lock_id;
+    const uint32_t epoch_before = member_epoch_.load(std::memory_order_acquire);
+    if (Status st = TrySendMsg(LiveManagerOf(lock_id), h); !st.ok()) {
+      if (AwaitMembershipChange(epoch_before)) {
+        continue;  // lock shard moved: re-acquire at its successor
+      }
+      return LivenessFailure("Lock", st);
+    }
+    // The shard dedupes re-sent acquires (duplicate waiters collapse, the
+    // current holder is re-granted), so a membership kick re-sends safely;
+    // anything else fails within the sync deadline. (A held lock also
+    // legitimately blocks for as long as its holder computes — the generous
+    // sync deadline reflects that.)
+    Result<MsgHeader> reply = AwaitReply(slot, gen, config_.sync_timeout_ms, "Lock");
+    if (reply.ok()) {
+      break;
+    }
+    if (reply.status().code() == StatusCode::kFailedPrecondition) {
+      continue;
+    }
     return LivenessFailure("Lock", reply.status());
+  }
+  {
+    std::lock_guard<std::mutex> lock(held_mu_);
+    held_locks_.insert(lock_id);
   }
   counters_.lock_acquires++;
   return Status::Ok();
 }
 
 void DsmNode::Unlock(uint32_t lock_id) {
+  // Drop the local held record *before* the release leaves, so a failover
+  // probe racing this release never resurrects a lock its holder has already
+  // let go of.
+  {
+    std::lock_guard<std::mutex> lock(held_mu_);
+    held_locks_.erase(lock_id);
+  }
   MsgHeader h;
   h.set_type(MsgType::kLockRelease);
   h.from = me_;
   h.seq = kNoWaitSlot;
   h.minipage = lock_id;
-  SendMsg(config_.ManagerOf(lock_id), h);
+  SendMsg(LiveManagerOf(lock_id), h);
 }
 
 void DsmNode::Prefetch(GlobalAddr a) {
@@ -330,6 +390,12 @@ size_t DsmNode::FetchGroup(const GlobalAddr* addrs, size_t count) {
       (void)LivenessFailure("FetchGroup", reply.status());
       return collected;
     }
+    if ((reply->flags & kFlagAbort) != 0) {
+      // Lost minipage (sole copy died): per-id error, no service to ACK.
+      std::lock_guard<std::mutex> lock(lost_mu_);
+      lost_minipages_.insert(reply->minipage);
+      continue;
+    }
     collected++;
     counters_.prefetch_bytes += reply->has_payload() ? reply->pgsize : 0;
     if (config_.enable_ack) {
@@ -339,7 +405,7 @@ size_t DsmNode::FetchGroup(const GlobalAddr* addrs, size_t count) {
       ack.seq = kNoWaitSlot;
       ack.addr = reply->addr;
       ack.minipage = reply->minipage;
-      SendMsg(config_.ManagerOf(ack.minipage), ack);
+      SendMsg(LiveManagerOf(ack.minipage), ack);
     }
   }
   return collected;
@@ -360,6 +426,10 @@ void DsmNode::PushToAll(GlobalAddr a) {
 // ---- Fault path ------------------------------------------------------------
 
 bool DsmNode::OnFault(uint32_t view, uint64_t offset, bool is_write) {
+  return FaultService(view, offset, is_write).ok();
+}
+
+Status DsmNode::FaultService(uint32_t view, uint64_t offset, bool is_write) {
   const bool timed = MetricsEnabled();
   const uint64_t t0 = timed ? MonotonicNowNs() : 0;
   const char* const what = is_write ? "write fault" : "read fault";
@@ -374,10 +444,12 @@ bool DsmNode::OnFault(uint32_t view, uint64_t offset, bool is_write) {
   // Fault service is idempotent — the manager re-routes every (re)send
   // against current directory state, and a late reply to an abandoned
   // attempt is discarded by its stale generation — so a lost message is
-  // retried up to max_request_retries before the fault fails.
+  // retried up to max_request_retries before the fault fails. Retries pace
+  // out with seeded exponential backoff (RetryTimeoutMs); a membership kick
+  // re-sends immediately without consuming an attempt.
   MsgHeader reply;
-  bool have_reply = false;
-  for (uint32_t attempt = 0;; ++attempt) {
+  uint32_t timeouts = 0;
+  for (;;) {
     const uint32_t gen = NextGen(slot);
     MsgHeader h;
     h.set_type(is_write ? MsgType::kWriteRequest : MsgType::kReadRequest);
@@ -389,26 +461,38 @@ bool DsmNode::OnFault(uint32_t view, uint64_t offset, bool is_write) {
       inflight_[slot].addr.store(h.addr, std::memory_order_release);
     }
     if (Status st = TrySendMsg(kManagerHost, h); !st.ok()) {
-      (void)LivenessFailure(what, st);
-      return false;
+      return LivenessFailure(what, st);
     }
-    Result<MsgHeader> r = AwaitReply(slot, gen, config_.request_timeout_ms, what);
+    const uint64_t attempt_timeout_ms = RetryTimeoutMs(config_, me_, timeouts);
+    Result<MsgHeader> r = AwaitReply(slot, gen, attempt_timeout_ms, what);
     if (r.ok()) {
+      if ((r->flags & kFlagAbort) != 0) {
+        // The owning shard degraded this minipage: its sole copy died with
+        // its host. Per-minipage error — the rest of the cluster keeps going.
+        {
+          std::lock_guard<std::mutex> lock(lost_mu_);
+          lost_minipages_.insert(r->minipage);
+        }
+        return LivenessFailure(
+            what, Status::NotFound("minipage " + std::to_string(r->minipage) +
+                                   " lost: its only copy died with its host"));
+      }
       reply = *r;
-      have_reply = true;
       break;
     }
-    if (r.status().code() != StatusCode::kDeadlineExceeded ||
-        attempt >= config_.max_request_retries) {
-      (void)LivenessFailure(what, r.status());
-      return false;
+    if (r.status().code() == StatusCode::kFailedPrecondition) {
+      continue;  // membership changed: re-route against the new live set
     }
+    if (r.status().code() != StatusCode::kDeadlineExceeded ||
+        timeouts >= config_.max_request_retries) {
+      return LivenessFailure(what, r.status());
+    }
+    timeouts++;
     timeout_retries_.fetch_add(1, std::memory_order_relaxed);
     MP_LOG(Error) << "host " << me_ << ": " << what << " timed out after "
-                  << config_.request_timeout_ms << " ms (attempt " << attempt + 1 << "/"
+                  << attempt_timeout_ms << " ms (attempt " << timeouts << "/"
                   << config_.max_request_retries + 1 << "); re-sending";
   }
-  (void)have_reply;
 
   if (config_.enable_ack || is_write) {
     MsgHeader ack;
@@ -417,7 +501,7 @@ bool DsmNode::OnFault(uint32_t view, uint64_t offset, bool is_write) {
     ack.seq = kNoWaitSlot;
     ack.addr = reply.addr;
     ack.minipage = reply.minipage;
-    SendMsg(config_.ManagerOf(ack.minipage), ack);
+    SendMsg(LiveManagerOf(ack.minipage), ack);
   }
 
   const uint64_t data_bytes = reply.has_payload() ? reply.pgsize : 0;
@@ -430,7 +514,40 @@ bool DsmNode::OnFault(uint32_t view, uint64_t offset, bool is_write) {
     (is_write ? write_fault_ns_ : read_fault_ns_)->RecordAlways(MonotonicNowNs() - t0);
   }
   Trace(TraceEventKind::kFaultEnd, reply.minipage, addr, is_write ? 1 : 0);
-  return true;
+  return Status::Ok();
+}
+
+uint64_t DsmNode::RetryTimeoutMs(const DsmConfig& cfg, HostId host, uint32_t attempt) {
+  const uint64_t base = cfg.request_timeout_ms;
+  if (base == 0) {
+    return 0;  // no deadline configured: wait forever, no pacing
+  }
+  double scaled = static_cast<double>(base);
+  const double cap = static_cast<double>(cfg.retry_backoff_max_ms);
+  for (uint32_t k = 0; k < attempt && scaled < cap; ++k) {
+    scaled *= cfg.retry_backoff_base;
+  }
+  if (scaled > cap) {
+    scaled = cap;
+  }
+  uint64_t ms = static_cast<uint64_t>(scaled);
+  if (attempt == 0) {
+    // The first wait is the configured timeout exactly: jitter exists to
+    // decorrelate *retries*, and a deterministic base keeps the common
+    // no-retry path at its configured latency budget.
+    return ms < 1 ? 1 : ms;
+  }
+  if (cfg.retry_jitter_pct > 0) {
+    // A fresh, deterministically seeded stream per (host, attempt): the
+    // schedule is reproducible yet decorrelated across hosts, so a cluster
+    // that timed out together does not re-fire in lockstep.
+    Rng rng(cfg.retry_jitter_seed ^ (static_cast<uint64_t>(host) << 32) ^ attempt);
+    const uint64_t span = ms * cfg.retry_jitter_pct / 100;
+    if (span > 0) {
+      ms = ms - span + rng.Below(2 * span + 1);
+    }
+  }
+  return ms < 1 ? 1 : ms;
 }
 
 // ---- Server thread ---------------------------------------------------------
@@ -446,6 +563,7 @@ PayloadSink DsmNode::MakeServerSink() {
 
 bool DsmNode::PumpOne() {
   MP_CHECK(!server_.joinable()) << "PumpOne on a node with a live server thread";
+  ProcessPendingDeaths();
   MsgHeader h;
   Result<bool> got = transport_->Poll(me_, &h, MakeServerSink(), /*timeout_us=*/0);
   MP_CHECK_OK(got.status());
@@ -460,6 +578,9 @@ void DsmNode::ServerLoop() {
   const PayloadSink sink = MakeServerSink();
   uint32_t poll_errors = 0;
   while (!stop_.load(std::memory_order_acquire)) {
+    // Host-death recovery runs here — directory state belongs to this
+    // thread, so the detector (any thread) only posts a pending mask.
+    ProcessPendingDeaths();
     MsgHeader h;
     uint64_t timeout_us = 0;
     switch (config_.service_mode) {
@@ -513,7 +634,32 @@ bool TraceOn() {
 }
 }  // namespace
 
-void DsmNode::HandleMessage(const MsgHeader& h) {
+void DsmNode::HandleMessage(const MsgHeader& raw) {
+  // Strip the membership-epoch tag off the wire `from` field, then gate on
+  // it (the tag is the epoch mod 1024, compared circularly):
+  //   * anything from a host now known dead is pre-death traffic — discarded
+  //     like a stale generation, so no obsolete grant or arrival from the
+  //     dead host can corrupt post-recovery state;
+  //   * a message tagged with a *newer* epoch than ours is deferred until
+  //     the in-flight kEpochBump lands (per-pair FIFO guarantees it is
+  //     coming), so dispatch only ever sees messages that agree with local
+  //     membership — older tags from live senders are ordinary in-flight
+  //     traffic and are served normally, their replies staled by generation;
+  //   * kEpochBump itself is always processed: it is how epochs advance.
+  MsgHeader h = raw;
+  h.from = FromHost(raw.from);
+  if (h.msg_type() != MsgType::kEpochBump) {
+    if ((dead_mask_.load(std::memory_order_acquire) & (1ULL << (h.from & 63u))) != 0) {
+      stale_replies_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    const uint32_t tag = FromEpochTag(raw.from);
+    const uint32_t my_tag = member_epoch_.load(std::memory_order_acquire) & kEpochTagMask;
+    if (tag != my_tag && !EpochTagStale(tag, my_tag)) {
+      deferred_.push_back(raw);
+      return;
+    }
+  }
   if (TraceOn()) {
     fprintf(stderr, "[h%u] %s from=%u seq=%x mp=%u flags=%x priv=%lu len=%u\n", me_,
             MsgTypeName(h.msg_type()), h.from, h.seq, h.minipage, h.flags,
@@ -572,7 +718,7 @@ void DsmNode::HandleMessage(const MsgHeader& h) {
       }
       break;
     case MsgType::kBarrierEnter:
-      MP_CHECK(me_ == config_.BarrierManager()) << "barrier entry at non-barrier shard";
+      MP_CHECK(OwnsShard(kBarrierShardId)) << "barrier entry at non-barrier shard";
       if (allocator_ != nullptr) {
         allocator_->CloseChunk();
       }
@@ -602,6 +748,24 @@ void DsmNode::HandleMessage(const MsgHeader& h) {
       }
       break;
     case MsgType::kShutdown:
+      break;
+    case MsgType::kEpochBump:
+      // minipage = new epoch, privbase = cumulative dead-host mask.
+      ApplyMembership(h.minipage, h.privbase, /*broadcast=*/false);
+      break;
+    case MsgType::kCopysetQuery:
+      HandleCopysetQuery(h);
+      break;
+    case MsgType::kCopysetReply:
+      MP_CHECK(OwnsShard(h.minipage)) << "copyset reply at non-owning shard";
+      MgrHandleCopysetReply(h);
+      break;
+    case MsgType::kLockProbe:
+      HandleLockProbe(h);
+      break;
+    case MsgType::kLockProbeReply:
+      MP_CHECK(OwnsShard(h.minipage)) << "lock probe reply at non-owning shard";
+      MgrHandleLockProbeReply(h);
       break;
   }
 }
@@ -636,7 +800,7 @@ void DsmNode::MgrTranslateAndRoute(const MsgHeader& h) {
   if (!MgrTranslate(&copy)) {
     return;
   }
-  const HostId owner = config_.ManagerOf(copy.minipage);
+  const HostId owner = LiveManagerOf(copy.minipage);
   if (owner == me_) {
     MgrStartService(copy);
     return;
@@ -648,6 +812,11 @@ void DsmNode::MgrTranslateAndRoute(const MsgHeader& h) {
 }
 
 void DsmNode::ForwardToReplica(HostId target, const MsgHeader& fwd) {
+  if (directory_ != nullptr && fwd.minipage != kInvalidMinipage) {
+    DirEntry& e = directory_->Entry(fwd.minipage);
+    e.fetch_pending = true;
+    e.fetch_from = target;
+  }
   if (target == me_ && config_.manager_policy == ManagerPolicy::kSharded) {
     // The owning shard holds the serving replica itself. Serve inline from
     // the privileged view instead of a self round trip through the
@@ -668,12 +837,31 @@ void DsmNode::ForwardToReplica(HostId target, const MsgHeader& fwd) {
 
 void DsmNode::MgrStartService(MsgHeader h) {
   DirEntry& e = directory_->Entry(h.minipage);
+  if (e.lost) {
+    ReplyLost(h);
+    return;
+  }
+  if (e.rebuilding) {
+    e.pending.push_back(h);  // adopted id, copyset still being reassembled
+    return;
+  }
   if (e.copyset == 0) {
-    // First request this shard sees for the id. The initial holder is always
-    // host 0: allocation opened the minipage ReadWrite there, and every
-    // first-touch request passes host 0's translation before arriving here
-    // (closing the growth chunk), so "never serviced" ⇒ "still manager-held".
-    // Centralized shards never hit this (MgrHandleAlloc seeds the entry).
+    // First request this shard sees for the id. If the id's original home
+    // shard is dead, this shard adopted it and cannot know whether the id
+    // was ever serviced: rebuild the copyset by querying every live host
+    // (the request waits in `pending` meanwhile). Otherwise the initial
+    // holder is always host 0: allocation opened the minipage ReadWrite
+    // there, and every first-touch request passes host 0's translation
+    // before arriving here (closing the growth chunk), so "never serviced"
+    // ⇒ "still manager-held". Centralized shards never hit either path
+    // (MgrHandleAlloc seeds the entry, and they never rehash).
+    const HostId home = config_.ManagerOf(h.minipage);
+    if (home != me_ &&
+        (dead_mask_.load(std::memory_order_acquire) & (1ULL << (home & 63u))) != 0) {
+      e.pending.push_back(h);
+      StartCopysetRebuild(h);
+      return;
+    }
     e.copyset = 1ULL << kManagerHost;
     e.writable = true;
   }
@@ -692,6 +880,7 @@ void DsmNode::MgrStartService(MsgHeader h) {
   }
   e.in_service = true;
   e.in_service_for = h.from;
+  e.in_service_req = h;
   Trace(TraceEventKind::kMgrSvcStart, h.minipage, h.addr, h.from, e.copyset);
   MgrProcess(h);
 }
@@ -772,21 +961,24 @@ void DsmNode::MgrProcessWrite(const MsgHeader& h, DirEntry& e) {
     return;
   }
   // Invalidate every other replica; the write is forwarded (or upgraded)
-  // once all invalidation replies are in (Figure 3, Manager paths).
+  // once all invalidation replies are in (Figure 3, Manager paths). The
+  // outstanding set is a host mask so copyset repair can retire the
+  // invalidations a host that dies mid-round will never answer.
   e.write_pending = true;
   e.pending_write = h;
   e.write_remaining = remaining;
-  e.invalidates_outstanding = 0;
+  e.invalidates_pending_mask = 0;
   directory_->counters().invalidation_rounds++;
+  const uint64_t live = live_mask();
   for (uint16_t host = 0; host < config_.num_hosts; ++host) {
-    if ((others & (1ULL << host)) != 0) {
+    if ((others & live & (1ULL << host)) != 0) {
       // Protocol-bug injection for the simulator: silently skip one
       // invalidation, leaving a stale readable replica behind — exactly the
       // class of bug the offline SWMR checker exists to catch.
       if (FailpointRegistry::Instance().Fire("dsm.mgr.skip_invalidate").has_value()) {
         continue;
       }
-      e.invalidates_outstanding++;
+      e.invalidates_pending_mask |= 1ULL << host;
       Trace(TraceEventKind::kMgrInvalidate, h.minipage, h.addr, host);
       MsgHeader inv = h;
       inv.set_type(MsgType::kInvalidateRequest);
@@ -794,7 +986,7 @@ void DsmNode::MgrProcessWrite(const MsgHeader& h, DirEntry& e) {
       SendMsg(host, inv);
     }
   }
-  if (e.invalidates_outstanding == 0) {
+  if (e.invalidates_pending_mask == 0) {
     MgrFinishWriteRound(h.minipage);
   }
 }
@@ -802,8 +994,10 @@ void DsmNode::MgrProcessWrite(const MsgHeader& h, DirEntry& e) {
 void DsmNode::MgrHandleInvalidateReply(const MsgHeader& h) {
   DirEntry& e = directory_->Entry(h.minipage);
   MP_CHECK(e.write_pending) << "stray invalidate reply";
-  MP_CHECK(e.invalidates_outstanding > 0);
-  if (--e.invalidates_outstanding > 0) {
+  const uint64_t bit = 1ULL << (h.from & 63u);
+  MP_CHECK((e.invalidates_pending_mask & bit) != 0) << "duplicate invalidate reply";
+  e.invalidates_pending_mask &= ~bit;
+  if (e.invalidates_pending_mask != 0) {
     return;
   }
   MgrFinishWriteRound(h.minipage);
@@ -831,9 +1025,9 @@ void DsmNode::MgrFinishWriteRound(MinipageId id) {
 
 void DsmNode::MgrProcessPush(const MsgHeader& h, DirEntry& e) {
   // The pusher must still hold the writable copy; it broadcasts and every
-  // host (pusher included) confirms with an ACK before the minipage leaves
-  // service and the copyset becomes all-hosts.
-  e.push_outstanding = config_.num_hosts;
+  // live host (pusher included) confirms with an ACK before the minipage
+  // leaves service and the copyset becomes all-live-hosts.
+  e.push_outstanding = static_cast<uint32_t>(__builtin_popcountll(live_mask()));
   MsgHeader fwd = h;
   fwd.flags |= kFlagForwarded;
   SendMsg(h.from, fwd);
@@ -841,6 +1035,12 @@ void DsmNode::MgrProcessPush(const MsgHeader& h, DirEntry& e) {
 
 void DsmNode::MgrHandleAck(const MsgHeader& h) {
   DirEntry& e = directory_->Entry(h.minipage);
+  if (!e.in_service) {
+    // Repair already closed this transaction (its data source died and the
+    // service was restarted or the id declared lost): the ACK answers a
+    // grant that no longer exists.
+    return;
+  }
   if (e.push_outstanding > 0) {
     if ((h.flags & kFlagAbort) != 0) {
       e.push_outstanding = 0;  // pusher lost the copy; leave copyset alone
@@ -850,7 +1050,7 @@ void DsmNode::MgrHandleAck(const MsgHeader& h) {
     if (--e.push_outstanding > 0) {
       return;
     }
-    e.copyset = (config_.num_hosts == 64) ? ~0ULL : ((1ULL << config_.num_hosts) - 1);
+    e.copyset = live_mask();
     e.writable = false;
     MgrFinishService(h.minipage);
     return;
@@ -876,6 +1076,7 @@ void DsmNode::MgrHandleBounced(const MsgHeader& h) {
 void DsmNode::MgrFinishService(MinipageId id) {
   DirEntry& e = directory_->Entry(id);
   e.in_service = false;
+  e.fetch_pending = false;
   Trace(TraceEventKind::kMgrSvcEnd, id, 0, 0, e.copyset);
   if (e.pending.empty()) {
     return;
@@ -884,6 +1085,7 @@ void DsmNode::MgrFinishService(MinipageId id) {
   e.pending.pop_front();
   e.in_service = true;
   e.in_service_for = next.from;
+  e.in_service_req = next;
   Trace(TraceEventKind::kMgrSvcStart, next.minipage, next.addr, next.from, e.copyset);
   MgrProcess(next);
 }
@@ -934,40 +1136,130 @@ void DsmNode::MgrHandleAlloc(const MsgHeader& h) {
 
 void DsmNode::MgrHandleBarrierEnter(const MsgHeader& h) {
   BarrierState& b = directory_->barrier();
-  b.arrived++;
-  b.waiters.push_back(h);
-  if (b.arrived < config_.num_hosts) {
+  if (h.pgsize < b.generation) {
+    // Entry for a round this shard already released: the host's original
+    // release crossed a membership kick and was staled, so it re-sent. The
+    // round's quorum was met once — re-releasing it is idempotent, and
+    // queueing the entry instead would strand the host waiting on peers that
+    // have already moved past the round.
+    MsgHeader release = h;
+    release.set_type(MsgType::kBarrierRelease);
+    release.minipage = h.pgsize;
+    SendMsg(h.from, release);
     return;
   }
-  for (const MsgHeader& w : b.waiters) {
-    MsgHeader release = w;
-    release.set_type(MsgType::kBarrierRelease);
-    release.minipage = b.generation;
-    SendMsg(w.from, release);
+  const uint64_t bit = 1ULL << (h.from & 63u);
+  if ((b.arrived_mask & bit) == 0) {
+    b.arrived_mask |= bit;
+    b.waiters.push_back(h);
+  } else {
+    // Post-failover re-send from an already-arrived host: collapse the
+    // duplicate, but keep the freshest header so the release answers the
+    // newest attempt's (slot, generation).
+    for (MsgHeader& w : b.waiters) {
+      if (w.from == h.from) {
+        w = h;
+        break;
+      }
+    }
   }
-  b.generation++;
-  b.arrived = 0;
-  b.waiters.clear();
+  b.arrived = static_cast<uint32_t>(__builtin_popcountll(b.arrived_mask));
+  MaybeReleaseBarrier();
+}
+
+void DsmNode::MaybeReleaseBarrier() {
+  if (directory_ == nullptr) {
+    return;
+  }
+  BarrierState& b = directory_->barrier();
+  if (b.waiters.empty()) {
+    return;
+  }
+  const uint64_t live = live_mask();
+  if ((b.arrived_mask & live) != live) {
+    return;  // a live host is still computing (dead hosts no longer count)
+  }
+  // Release the *oldest* round only, and each waiter with its own expected
+  // generation (carried in pgsize). Across a failover the new shard can see
+  // mixed generations — a host the dead shard released mid-round is already
+  // at round k+1 while a straggler re-sends round k; the straggler's arrival
+  // at k implies everyone reached k, but the k+1 entrant must stay queued.
+  uint32_t min_gen = ~0u;
+  for (const MsgHeader& w : b.waiters) {
+    min_gen = std::min(min_gen, w.pgsize);
+  }
+  std::vector<MsgHeader> keep;
+  uint64_t kept_mask = 0;
+  for (const MsgHeader& w : b.waiters) {
+    if (w.pgsize == min_gen) {
+      MsgHeader release = w;
+      release.set_type(MsgType::kBarrierRelease);
+      release.minipage = min_gen;
+      SendMsg(w.from, release);
+    } else {
+      keep.push_back(w);
+      kept_mask |= 1ULL << (w.from & 63u);
+    }
+  }
+  b.waiters.assign(keep.begin(), keep.end());
+  b.arrived_mask = kept_mask;
+  b.arrived = static_cast<uint32_t>(__builtin_popcountll(kept_mask));
+  b.generation = min_gen + 1;
 }
 
 void DsmNode::MgrHandleLockAcquire(const MsgHeader& h) {
   LockEntry& l = directory_->Lock(h.minipage);
-  if (!l.held) {
-    l.held = true;
-    l.holder = h.from;
-    Trace(TraceEventKind::kLockGrant, h.minipage, 0, h.from);
-    MsgHeader grant = h;
-    grant.set_type(MsgType::kLockGrant);
-    SendMsg(h.from, grant);
+  if (LockNeedsProbe(h.minipage, l)) {
+    StartLockProbe(h.minipage);
+  }
+  if (l.probing) {
+    // Adoption in progress: queue until every live host has answered the
+    // holder probe (a grant issued by the dead shard must be honored, not
+    // doubled).
+    if (!l.HasWaiter(h.from)) {
+      l.waiters.push_back(h);
+    }
     return;
   }
-  l.waiters.push_back(h);
+  if (l.held) {
+    if (l.holder == h.from) {
+      // The current holder re-sent its acquire (its original grant was
+      // dropped across an epoch bump): re-grant idempotently. No kLockGrant
+      // trace — this is not a new hand-off.
+      MsgHeader grant = h;
+      grant.set_type(MsgType::kLockGrant);
+      SendMsg(h.from, grant);
+      return;
+    }
+    if (!l.HasWaiter(h.from)) {
+      l.waiters.push_back(h);
+    }
+    return;
+  }
+  l.held = true;
+  l.holder = h.from;
+  Trace(TraceEventKind::kLockGrant, h.minipage, 0, h.from);
+  MsgHeader grant = h;
+  grant.set_type(MsgType::kLockGrant);
+  SendMsg(h.from, grant);
 }
 
 void DsmNode::MgrHandleLockRelease(const MsgHeader& h) {
   LockEntry& l = directory_->Lock(h.minipage);
-  MP_CHECK(l.held && l.holder == h.from) << "unlock by non-holder";
+  if (!l.held || l.holder != h.from) {
+    if (dead_mask_.load(std::memory_order_acquire) != 0) {
+      // Post-failover: the release raced the adoption (duplicate release, or
+      // the holder's release reached the dead shard first and repair already
+      // freed the lock). Stale — ignore, don't crash the shard.
+      return;
+    }
+    MP_CHECK(l.held && l.holder == h.from) << "unlock by non-holder";
+  }
   Trace(TraceEventKind::kLockRelease, h.minipage, 0, h.from);
+  if (l.probing) {
+    l.held = false;  // grant deferred until the probe finishes
+    return;
+  }
   if (l.waiters.empty()) {
     l.held = false;
     return;
@@ -978,6 +1270,98 @@ void DsmNode::MgrHandleLockRelease(const MsgHeader& h) {
   Trace(TraceEventKind::kLockGrant, next.minipage, 0, next.from);
   next.set_type(MsgType::kLockGrant);
   SendMsg(next.from, next);
+}
+
+// ---- Adopted-lock holder probe ---------------------------------------------
+
+bool DsmNode::LockNeedsProbe(uint32_t lock_id, const LockEntry& l) const {
+  if (l.probed || l.probing || !RecoveryEnabled()) {
+    return false;
+  }
+  const uint64_t dead = dead_mask_.load(std::memory_order_acquire);
+  if (dead == 0) {
+    return false;
+  }
+  const HostId home = config_.ManagerOf(lock_id);
+  // Only adopted locks are probed: if this shard is the original home, its
+  // own state is authoritative.
+  return home != me_ && (dead & (1ULL << (home & 63u))) != 0;
+}
+
+void DsmNode::StartLockProbe(uint32_t lock_id) {
+  LockEntry& l = directory_->Lock(lock_id);
+  l.probing = true;
+  l.probed = true;
+  l.probe_pending_mask = live_mask() & ~(1ULL << me_);
+  MsgHeader probe;
+  probe.set_type(MsgType::kLockProbe);
+  probe.from = me_;
+  probe.seq = kNoWaitSlot;
+  probe.minipage = lock_id;
+  for (uint16_t host = 0; host < config_.num_hosts; ++host) {
+    if ((l.probe_pending_mask & (1ULL << host)) != 0) {
+      SendMsg(host, probe);
+    }
+  }
+  // Check our own held set inline (we are not on the wire mask).
+  {
+    std::lock_guard<std::mutex> lock(held_mu_);
+    if (held_locks_.count(lock_id) != 0) {
+      l.held = true;
+      l.holder = me_;
+    }
+  }
+  if (l.probe_pending_mask == 0) {
+    FinishLockProbe(lock_id);
+  }
+}
+
+void DsmNode::FinishLockProbe(uint32_t lock_id) {
+  LockEntry& l = directory_->Lock(lock_id);
+  l.probing = false;
+  l.probe_pending_mask = 0;
+  if (l.held) {
+    return;  // a surviving holder claimed the lock; waiters queue behind it
+  }
+  if (!l.waiters.empty()) {
+    MsgHeader next = l.waiters.front();
+    l.waiters.pop_front();
+    l.held = true;
+    l.holder = next.from;
+    Trace(TraceEventKind::kLockGrant, lock_id, 0, next.from);
+    next.set_type(MsgType::kLockGrant);
+    SendMsg(next.from, next);
+  }
+}
+
+void DsmNode::HandleLockProbe(const MsgHeader& h) {
+  bool held;
+  {
+    std::lock_guard<std::mutex> lock(held_mu_);
+    held = held_locks_.count(h.minipage) != 0;
+  }
+  MsgHeader reply = h;
+  reply.set_type(MsgType::kLockProbeReply);
+  reply.from = me_;
+  reply.flags = held ? kFlagUpgrade : 0;
+  SendMsg(h.from, reply);
+}
+
+void DsmNode::MgrHandleLockProbeReply(const MsgHeader& h) {
+  LockEntry& l = directory_->Lock(h.minipage);
+  if (!l.probing) {
+    return;  // stale (probe already resolved)
+  }
+  l.probe_pending_mask &= ~(1ULL << (h.from & 63u));
+  if ((h.flags & kFlagUpgrade) != 0) {
+    MP_CHECK(!l.held || l.holder == h.from)
+        << "two hosts claim lock " << h.minipage << " during adoption probe";
+    l.held = true;
+    l.holder = h.from;
+  }
+  if ((l.probe_pending_mask & live_mask()) == 0) {
+    FinishLockProbe(h.minipage);
+  }
 }
 
 // ---- Serving side ------------------------------------------------------------
@@ -1033,11 +1417,26 @@ void DsmNode::HandleInvalidateRequest(const MsgHeader& h) {
   counters_.invalidations_received++;
   MsgHeader reply = h;
   reply.set_type(MsgType::kInvalidateReply);
+  // The manager retires invalidations by *replier* bit, so the reply must
+  // carry this host's id, not the writer's that the request was stamped with.
+  reply.from = me_;
   reply.flags = 0;
-  SendMsg(config_.ManagerOf(h.minipage), reply);
+  SendMsg(LiveManagerOf(h.minipage), reply);
 }
 
 void DsmNode::HandleReply(const MsgHeader& h) {
+  if ((h.flags & kFlagAbort) != 0) {
+    // Lost-minipage error reply: no data, no protection change, no ACK —
+    // just deliver the verdict to the waiting thread (if any).
+    {
+      std::lock_guard<std::mutex> lock(lost_mu_);
+      lost_minipages_.insert(h.minipage);
+    }
+    if (h.seq != kNoWaitSlot) {
+      slots_.Post(WaitSlots::SeqSlot(h.seq), h);
+    }
+    return;
+  }
   if (!config_.enable_ack && h.seq != kNoWaitSlot) {
     const uint32_t slot = WaitSlots::SeqSlot(h.seq);
     // Only a reply to the slot's *current* attempt owns the in-flight entry;
@@ -1074,7 +1473,7 @@ void DsmNode::HandleReply(const MsgHeader& h) {
       ack.set_type(MsgType::kAck);
       ack.from = me_;
       ack.flags = 0;
-      SendMsg(config_.ManagerOf(ack.minipage), ack);
+      SendMsg(LiveManagerOf(ack.minipage), ack);
     }
     return;
   }
@@ -1088,7 +1487,7 @@ void DsmNode::ApplyPush(const MsgHeader& h) {
   ack.set_type(MsgType::kAck);
   ack.from = me_;
   ack.flags = 0;
-  SendMsg(config_.ManagerOf(ack.minipage), ack);
+  SendMsg(LiveManagerOf(ack.minipage), ack);
 }
 
 void DsmNode::PusherBroadcast(const MsgHeader& h) {
@@ -1099,7 +1498,7 @@ void DsmNode::PusherBroadcast(const MsgHeader& h) {
   if (views_->GetProtection(mp) != Protection::kReadWrite) {
     // Lost the writable copy since the push was issued; abort.
     ack.flags = kFlagAbort;
-    SendMsg(config_.ManagerOf(ack.minipage), ack);
+    SendMsg(LiveManagerOf(ack.minipage), ack);
     return;
   }
   // Downgrade first so no local writer can tear the broadcast contents.
@@ -1107,13 +1506,14 @@ void DsmNode::PusherBroadcast(const MsgHeader& h) {
   MsgHeader push = h;
   push.set_type(MsgType::kPushUpdate);
   push.flags = kFlagForwarded;
+  const uint64_t live = live_mask();
   for (uint16_t host = 0; host < config_.num_hosts; ++host) {
-    if (host != me_) {
+    if (host != me_ && (live & (1ULL << host)) != 0) {
       SendMsg(host, push, views_->PrivAddr(mp.offset), mp.length);
     }
   }
   ack.flags = 0;
-  SendMsg(config_.ManagerOf(ack.minipage), ack);
+  SendMsg(LiveManagerOf(ack.minipage), ack);
 }
 
 void DsmNode::Bounce(MsgHeader h) {
@@ -1123,7 +1523,7 @@ void DsmNode::Bounce(MsgHeader h) {
   // state.
   bounced_.fetch_add(1, std::memory_order_relaxed);
   h.flags |= kFlagBounced;
-  SendMsg(config_.ManagerOf(h.minipage), h);
+  SendMsg(LiveManagerOf(h.minipage), h);
 }
 
 // ---- Liveness --------------------------------------------------------------
@@ -1158,7 +1558,9 @@ Result<MsgHeader> DsmNode::AwaitReply(uint32_t slot, uint32_t gen, uint64_t time
     // otherwise the manager would hold the minipage in service forever.
     stale_replies_.fetch_add(1, std::memory_order_relaxed);
     const MsgType t = r->msg_type();
-    const bool is_data = t == MsgType::kReadReply || t == MsgType::kWriteReply;
+    // Lost-minipage error replies never opened a service transaction: no ACK.
+    const bool is_data = (t == MsgType::kReadReply || t == MsgType::kWriteReply) &&
+                         (r->flags & kFlagAbort) == 0;
     if (is_data && (config_.enable_ack || t == MsgType::kWriteReply)) {
       MsgHeader ack;
       ack.set_type(MsgType::kAck);
@@ -1166,7 +1568,7 @@ Result<MsgHeader> DsmNode::AwaitReply(uint32_t slot, uint32_t gen, uint64_t time
       ack.seq = kNoWaitSlot;
       ack.addr = r->addr;
       ack.minipage = r->minipage;
-      SendMsg(config_.ManagerOf(ack.minipage), ack);
+      SendMsg(LiveManagerOf(ack.minipage), ack);
     }
   }
 }
@@ -1181,9 +1583,366 @@ void DsmNode::OnPeerDown(HostId peer) {
   if ((prev & bit) != 0) {
     return;  // already known
   }
+  if (RecoveryEnabled() && peer != kManagerHost) {
+    // Recoverable death: schedule membership recovery on the server thread
+    // (the directory is server-thread state). App threads keep their waits —
+    // recovery kicks them once the new membership is in place.
+    MP_LOG(Error) << "host " << me_ << ": peer host " << peer
+                  << " is down; scheduling membership recovery. " << LivenessReport();
+    InjectPeerDeath(peer);
+    return;
+  }
   MP_LOG(Error) << "host " << me_ << ": peer host " << peer
                 << " is down; aborting outstanding waits. " << LivenessReport();
   slots_.AbortAll(Status::Unavailable("peer host " + std::to_string(peer) + " is down"));
+  // Wake any thread parked in AwaitMembershipChange: no epoch is coming.
+  {
+    std::lock_guard<std::mutex> lock(member_mu_);
+  }
+  member_cv_.notify_all();
+}
+
+// ---- Membership / recovery -------------------------------------------------
+
+bool DsmNode::ProcessPendingDeaths() {
+  uint64_t pend = pending_death_mask_.exchange(0, std::memory_order_acq_rel);
+  pend &= ~dead_mask_.load(std::memory_order_acquire);
+  pend &= live_mask();
+  if (pend == 0) {
+    return false;
+  }
+  ScopedTimer timer(recovery_ns_);
+  ApplyMembership(member_epoch_.load(std::memory_order_acquire) + 1,
+                  dead_mask_.load(std::memory_order_acquire) | pend,
+                  /*broadcast=*/true);
+  return true;
+}
+
+void DsmNode::ApplyMembership(uint32_t epoch, uint64_t dead, bool broadcast) {
+  const uint32_t cur_epoch = member_epoch_.load(std::memory_order_acquire);
+  const uint64_t cur_dead = dead_mask_.load(std::memory_order_acquire);
+  const uint32_t new_epoch = std::max(cur_epoch, epoch);
+  const uint64_t new_dead = cur_dead | dead;
+  if (new_epoch == cur_epoch && new_dead == cur_dead) {
+    return;  // idempotent merge: nothing new
+  }
+  const uint64_t newly_dead = new_dead & ~cur_dead;
+  // Publish first so every message sent below (bump broadcast, rebuild
+  // queries, probes) carries the new epoch and routes by the new live set.
+  dead_mask_.store(new_dead, std::memory_order_release);
+  member_epoch_.store(new_epoch, std::memory_order_release);
+  epoch_bumps_.fetch_add(1, std::memory_order_relaxed);
+  Trace(TraceEventKind::kEpochBump, ~0u, 0, new_epoch, new_dead);
+  MP_LOG(Error) << "host " << me_ << ": membership epoch " << new_epoch
+                << ", dead mask 0x" << std::hex << new_dead << std::dec;
+  if (broadcast) {
+    // Tell every live peer before repairing, so per-pair FIFO delivers the
+    // bump ahead of any repair traffic (queries, probes) we send them.
+    MsgHeader bump;
+    bump.set_type(MsgType::kEpochBump);
+    bump.from = me_;
+    bump.seq = kNoWaitSlot;
+    bump.minipage = new_epoch;
+    bump.privbase = new_dead;
+    const uint64_t live = live_mask();
+    for (uint16_t host = 0; host < config_.num_hosts; ++host) {
+      if (host != me_ && (live & (1ULL << host)) != 0) {
+        SendMsg(host, bump);
+      }
+    }
+  }
+  for (uint16_t d = 0; d < config_.num_hosts; ++d) {
+    if ((newly_dead & (1ULL << d)) != 0) {
+      RepairAfterDeath(static_cast<HostId>(d));
+    }
+  }
+  // Wake app threads: parked waiters re-send against the new membership
+  // (their operations are all failover-idempotent), senders blocked in
+  // AwaitMembershipChange re-route.
+  {
+    std::lock_guard<std::mutex> lock(member_mu_);
+  }
+  member_cv_.notify_all();
+  slots_.KickAll(Status::Precondition("membership changed (epoch " +
+                                      std::to_string(new_epoch) + ")"));
+  DrainDeferred();
+}
+
+void DsmNode::RepairAfterDeath(HostId dead) {
+  if (directory_ == nullptr) {
+    return;
+  }
+  // Shard adoption accounting: the dead host's directory slots rehash to the
+  // first live host after it in probe order.
+  if (config_.manager_policy == ManagerPolicy::kSharded) {
+    const uint64_t live = live_mask();
+    for (uint16_t probe = 1; probe < config_.num_hosts; ++probe) {
+      const HostId c = static_cast<HostId>((dead + probe) % config_.num_hosts);
+      if ((live & (1ULL << c)) != 0) {
+        if (c == me_) {
+          shards_adopted_.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      }
+    }
+  }
+  const uint64_t dead_bit = 1ULL << (dead & 63u);
+  for (MinipageId id = 0; id < directory_->num_entries(); ++id) {
+    DirEntry& e = directory_->Entry(id);
+    if (e.lost) {
+      continue;
+    }
+    // Requests the dead host queued will never be consumed: purge them.
+    for (auto it = e.pending.begin(); it != e.pending.end();) {
+      it = (it->from == dead) ? e.pending.erase(it) : std::next(it);
+    }
+    const bool had_copy = e.HasCopy(dead);
+    if (had_copy) {
+      e.RemoveCopy(dead);
+      copyset_repairs_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (e.rebuilding) {
+      e.rebuild_pending_mask &= ~dead_bit;
+      if ((e.rebuild_pending_mask & live_mask()) == 0) {
+        FinishCopysetRebuild(id);
+      }
+      continue;
+    }
+    // A data forward the dead host will never serve. The requester joined
+    // the copyset at grant time, but that copy is provisional — the bytes
+    // never left the dead source.
+    if (e.in_service && !e.write_pending && e.fetch_pending &&
+        e.fetch_from == dead) {
+      e.fetch_pending = false;
+      const uint64_t stable = e.copyset & ~(1ULL << (e.in_service_for & 63u));
+      if (stable == 0) {
+        // No surviving stable copy: the contents are gone. The requester's
+        // retry (fresh generation after its membership kick or timeout)
+        // finds e.lost and gets the per-minipage error reply.
+        e.RemoveCopy(e.in_service_for);
+        e.lost = true;
+      } else if (e.in_service_for == dead) {
+        MgrFinishService(id);  // requester died with the source: serve the queue
+      } else {
+        // Re-issue the same transaction against a surviving replica instead
+        // of closing the service: the requester's wait — or its
+        // stale-discard ACK, if a membership kick already re-generationed
+        // the fault — still pairs 1:1 with this open service.
+        MsgHeader fwd = e.in_service_req;
+        fwd.flags |= kFlagForwarded;
+        ForwardToReplica(e.PickReplica(e.in_service_for, replica_rotation_++), fwd);
+      }
+    }
+    // A write round whose data source died loses the minipage contents: the
+    // requester held no copy (else it would have been the source) and every
+    // other replica was ordered invalid.
+    if (e.write_pending && e.write_remaining == dead) {
+      e.lost = true;
+    }
+    if (had_copy && e.copyset == 0) {
+      // The dead host held the only copy: permanently degraded.
+      e.lost = true;
+    }
+    if (e.lost) {
+      minipages_lost_.fetch_add(1, std::memory_order_relaxed);
+      Trace(TraceEventKind::kMinipageLost, id, 0, dead);
+      if (e.write_pending) {
+        ReplyLost(e.pending_write);
+        e.write_pending = false;
+        e.invalidates_pending_mask = 0;
+      }
+      e.in_service = false;
+      e.push_outstanding = 0;
+      while (!e.pending.empty()) {
+        ReplyLost(e.pending.front());
+        e.pending.pop_front();
+      }
+      continue;
+    }
+    // Retire the invalidation the dead host will never answer.
+    if (e.write_pending && (e.invalidates_pending_mask & dead_bit) != 0) {
+      e.invalidates_pending_mask &= ~dead_bit;
+      if (e.invalidates_pending_mask == 0) {
+        MgrFinishWriteRound(id);
+      }
+    }
+    // A push ACK the dead host will never send (best-effort: at most one
+    // outstanding per round).
+    if (e.push_outstanding > 0) {
+      if (--e.push_outstanding == 0) {
+        e.copyset = live_mask();
+        e.writable = false;
+        MgrFinishService(id);
+        continue;
+      }
+    }
+    // A transaction in service for the dead host will never be ACKed: close
+    // it so queued competitors proceed.
+    if (e.in_service && e.in_service_for == dead && !e.write_pending) {
+      MgrFinishService(id);
+    }
+  }
+  // Locks: free anything the dead host held or queued for.
+  for (uint32_t lock_id = 0; lock_id < directory_->num_locks(); ++lock_id) {
+    LockEntry& l = directory_->Lock(lock_id);
+    for (auto it = l.waiters.begin(); it != l.waiters.end();) {
+      it = (it->from == dead) ? l.waiters.erase(it) : std::next(it);
+    }
+    if (l.probing) {
+      l.probe_pending_mask &= ~dead_bit;
+      if ((l.probe_pending_mask & live_mask()) == 0) {
+        FinishLockProbe(lock_id);
+      }
+    }
+    if (l.held && l.holder == dead) {
+      Trace(TraceEventKind::kLockRelease, lock_id, 0, dead);
+      if (l.waiters.empty() || l.probing) {
+        l.held = false;
+      } else {
+        MsgHeader next = l.waiters.front();
+        l.waiters.pop_front();
+        l.holder = next.from;
+        Trace(TraceEventKind::kLockGrant, lock_id, 0, next.from);
+        next.set_type(MsgType::kLockGrant);
+        SendMsg(next.from, next);
+      }
+    }
+  }
+  // Barrier: the dead host no longer counts toward (or blocks) release.
+  BarrierState& b = directory_->barrier();
+  if ((b.arrived_mask & dead_bit) != 0) {
+    b.arrived_mask &= ~dead_bit;
+    for (auto it = b.waiters.begin(); it != b.waiters.end();) {
+      it = (it->from == dead) ? b.waiters.erase(it) : std::next(it);
+    }
+    b.arrived = static_cast<uint32_t>(__builtin_popcountll(b.arrived_mask));
+  }
+  MaybeReleaseBarrier();
+}
+
+void DsmNode::DrainDeferred() {
+  if (deferred_.empty()) {
+    return;
+  }
+  std::deque<MsgHeader> q;
+  q.swap(deferred_);
+  for (const MsgHeader& h : q) {
+    HandleMessage(h);  // re-gates: still-newer messages re-defer
+  }
+}
+
+bool DsmNode::AwaitMembershipChange(uint32_t epoch_before) {
+  if (!RecoveryEnabled()) {
+    return false;
+  }
+  std::unique_lock<std::mutex> lock(member_mu_);
+  const auto changed = [&] {
+    return member_epoch_.load(std::memory_order_acquire) > epoch_before ||
+           slots_.aborted();
+  };
+  if (config_.sync_timeout_ms == 0) {
+    member_cv_.wait(lock, changed);
+  } else {
+    member_cv_.wait_for(lock, std::chrono::milliseconds(config_.sync_timeout_ms), changed);
+  }
+  return member_epoch_.load(std::memory_order_acquire) > epoch_before;
+}
+
+void DsmNode::ReplyLost(const MsgHeader& h) {
+  if (h.msg_type() == MsgType::kInvalidateRequest) {
+    return;  // nothing useful to answer
+  }
+  MsgHeader reply = h;
+  reply.set_type(h.msg_type() == MsgType::kWriteRequest ? MsgType::kWriteReply
+                                                        : MsgType::kReadReply);
+  reply.flags = kFlagAbort;
+  if (h.from == me_) {
+    HandleReply(reply);  // our own queued request: deliver locally
+    return;
+  }
+  SendMsg(h.from, reply);
+}
+
+// ---- Adopted-minipage copyset rebuild --------------------------------------
+
+void DsmNode::StartCopysetRebuild(const MsgHeader& h) {
+  DirEntry& e = directory_->Entry(h.minipage);
+  e.rebuilding = true;
+  e.rebuild_pending_mask = live_mask() & ~(1ULL << me_);
+  // Ask every live host whether it holds a copy; the translated geometry
+  // travels in the header exactly like a forward, so responders can check
+  // their own view protection without an MPT.
+  MsgHeader query = h;
+  query.set_type(MsgType::kCopysetQuery);
+  query.from = me_;
+  query.seq = kNoWaitSlot;
+  query.flags = 0;
+  for (uint16_t host = 0; host < config_.num_hosts; ++host) {
+    if ((e.rebuild_pending_mask & (1ULL << host)) != 0) {
+      SendMsg(host, query);
+    }
+  }
+  // Count our own copy inline.
+  const Minipage mp = MinipageFromHeader(h);
+  const Protection mine = views_->GetProtection(mp);
+  if (mine != Protection::kNoAccess) {
+    e.AddCopy(me_);
+    e.writable = mine == Protection::kReadWrite;
+  }
+  if (e.rebuild_pending_mask == 0) {
+    FinishCopysetRebuild(h.minipage);
+  }
+}
+
+void DsmNode::HandleCopysetQuery(const MsgHeader& h) {
+  const Minipage mp = MinipageFromHeader(h);
+  MsgHeader reply = h;
+  reply.set_type(MsgType::kCopysetReply);
+  reply.from = me_;
+  reply.pgsize = static_cast<uint32_t>(views_->GetProtection(mp));
+  SendMsg(h.from, reply);
+}
+
+void DsmNode::MgrHandleCopysetReply(const MsgHeader& h) {
+  DirEntry& e = directory_->Entry(h.minipage);
+  if (!e.rebuilding) {
+    return;  // stale (rebuild already resolved)
+  }
+  e.rebuild_pending_mask &= ~(1ULL << (h.from & 63u));
+  const auto prot = static_cast<Protection>(h.pgsize);
+  if (prot != Protection::kNoAccess) {
+    e.AddCopy(h.from);
+    if (prot == Protection::kReadWrite) {
+      e.writable = true;
+    }
+  }
+  if ((e.rebuild_pending_mask & live_mask()) == 0) {
+    FinishCopysetRebuild(h.minipage);
+  }
+}
+
+void DsmNode::FinishCopysetRebuild(MinipageId id) {
+  DirEntry& e = directory_->Entry(id);
+  e.rebuilding = false;
+  e.rebuild_pending_mask = 0;
+  if (e.copyset == 0) {
+    // No live host holds a copy: the id died with its owner.
+    e.lost = true;
+    minipages_lost_.fetch_add(1, std::memory_order_relaxed);
+    Trace(TraceEventKind::kMinipageLost, id, 0, 0);
+    while (!e.pending.empty()) {
+      ReplyLost(e.pending.front());
+      e.pending.pop_front();
+    }
+    return;
+  }
+  MP_LOG(Error) << "host " << me_ << ": adopted minipage " << id
+                << ", rebuilt copyset 0x" << std::hex << e.copyset << std::dec;
+  if (!e.pending.empty() && !e.in_service) {
+    MsgHeader next = e.pending.front();
+    e.pending.pop_front();
+    MgrStartService(next);
+  }
 }
 
 Status DsmNode::LivenessFailure(const char* op, const Status& cause) {

@@ -24,8 +24,11 @@
 #define SRC_DSM_NODE_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -76,8 +79,11 @@ class DsmNode {
   // True for the MPT/allocator host (host 0), which also translates and
   // routes every untranslated request.
   bool is_manager() const { return me_ == kManagerHost; }
-  // True when this host's shard serves directory/lock state for `id`.
-  bool OwnsShard(uint32_t id) const { return config_.ManagerOf(id) == me_; }
+  // True when this host's shard serves directory/lock state for `id` under
+  // the current membership (live-aware: adopted ids count after a failover).
+  bool OwnsShard(uint32_t id) const {
+    return config_.ManagerOfLive(id, live_mask()) == me_;
+  }
   const DsmConfig& config() const { return config_; }
   ViewSet& views() { return *views_; }
 
@@ -144,6 +150,62 @@ class DsmNode {
   // Full fault service; called from the SIGSEGV handler on the faulting
   // thread. Returns true when the access may be retried.
   bool OnFault(uint32_t view, uint64_t offset, bool is_write);
+
+  // Status-returning core of OnFault. The deterministic simulator calls it
+  // directly so a permanently lost minipage (sole copy died with its host)
+  // surfaces as a per-access kNotFound error instead of a SIGSEGV.
+  Status FaultService(uint32_t view, uint64_t offset, bool is_write);
+
+  // ---- Membership / recovery ---------------------------------------------
+
+  // Monotonically increasing membership epoch. Every datagram is stamped
+  // with it (high bits of the wire `from` field); pre-death traffic from a
+  // host later declared dead is discarded like a stale generation.
+  uint32_t member_epoch() const { return member_epoch_.load(std::memory_order_acquire); }
+  // Bitmask of hosts this node has declared dead (cumulative).
+  uint64_t dead_mask() const { return dead_mask_.load(std::memory_order_acquire); }
+  uint64_t live_mask() const {
+    const uint64_t all =
+        config_.num_hosts == 64 ? ~0ULL : ((1ULL << config_.num_hosts) - 1);
+    return all & ~dead_mask();
+  }
+  // True when a peer death is answered with epoch-bump recovery instead of
+  // the sticky whole-cluster abort: sharded directory, recovery enabled. A
+  // dead host 0 is always unrecoverable (it owns the MPT and allocator).
+  bool RecoveryEnabled() const {
+    return config_.recover_on_host_death &&
+           config_.manager_policy == ManagerPolicy::kSharded;
+  }
+  // Marks `peer` for recovery processing (the simulator's injection point;
+  // the threaded path arrives through the transport's peer-down callback).
+  void InjectPeerDeath(HostId peer) {
+    pending_death_mask_.fetch_or(1ULL << (peer & 63u), std::memory_order_acq_rel);
+  }
+  // Executes any pending host-death recovery: bumps the membership epoch,
+  // broadcasts it, repairs the directory shard (copyset repair, shard
+  // adoption, lock/barrier cleanup), and kicks parked waiters so they re-send
+  // against the new membership. Runs on the server thread each loop
+  // iteration; the simulator calls it directly between steps so recovery is
+  // deterministic. Returns true if a death was processed.
+  bool ProcessPendingDeaths();
+
+  // Per-attempt reply deadline for idempotent-fetch attempt `attempt`
+  // (0-based): request_timeout_ms * retry_backoff_base^attempt, capped at
+  // retry_backoff_max_ms, with seeded ±retry_jitter_pct% jitter. Pure
+  // function of (cfg, host, attempt) so a run's retry schedule is
+  // reproducible; exposed for tests.
+  static uint64_t RetryTimeoutMs(const DsmConfig& cfg, HostId host, uint32_t attempt);
+
+  // Recovery counters (also exported as dsm.* in SnapshotMetrics).
+  uint64_t epoch_bumps() const { return epoch_bumps_.load(std::memory_order_relaxed); }
+  uint64_t shards_adopted() const { return shards_adopted_.load(std::memory_order_relaxed); }
+  uint64_t copyset_repairs() const { return copyset_repairs_.load(std::memory_order_relaxed); }
+  uint64_t minipages_lost() const { return minipages_lost_.load(std::memory_order_relaxed); }
+  // True once this host has learned minipage `id` is permanently lost.
+  bool IsLost(uint32_t id) const {
+    std::lock_guard<std::mutex> lock(lost_mu_);
+    return lost_minipages_.count(id) != 0;
+  }
 
   // Registers the calling thread (assigns its wait slot). Implicit on first
   // use; exposed for tests.
@@ -254,9 +316,43 @@ class DsmNode {
   Result<MsgHeader> AwaitReply(uint32_t slot, uint32_t gen, uint64_t timeout_ms,
                                const char* what);
 
-  // Peer-down event (from the transport or a send failure): aborts every
-  // outstanding wait unless the node is already draining at teardown.
+  // Peer-down event (from the transport or a send failure): schedules
+  // recovery when the death is recoverable, otherwise aborts every
+  // outstanding wait — unless the node is already draining at teardown.
   void OnPeerDown(HostId peer);
+
+  // ---- Membership / recovery machinery (server thread unless noted) ------
+
+  // Owning shard for `id` under the current live set.
+  HostId LiveManagerOf(uint32_t id) const {
+    return config_.ManagerOfLive(id, live_mask());
+  }
+  // Merges (epoch, dead mask) into local membership; on change, repairs the
+  // directory for each newly dead host, kicks waiters, and drains deferred
+  // messages. `broadcast` additionally announces the new membership to every
+  // live peer (the detector path).
+  void ApplyMembership(uint32_t epoch, uint64_t dead, bool broadcast);
+  void RepairAfterDeath(HostId dead);
+  void DrainDeferred();
+  // App-thread side of recovery: blocks (bounded by sync_timeout_ms) until
+  // the membership epoch advances past `epoch_before`, so an operation whose
+  // send failed against a dying peer can retry under the new membership.
+  bool AwaitMembershipChange(uint32_t epoch_before);
+  // Answers a request for a lost minipage with a kFlagAbort data reply.
+  void ReplyLost(const MsgHeader& h);
+  // Copyset rebuild for an adopted id (geometry travels in `h`).
+  void StartCopysetRebuild(const MsgHeader& h);
+  void FinishCopysetRebuild(MinipageId id);
+  void HandleCopysetQuery(const MsgHeader& h);
+  void MgrHandleCopysetReply(const MsgHeader& h);
+  // Adopted-lock holder probe.
+  bool LockNeedsProbe(uint32_t lock_id, const LockEntry& l) const;
+  void StartLockProbe(uint32_t lock_id);
+  void FinishLockProbe(uint32_t lock_id);
+  void HandleLockProbe(const MsgHeader& h);
+  void MgrHandleLockProbeReply(const MsgHeader& h);
+  // Releases the barrier's oldest round once every live host has arrived.
+  void MaybeReleaseBarrier();
 
   // Logs the liveness report and returns `cause` annotated with `op`.
   Status LivenessFailure(const char* op, const Status& cause);
@@ -310,6 +406,24 @@ class DsmNode {
   std::atomic<uint64_t> timeout_retries_{0};
   std::atomic<uint64_t> stale_replies_{0};
 
+  // Membership state. Epoch and masks are atomics because app threads route
+  // by them; all mutation happens on the server thread (or the sim driver).
+  std::atomic<uint32_t> member_epoch_{0};
+  std::atomic<uint64_t> dead_mask_{0};
+  std::atomic<uint64_t> pending_death_mask_{0};
+  std::deque<MsgHeader> deferred_;  // server thread only: messages from a
+                                    // newer epoch, held until the bump lands
+  mutable std::mutex member_mu_;
+  std::condition_variable member_cv_;
+  mutable std::mutex held_mu_;
+  std::set<uint32_t> held_locks_;  // locks this host currently holds (probe answers)
+  mutable std::mutex lost_mu_;
+  std::set<uint32_t> lost_minipages_;  // ids learned permanently lost
+  std::atomic<uint64_t> epoch_bumps_{0};
+  std::atomic<uint64_t> shards_adopted_{0};
+  std::atomic<uint64_t> copyset_repairs_{0};
+  std::atomic<uint64_t> minipages_lost_{0};
+
   // Lock-free event counters (relaxed-atomic fields; see stats.h). The mutex
   // guards only the epoch bookkeeping closed at barriers.
   HostCounters counters_;
@@ -325,6 +439,7 @@ class DsmNode {
   Histogram* write_fault_ns_ = nullptr;
   Histogram* barrier_ns_ = nullptr;      // barrier entry to release
   Histogram* lock_ns_ = nullptr;         // lock request to grant
+  Histogram* recovery_ns_ = nullptr;     // host-death recovery, detect to done
 
   std::atomic<uint64_t> bounced_{0};
 };

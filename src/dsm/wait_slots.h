@@ -106,9 +106,16 @@ class WaitSlots {
           s.replies.pop_front();
           // Cleared in the same critical section as the pop, so an observer
           // never sees "in wait, no reply queued" for a thread that in fact
-          // holds its reply and is running.
+          // holds its reply and is running. A real reply supersedes a
+          // pending kick: the thread is making progress.
           s.in_wait = false;
+          s.has_kick = false;
           return reply;
+        }
+        if (s.has_kick) {
+          s.has_kick = false;
+          s.in_wait = false;
+          return s.kicked;
         }
         // Token without a reply: an abort wake-up; fall through to report it.
         break;
@@ -137,7 +144,13 @@ class WaitSlots {
         const MsgHeader reply = s.replies.front();
         s.replies.pop_front();
         s.in_wait = false;
+        s.has_kick = false;
         return reply;
+      }
+      if (s.has_kick) {
+        s.has_kick = false;
+        s.in_wait = false;
+        return s.kicked;
       }
       // Woken without a reply: abort token — loop re-checks aborted_.
     }
@@ -173,16 +186,44 @@ class WaitSlots {
 
   bool aborted() const { return aborted_.load(std::memory_order_acquire); }
 
+  // Wakes every *currently parked* waiter once with `status` (one-shot, not
+  // sticky): that waiter's WaitFor returns `status`; threads not parked and
+  // all future waits are unaffected. The recovery path fires this after a
+  // membership epoch bump so threads waiting on a reply that will never come
+  // (the peer died, or the owning shard moved) re-send against the new
+  // membership immediately instead of waiting out their full timeout.
+  void KickAll(Status status) {
+    for (auto& s : slots_) {
+      bool parked;
+      {
+        std::lock_guard<std::mutex> lock(s.mu);
+        parked = s.in_wait && s.replies.empty();
+        if (parked) {
+          s.kicked = status;
+          s.has_kick = true;
+        }
+      }
+      if (parked) {
+        sem_post(&s.sem);
+      }
+    }
+  }
+
   // True while the thread owning `slot` is parked inside WaitFor with no
-  // reply queued and no abort pending — i.e. it cannot make progress until
-  // the next Post. The deterministic simulator's quiescence predicate; sound
-  // because in_wait is cleared in the same critical section that pops a
-  // reply, so a running thread is never reported blocked.
+  // reply queued, no kick pending, and no abort pending — i.e. it cannot
+  // make progress until the next Post. The deterministic simulator's
+  // quiescence predicate; sound because in_wait is cleared in the same
+  // critical section that pops a reply, so a running thread is never
+  // reported blocked. A pending kick counts as progress: the wake token is
+  // already posted, the thread just hasn't been scheduled yet — reporting it
+  // blocked would let the simulator declare a deadlock in the window between
+  // KickAll and the woken thread's re-send.
   bool WaiterBlocked(uint32_t slot) const {
     MP_CHECK(slot < kMaxSlots);
     const Slot& s = slots_[slot];
     std::lock_guard<std::mutex> lock(s.mu);
-    return s.in_wait && s.replies.empty() && !aborted_.load(std::memory_order_acquire);
+    return s.in_wait && s.replies.empty() && !s.has_kick &&
+           !aborted_.load(std::memory_order_acquire);
   }
 
   Status abort_status() const {
@@ -195,7 +236,9 @@ class WaitSlots {
     sem_t sem;
     mutable std::mutex mu;
     std::deque<MsgHeader> replies;
-    bool in_wait = false;  // guarded by mu
+    bool in_wait = false;   // guarded by mu
+    bool has_kick = false;  // guarded by mu; one-shot KickAll wake pending
+    Status kicked;          // guarded by mu; status that wake reports
   };
 
   // Clears in_wait on a non-reply exit from WaitFor.

@@ -40,6 +40,16 @@ const char* MsgTypeName(MsgType t) {
       return "DIFF_ACK";
     case MsgType::kShutdown:
       return "SHUTDOWN";
+    case MsgType::kEpochBump:
+      return "EPOCH_BUMP";
+    case MsgType::kCopysetQuery:
+      return "COPYSET_QUERY";
+    case MsgType::kCopysetReply:
+      return "COPYSET_REPLY";
+    case MsgType::kLockProbe:
+      return "LOCK_PROBE";
+    case MsgType::kLockProbeReply:
+      return "LOCK_PROBE_REPLY";
   }
   return "UNKNOWN";
 }

@@ -47,6 +47,14 @@ enum class MsgType : uint8_t {
   kDiffUpdate,     // LRC: run-length diff flushed to a minipage's home
   kDiffAck,        // LRC: home applied the diff
   kShutdown,
+  // Membership / recovery protocol (host-death survival).
+  kEpochBump,       // membership epoch advanced: minipage = new epoch,
+                    // privbase = cumulative dead-host mask
+  kCopysetQuery,    // adopting shard asks "do you hold a copy?" (translated
+                    // geometry travels in the header, like a forward)
+  kCopysetReply,    // answer: pgsize = local Protection value for the id
+  kLockProbe,       // adopting shard asks "do you hold lock <minipage>?"
+  kLockProbeReply,  // answer: kFlagUpgrade set when the lock is held locally
 };
 
 const char* MsgTypeName(MsgType t);
@@ -60,6 +68,31 @@ inline constexpr uint8_t kFlagBounced = 0x10;   // returned unserved to manager
 inline constexpr uint8_t kFlagAbort = 0x20;     // push aborted by the pusher
 inline constexpr uint8_t kFlagWriteFetch = 0x40;  // LRC: fetch opens for writing
 inline constexpr uint8_t kFlagHomeGrant = 0x80;   // LRC: requester is the home
+
+// Membership-epoch tag, packed into the high bits of MsgHeader::from. Host
+// ids are capped at 64 (the copyset is a 64-bit mask), so a HostId needs only
+// the low 6 bits of the uint16 field; the remaining 10 carry the sender's
+// membership epoch mod 1024. The tag is stamped on the wire copy at send time
+// and stripped before dispatch, so protocol logic only ever sees pure host
+// ids — and the header stays at 32 bytes.
+inline constexpr uint16_t kHostIdMask = 0x3f;
+inline constexpr uint32_t kEpochTagShift = 6;
+inline constexpr uint32_t kEpochTagMask = 0x3ff;
+
+inline uint16_t PackFromEpoch(HostId from, uint32_t epoch) {
+  return static_cast<uint16_t>((from & kHostIdMask) |
+                               ((epoch & kEpochTagMask) << kEpochTagShift));
+}
+inline HostId FromHost(uint16_t from) { return from & kHostIdMask; }
+inline uint32_t FromEpochTag(uint16_t from) { return from >> kEpochTagShift; }
+
+// True when tag `t` is older than tag `now` under mod-1024 wraparound: the
+// signed circular distance (now - t) lands in (0, 512). Equal tags and tags
+// ahead of `now` (a peer that bumped first) are not stale.
+inline bool EpochTagStale(uint32_t t, uint32_t now) {
+  const uint32_t d = (now - t) & kEpochTagMask;
+  return d != 0 && d < (kEpochTagMask + 1) / 2;
+}
 
 // Canonical shared address: (application view, offset within the memory
 // object). Identical on every host, so no pointer translation is needed

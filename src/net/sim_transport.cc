@@ -40,6 +40,10 @@ SimNet::SimNet(uint16_t num_hosts, uint64_t seed, SimOptions options)
       staged_(num_hosts) {
   MP_CHECK(num_hosts > 0);
   MP_CHECK(options_.min_delay_us <= options_.max_delay_us);
+  pair_rng_.reserve(queues_.size());
+  for (size_t pair = 0; pair < queues_.size(); ++pair) {
+    pair_rng_.emplace_back(seed ^ (0x9e3779b97f4a7c15ULL * (pair + 1)));
+  }
   endpoints_.reserve(num_hosts);
   for (uint16_t h = 0; h < num_hosts; ++h) {
     endpoints_.push_back(std::make_unique<SimEndpoint>(this, h));
@@ -85,12 +89,35 @@ void SimNet::Drop(HostId dst, MsgType type, uint32_t count) {
   drop_rules_.push_back(DropRule{dst, type, count});
 }
 
+void SimNet::KillHost(HostId v) {
+  MP_CHECK(v < num_hosts_);
+  std::lock_guard<std::mutex> lock(mu_);
+  dead_mask_ |= 1ULL << v;
+  for (uint16_t peer = 0; peer < num_hosts_; ++peer) {
+    dropped_ += queues_[PairIndex(v, peer)].size();
+    dropped_ += queues_[PairIndex(peer, v)].size();
+    queues_[PairIndex(v, peer)].clear();
+    queues_[PairIndex(peer, v)].clear();
+  }
+  dropped_ += staged_[v].size();
+  staged_[v].clear();
+}
+
+uint64_t SimNet::dead_mask() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dead_mask_;
+}
+
 Status SimNet::SendFrom(HostId from, HostId to, const MsgHeader& h, const void* payload,
                         size_t len) {
   if (to >= num_hosts_) {
     return Status::Invalid("SimNet: bad destination host");
   }
   std::lock_guard<std::mutex> lock(mu_);
+  if (((dead_mask_ >> from) & 1u) != 0 || ((dead_mask_ >> to) & 1u) != 0) {
+    dropped_++;
+    return Status::Ok();  // dead hosts neither send nor receive
+  }
   for (DropRule& r : drop_rules_) {
     if (r.remaining > 0 && r.dst == to && r.type == h.msg_type()) {
       r.remaining--;
@@ -108,10 +135,11 @@ Status SimNet::SendFrom(HostId from, HostId to, const MsgHeader& h, const void* 
   }
   // Jitter explores interleavings; the pair-tail clamp keeps each (sender,
   // receiver) channel FIFO regardless of the draws.
-  const uint64_t jitter = options_.min_delay_us == options_.max_delay_us
-                              ? options_.min_delay_us
-                              : rng_.Range(options_.min_delay_us, options_.max_delay_us);
   const size_t pair = PairIndex(from, to);
+  const uint64_t jitter =
+      options_.min_delay_us == options_.max_delay_us
+          ? options_.min_delay_us
+          : pair_rng_[pair].Range(options_.min_delay_us, options_.max_delay_us);
   const uint64_t arrival = std::max(now_us_ + jitter, pair_tail_us_[pair]);
   pair_tail_us_[pair] = arrival;
   m.arrival_us = arrival;

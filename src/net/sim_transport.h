@@ -70,6 +70,15 @@ class SimNet {
   // to `dst` are swallowed at enqueue time.
   void Drop(HostId dst, MsgType type, uint32_t count);
 
+  // Kills host `v` at the current virtual time: every queued or staged
+  // message from or to it vanishes (in-flight datagrams die with the host),
+  // and all future sends to or from it are silently swallowed. Sends to a
+  // dead host still return Ok — a datagram fabric reports no delivery
+  // failure — so the failure is only observable as missing replies, exactly
+  // the signal the node-side failure detector works from.
+  void KillHost(HostId v);
+  uint64_t dead_mask() const;
+
   // Messages scheduled + dropped so far (diagnostics).
   uint64_t delivered() const;
   uint64_t dropped() const;
@@ -101,10 +110,17 @@ class SimNet {
   const SimOptions options_;
 
   mutable std::mutex mu_;
-  Rng rng_;
+  Rng rng_;  // scheduler-side draws (tie-breaks) — driver thread only
+  // Latency jitter draws come from a per-pair stream, so a message's arrival
+  // time depends only on its position in its own (sender, receiver) channel —
+  // not on how concurrent senders on other pairs interleave their enqueues.
+  // Without this, the membership-recovery kick (which wakes several hosts'
+  // workers at once) would make delivery schedules race-dependent.
+  std::vector<Rng> pair_rng_;
   uint64_t now_us_ = 0;
   uint64_t delivered_ = 0;
   uint64_t dropped_ = 0;
+  uint64_t dead_mask_ = 0;
   std::vector<std::deque<SimMsg>> queues_;      // indexed by PairIndex
   std::vector<uint64_t> pair_tail_us_;          // last arrival per pair (FIFO clamp)
   std::vector<std::deque<SimMsg>> staged_;      // per destination

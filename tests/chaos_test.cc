@@ -13,6 +13,7 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <memory>
 #include <thread>
 
@@ -172,6 +173,93 @@ TEST(Chaos, DroppedFetchReplyRecoversByRetry) {
   }
   EXPECT_GE(elapsed_ms, cfg.request_timeout_ms - 1);
   EXPECT_LT(elapsed_ms, kDetectBudgetMs);
+  EXPECT_TRUE(pair.n1->health().ok());
+}
+
+// ---- Retry pacing: exponential backoff with seeded jitter ------------------
+
+// The schedule is a pure function of (config, host, attempt): attempt 0 is
+// the configured timeout exactly, later attempts grow by retry_backoff_base
+// within ±retry_jitter_pct, the cap bounds every attempt, and the same seed
+// always reproduces the same schedule.
+TEST(Chaos, RetryBackoffScheduleIsExponentialSeededAndCapped) {
+  DsmConfig cfg;
+  cfg.request_timeout_ms = 100;
+  cfg.retry_backoff_base = 2.0;
+  cfg.retry_backoff_max_ms = 1000;
+  cfg.retry_jitter_pct = 20;
+
+  // Attempt 0 carries no jitter: the common no-retry path keeps its exact
+  // configured latency budget.
+  EXPECT_EQ(DsmNode::RetryTimeoutMs(cfg, 0, 0), 100u);
+  EXPECT_EQ(DsmNode::RetryTimeoutMs(cfg, 5, 0), 100u);
+
+  // Later attempts double, give or take the jitter band, until the cap.
+  uint64_t expected = 100;
+  for (uint32_t attempt = 1; attempt <= 6; ++attempt) {
+    expected = std::min<uint64_t>(expected * 2, cfg.retry_backoff_max_ms);
+    const uint64_t span = expected * cfg.retry_jitter_pct / 100;
+    for (HostId host = 0; host < 8; ++host) {
+      const uint64_t ms = DsmNode::RetryTimeoutMs(cfg, host, attempt);
+      EXPECT_GE(ms, expected - span) << "host " << host << " attempt " << attempt;
+      EXPECT_LE(ms, expected + span) << "host " << host << " attempt " << attempt;
+      // Deterministic: the seeded stream replays identically.
+      EXPECT_EQ(ms, DsmNode::RetryTimeoutMs(cfg, host, attempt));
+    }
+  }
+
+  // The jitter decorrelates hosts: a cluster that timed out together must
+  // not re-fire in lockstep. At least two of eight hosts disagree.
+  bool differs = false;
+  const uint64_t h0 = DsmNode::RetryTimeoutMs(cfg, 0, 1);
+  for (HostId host = 1; host < 8 && !differs; ++host) {
+    differs = DsmNode::RetryTimeoutMs(cfg, host, 1) != h0;
+  }
+  EXPECT_TRUE(differs) << "every host retries at the same instant";
+
+  // base = 1.0 with jitter 0 reproduces the historical fixed interval.
+  cfg.retry_backoff_base = 1.0;
+  cfg.retry_jitter_pct = 0;
+  for (uint32_t attempt = 0; attempt < 4; ++attempt) {
+    EXPECT_EQ(DsmNode::RetryTimeoutMs(cfg, 3, attempt), 100u);
+  }
+}
+
+// Failure-driven proof of the spacing: with two consecutive data replies
+// dropped, the fault path must wait out attempt 0's full window, then
+// attempt 1's doubled window, before the third send succeeds — so the
+// end-to-end latency is bounded below by the sum of the first two windows.
+TEST(Chaos, DroppedRepliesBackOffBeforeEachResend) {
+  DsmConfig cfg = ChaosConfig(2);
+  cfg.enable_ack = false;  // retries need the manager to re-serve (see above)
+  cfg.request_timeout_ms = 100;
+  cfg.max_request_retries = 3;
+  cfg.retry_backoff_base = 2.0;
+  cfg.retry_jitter_pct = 0;  // deterministic spacing for the timing assert
+  FaultyPair pair(cfg);
+
+  Result<GlobalAddr> addr = pair.n0->SharedMalloc(32 * sizeof(int));
+  ASSERT_TRUE(addr.ok()) << addr.status().ToString();
+  int* data0 = reinterpret_cast<int*>(pair.n0->AppPtr(*addr));
+  for (int i = 0; i < 32; ++i) {
+    data0[i] = 8800 + i;
+  }
+
+  pair.t1.DropReceives(kAnyHost, MsgType::kReadReply, 2);
+  const uint64_t t0 = MonotonicNowNs();
+  ASSERT_TRUE(pair.n1->OnFault(addr->view, addr->offset, /*is_write=*/false));
+  const uint64_t elapsed_ms = (MonotonicNowNs() - t0) / 1000000;
+
+  EXPECT_EQ(pair.t1.receives_dropped(), 2u);
+  EXPECT_EQ(pair.n1->timeout_retries(), 2u);
+  const uint64_t floor_ms = DsmNode::RetryTimeoutMs(cfg, 1, 0) +
+                            DsmNode::RetryTimeoutMs(cfg, 1, 1);  // 100 + 200
+  EXPECT_GE(elapsed_ms, floor_ms - 2) << "retries fired faster than the backoff";
+  EXPECT_LT(elapsed_ms, kDetectBudgetMs);
+  const int* data1 = reinterpret_cast<const int*>(pair.n1->AppPtr(*addr));
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_EQ(data1[i], 8800 + i) << "index " << i;
+  }
   EXPECT_TRUE(pair.n1->health().ok());
 }
 

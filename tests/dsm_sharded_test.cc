@@ -7,14 +7,20 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <memory>
+#include <thread>
 #include <vector>
 
+#include "src/common/time_util.h"
 #include "src/dsm/cluster.h"
 #include "src/dsm/directory.h"
 #include "src/dsm/global_ptr.h"
 #include "src/dsm/node.h"
 #include "src/lrc/lrc_cluster.h"
+#include "src/net/faulty_transport.h"
+#include "src/net/inproc_transport.h"
 
 namespace millipage {
 namespace {
@@ -201,6 +207,72 @@ TEST(Sharded, LrcLocksAndBarriers) {
     }
     node.Unlock(0);
   });
+}
+
+// ---- Failover: a survivor adopts the dead shard's lock and barrier queues --
+
+// Host 2 is both lock 2's shard (2 mod 3) and the barrier shard
+// (kBarrierShardId mod 3). It dies while host 0 holds the lock and host 1 is
+// queued waiting for it; the adopting shard must reconstruct the holder by
+// probing the live hosts, adopt the re-sent waiter, and hand the lock over on
+// release — then run a full barrier round for the two-host live quorum.
+TEST(Sharded, AdoptsDeadShardLockAndBarrierQueues) {
+  DsmConfig cfg = ShardedCfg(3);
+  cfg.request_timeout_ms = 200;
+  cfg.max_request_retries = 3;
+  cfg.sync_timeout_ms = 5000;
+  InProcTransport inner(3);
+  FaultyTransport t0(&inner);
+  FaultyTransport t1(&inner);
+  FaultyTransport t2(&inner);
+  FaultyTransport* ts[3] = {&t0, &t1, &t2};
+  std::unique_ptr<DsmNode> nodes[3];
+  for (HostId h = 0; h < 3; ++h) {
+    Result<std::unique_ptr<DsmNode>> r = DsmNode::Create(cfg, h, ts[h]);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    nodes[h] = std::move(*r);
+    nodes[h]->Start();
+  }
+
+  constexpr uint32_t kLock = 2;  // 2 mod 3 == 2: serviced by the doomed shard
+  ASSERT_TRUE(nodes[0]->TryLock(kLock).ok());
+
+  // Host 1 queues at shard 2 for the held lock, then the shard dies under it.
+  // The membership kick re-sends the acquire to the adopter, which probes the
+  // live hosts, finds host 0 holding, and re-queues host 1.
+  Status waiter_st;
+  std::thread waiter([&] { waiter_st = nodes[1]->TryLock(kLock); });
+  ::usleep(100 * 1000);  // let the acquire reach shard 2's queue
+  t0.KillPeer(2);
+  t1.KillPeer(2);
+  const uint64_t start = MonotonicNowNs();
+  while (nodes[0]->member_epoch() < 1 || nodes[1]->member_epoch() < 1) {
+    ASSERT_LT((MonotonicNowNs() - start) / 1000000, 5000u) << "no epoch bump";
+    ::usleep(1000);
+  }
+  ::usleep(50 * 1000);  // give the adopter's holder probe time to resolve
+  nodes[0]->Unlock(kLock);  // release routes to the adopter, not the corpse
+  waiter.join();
+  EXPECT_TRUE(waiter_st.ok()) << waiter_st.ToString();
+  nodes[1]->Unlock(kLock);
+
+  // The barrier queue moved too: a full round completes on the live quorum.
+  Status b0, b1;
+  std::thread h0([&] { b0 = nodes[0]->TryBarrier(); });
+  std::thread h1([&] { b1 = nodes[1]->TryBarrier(); });
+  h0.join();
+  h1.join();
+  EXPECT_TRUE(b0.ok()) << b0.ToString();
+  EXPECT_TRUE(b1.ok()) << b1.ToString();
+  EXPECT_TRUE(nodes[0]->health().ok());
+  EXPECT_TRUE(nodes[1]->health().ok());
+
+  for (auto& n : nodes) {
+    n->BeginShutdown();
+  }
+  for (int h = 2; h >= 0; --h) {
+    nodes[h]->Stop();
+  }
 }
 
 // ---- Copyset hardening (the bugs sharding exposed) -------------------------

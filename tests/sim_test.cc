@@ -218,6 +218,98 @@ TEST(SimInjectedBug, SameScheduleCleanWithoutFailpoint) {
   EXPECT_TRUE(report.ok) << report.FormatViolation(r.history);
 }
 
+// ---- Host-death recovery sweeps --------------------------------------------
+
+SimWorkload KillWorkload() {
+  SimWorkload w = SweepWorkload();
+  w.policy = ManagerPolicy::kSharded;  // failover needs a sharded directory
+  w.kill_one_host = true;
+  return w;
+}
+
+// One seed with a host killed mid-run: the survivors must finish their
+// scripts (per-minipage loss is a skip, never a cluster abort), the kill must
+// have hit a non-zero host, and the recorded history must pass every
+// invariant — including epoch monotonicity and the epoch-aware shard
+// affinity that legitimizes adopted-shard service.
+void RunKillAndCheck(uint64_t seed, const SimWorkload& w) {
+  SimResult r = RunSim(seed, w);
+  ASSERT_TRUE(r.status.ok()) << "seed " << seed << ": " << r.status.ToString() << "\n"
+                             << r.FormattedHistory();
+  ASSERT_TRUE(r.killed) << "seed " << seed << ": the kill never fired";
+  ASSERT_NE(r.killed_host, 0) << "seed " << seed << " killed the allocator host";
+  const CheckReport report = CheckHistory(r.history, w.hosts, /*sharded=*/true);
+  ASSERT_TRUE(report.ok) << "seed " << seed << " (killed host " << r.killed_host
+                         << "):\n"
+                         << report.FormatViolation(r.history);
+}
+
+// The headline chaos sweep: >= 50 seeds, each killing one non-zero host at a
+// seeded point; survivors complete checker-clean.
+TEST(SimKillHost, FiftySeedsSurvivorsHoldInvariants) {
+  const SimWorkload w = KillWorkload();
+  uint64_t runs_with_loss = 0;
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    RunKillAndCheck(seed, w);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+    runs_with_loss += RunSim(seed, w).minipages_lost > 0 ? 1 : 0;
+  }
+  // Sole-copy loss should occur in some (not all) schedules — it is the
+  // per-minipage degraded path, and the sweep must cover both outcomes.
+  printf("[sim] kill sweep: %llu/50 runs lost at least one minipage\n",
+         (unsigned long long)runs_with_loss);
+}
+
+// Host death under heavier write contention (fewer cells, no locks).
+TEST(SimKillHost, ContendedCellsSurvivorsHoldInvariants) {
+  SimWorkload w;
+  w.hosts = 4;
+  w.cells = 2;
+  w.rounds = 2;
+  w.ops_per_round = 3;
+  w.use_locks = false;
+  w.policy = ManagerPolicy::kSharded;
+  w.kill_one_host = true;
+  for (uint64_t seed = 2000; seed < 2020; ++seed) {
+    RunKillAndCheck(seed, w);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+// Exact replay of one kill schedule, seed taken from the environment — the
+// tool a failing kill sweep points at.
+TEST(SimKillHost, ReplayEnvSeed) {
+  const char* env = std::getenv("MILLIPAGE_SIM_SEED");
+  if (env == nullptr) {
+    GTEST_SKIP() << "set MILLIPAGE_SIM_SEED=<seed> to replay a kill schedule";
+  }
+  const uint64_t seed = std::strtoull(env, nullptr, 10);
+  const SimResult r = RunSim(seed, KillWorkload());
+  printf("[sim] kill replay seed=%llu status=%s killed_host=%u\n%s",
+         (unsigned long long)seed, r.status.ToString().c_str(), r.killed_host,
+         r.FormattedHistory().c_str());
+  RunKillAndCheck(seed, KillWorkload());
+}
+
+// Determinism must survive the kill: detector injection, epoch bumps, kicked
+// re-sends and copyset rebuilds are all part of the scheduled stream.
+TEST(SimKillHost, SameSeedSameHistory) {
+  const SimWorkload w = KillWorkload();
+  for (uint64_t seed : {3ull, 17ull, 29ull}) {
+    SimResult a = RunSim(seed, w);
+    SimResult b = RunSim(seed, w);
+    ASSERT_TRUE(a.status.ok()) << a.status.ToString();
+    ASSERT_TRUE(b.status.ok()) << b.status.ToString();
+    ASSERT_TRUE(a.killed);
+    EXPECT_EQ(a.killed_host, b.killed_host) << "seed " << seed;
+    EXPECT_EQ(a.FormattedHistory(), b.FormattedHistory()) << "seed " << seed;
+  }
+}
+
 // Unit tests for the checker itself on hand-built histories.
 TEST(HistoryChecker, FlagsTwoWriters) {
   std::vector<TraceEvent> h(2);
@@ -271,6 +363,67 @@ TEST(HistoryChecker, FlagsWrongShard) {
   EXPECT_NE(bad.message.find("shard"), std::string::npos) << bad.message;
   h[0].host = 1;
   EXPECT_TRUE(CheckShardAffinity(h, 4).ok);
+}
+
+TEST(HistoryChecker, FlagsEpochRegression) {
+  std::vector<TraceEvent> h(2);
+  h[0] = {0, TraceEventKind::kEpochBump, 0, ~0u, 0, 2, 0x4};
+  h[1] = {1, TraceEventKind::kEpochBump, 0, ~0u, 0, 1, 0x4};  // epoch went back
+  const CheckReport r = CheckEpochMonotonicity(h, 3);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("backwards"), std::string::npos) << r.message;
+}
+
+TEST(HistoryChecker, FlagsShrinkingDeadMask) {
+  std::vector<TraceEvent> h(2);
+  h[0] = {0, TraceEventKind::kEpochBump, 0, ~0u, 0, 1, 0x6};
+  h[1] = {1, TraceEventKind::kEpochBump, 0, ~0u, 0, 2, 0x2};  // host 2 revived
+  const CheckReport r = CheckEpochMonotonicity(h, 3);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("back from the dead"), std::string::npos) << r.message;
+}
+
+TEST(HistoryChecker, FlagsPreDeathGrantHonoredAfterBump) {
+  // Shard host 1 grants minipage 3 to host 0 at epoch 0; host 0 then bumps to
+  // epoch 1 (host 1 died) but still completes the fault against that grant.
+  std::vector<TraceEvent> h(3);
+  h[0] = {0, TraceEventKind::kMgrReadGrant, 1, 3, 0, 0, 0};
+  h[1] = {1, TraceEventKind::kEpochBump, 0, ~0u, 0, 1, 0x2};
+  h[2] = {2, TraceEventKind::kFaultEnd, 0, 3, 0, 0, 0};
+  const CheckReport r = CheckEpochMonotonicity(h, 2);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("pre-death grant"), std::string::npos) << r.message;
+  // The same completion is clean when the grant was traced after the
+  // requester's own bump: that is what a kicked retry produces.
+  std::vector<TraceEvent> ok(4);
+  ok[0] = {0, TraceEventKind::kEpochBump, 0, ~0u, 0, 1, 0x4};
+  ok[1] = {1, TraceEventKind::kEpochBump, 1, ~0u, 0, 1, 0x4};
+  ok[2] = {2, TraceEventKind::kMgrReadGrant, 1, 3, 0, 0, 0};
+  ok[3] = {3, TraceEventKind::kFaultEnd, 0, 3, 0, 0, 0};
+  EXPECT_TRUE(CheckEpochMonotonicity(ok, 3).ok);
+}
+
+TEST(HistoryChecker, FlagsSelfDeclaredDeath) {
+  std::vector<TraceEvent> h(1);
+  h[0] = {0, TraceEventKind::kEpochBump, 1, ~0u, 0, 1, 0x2};  // host 1 says "1 is dead"
+  const CheckReport r = CheckEpochMonotonicity(h, 2);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("itself"), std::string::npos) << r.message;
+}
+
+TEST(HistoryChecker, ShardAffinityFollowsFailover) {
+  // Minipage 5 with 4 hosts homes on shard 1. After a bump declaring host 1
+  // dead, the linear-probe successor (host 2) is the legitimate server — and
+  // host 1's old slot is no longer legitimate.
+  std::vector<TraceEvent> pre(1);
+  pre[0] = {0, TraceEventKind::kMgrReadGrant, 2, 5, 0, 0, 0};
+  ASSERT_FALSE(CheckShardAffinity(pre, 4).ok);
+  std::vector<TraceEvent> post(2);
+  post[0] = {0, TraceEventKind::kEpochBump, 2, ~0u, 0, 1, 0x2};
+  post[1] = {1, TraceEventKind::kMgrReadGrant, 2, 5, 0, 0, 0};
+  EXPECT_TRUE(CheckShardAffinity(post, 4).ok);
+  post[1].host = 1;  // the dead shard serving after the bump is a violation
+  EXPECT_FALSE(CheckShardAffinity(post, 4).ok);
 }
 
 TEST(HistoryChecker, FlagsStaleRead) {
