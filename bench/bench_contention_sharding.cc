@@ -101,6 +101,66 @@ ContentionResult RunContention(uint16_t hosts, ManagerPolicy policy, bool conten
   return out;
 }
 
+// Copyset fan-out: every host reads one shared minipage (building an N-host
+// read copyset), then a single writer faults it — paying one invalidation
+// round that must reach all N-1 readers and collect their replies before the
+// write is granted. Scaling hosts scales the copyset, so the per-write cost
+// curve is the price of wide sharing that HostSet-backed copysets must keep
+// linear (the old fixed-mask ceiling capped this curve at 64).
+ContentionResult RunFanout(uint16_t hosts, ManagerPolicy policy) {
+  auto cluster = DsmCluster::Create(Cfg(hosts, policy));
+  MP_CHECK(cluster.ok()) << cluster.status().ToString();
+  GlobalPtr<int> shared;
+  (*cluster)->RunOnManager([&](DsmNode&) {
+    shared = SharedAlloc<int>(16);
+    shared[0] = 0;
+  });
+  const uint64_t t0 = MonotonicNowNs();
+  (*cluster)->RunParallel([&](DsmNode& node, HostId host) {
+    node.Barrier();
+    for (int r = 0; r < g_rounds; ++r) {
+      // Everyone reads: the minipage's copyset grows to all N hosts.
+      volatile int sink = shared[0];
+      (void)sink;
+      node.Barrier();
+      // One (rotating) writer invalidates the whole copyset.
+      if (r % hosts == host) {
+        shared[0] = shared[0] + 1;
+      }
+      node.Barrier();
+    }
+  });
+  ContentionResult out;
+  out.wall_ms = static_cast<double>(MonotonicNowNs() - t0) / 1e6;
+  for (uint16_t h = 0; h < hosts; ++h) {
+    Directory* dir = (*cluster)->node(h).directory();
+    if (dir == nullptr) {
+      continue;
+    }
+    out.active_shards++;
+    out.requests_served += dir->counters().requests_served;
+    out.remote_routed += dir->counters().remote_routed;
+  }
+  return out;
+}
+
+void ReportFanout(BenchReporter& reporter, uint16_t hosts, ManagerPolicy policy) {
+  const ContentionResult r = RunFanout(hosts, policy);
+  const char* policy_name = policy == ManagerPolicy::kSharded ? "sharded" : "centralized";
+  std::printf("  %-8u %-12s %-12s %9.1f %10lu %8lu %7d %11s\n", hosts, "fanout",
+              policy_name, r.wall_ms, static_cast<unsigned long>(r.requests_served),
+              static_cast<unsigned long>(r.remote_routed), r.active_shards, "-");
+  BenchResult row;
+  row.name = "fanout";
+  row.params = "hosts=" + std::to_string(hosts) + " policy=" + policy_name;
+  row.iterations = static_cast<uint64_t>(g_rounds);
+  row.ns_per_op = r.wall_ms * 1e6 / g_rounds;
+  row.values["requests_served"] = static_cast<double>(r.requests_served);
+  row.values["remote_routed"] = static_cast<double>(r.remote_routed);
+  row.values["copyset_size"] = hosts;
+  reporter.Add(std::move(row));
+}
+
 void Report(BenchReporter& reporter, uint16_t hosts, const char* mode, ManagerPolicy policy,
             bool contended) {
   const ContentionResult r = RunContention(hosts, policy, contended);
@@ -145,9 +205,18 @@ int main(int argc, char** argv) {
     Report(reporter, hosts, "uncontended", ManagerPolicy::kCentralized, /*contended=*/false);
     Report(reporter, hosts, "uncontended", ManagerPolicy::kSharded, /*contended=*/false);
   }
+  // Copyset fan-out: per-write invalidation cost as the read copyset widens.
+  const std::vector<uint16_t> fanout_hosts =
+      env.smoke() ? std::vector<uint16_t>{2, 8} : std::vector<uint16_t>{2, 4, 8, 16, 32};
+  for (uint16_t hosts : fanout_hosts) {
+    ReportFanout(reporter, hosts, ManagerPolicy::kCentralized);
+    ReportFanout(reporter, hosts, ManagerPolicy::kSharded);
+  }
   PrintNote("centralized runs one shard (host 0 serves everything: shards=1, max/mean=1);");
   PrintNote("sharded spreads service across every host — max/mean near 1 means no shard is");
   PrintNote("a hotspot (acceptance: <= 2). 'routed' counts translated requests host 0 handed");
   PrintNote("to the owning shard; the uncontended rows check sharding adds no fast-path tax.");
+  PrintNote("fanout rows: all N hosts read one minipage, one rotating writer invalidates the");
+  PrintNote("N-host copyset per write — the per-op cost curve of wide sharing.");
   return reporter.Finish();
 }

@@ -4,6 +4,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "src/common/host_set.h"
 #include "src/os/protection.h"
 
 namespace millipage {
@@ -18,17 +19,27 @@ CheckReport Violation(size_t index, std::string message) {
   return r;
 }
 
-std::string HostList(uint64_t mask) {
+std::string HostList(const HostSet& set) {
   std::string s;
-  for (uint16_t h = 0; h < 64; ++h) {
-    if ((mask & (1ULL << h)) != 0) {
-      if (!s.empty()) {
-        s += ",";
-      }
-      s += "h" + std::to_string(h);
+  set.ForEach([&](uint32_t h) {
+    if (!s.empty()) {
+      s += ",";
     }
-  }
+    s += "h" + std::to_string(h);
+  });
   return s;
+}
+
+// Decodes one kEpochBump trace event into the newly-dead host it announces.
+// arg2 == 0 means the epoch advanced with no new death (a membership merge);
+// otherwise arg2 is the dead host id + 1. Returns true when a host id was
+// written to *host.
+bool BumpDeadHost(const TraceEvent& e, uint32_t* host) {
+  if (e.arg2 == 0) {
+    return false;
+  }
+  *host = static_cast<uint32_t>(e.arg2 - 1);
+  return true;
 }
 
 }  // namespace
@@ -47,25 +58,25 @@ std::string CheckReport::FormatViolation(const std::vector<TraceEvent>& history)
 }
 
 CheckReport CheckSwmr(const std::vector<TraceEvent>& history, uint16_t num_hosts) {
-  // Per minipage: bitmask of hosts holding ReadOnly / ReadWrite copies,
-  // replayed from the kProtSet stream.
-  std::unordered_map<uint32_t, uint64_t> readers;
-  std::unordered_map<uint32_t, uint64_t> writers;
-  uint64_t dead = 0;
+  // Per minipage: set of hosts holding ReadOnly / ReadWrite copies, replayed
+  // from the kProtSet stream.
+  std::unordered_map<uint32_t, HostSet> readers;
+  std::unordered_map<uint32_t, HostSet> writers;
+  HostSet dead;
   for (size_t i = 0; i < history.size(); ++i) {
     const TraceEvent& e = history[i];
     if (e.kind == TraceEventKind::kEpochBump) {
       // A dead host's copies cease to exist with it: no invalidation will
       // ever reach them, and they can never again be read. Drop them from
       // the model so post-recovery grants are not flagged against ghosts.
-      const uint64_t newly = e.arg2 & ~dead;
-      if (newly != 0) {
-        dead |= e.arg2;
-        for (auto& [id, mask] : readers) {
-          mask &= ~newly;
+      uint32_t d = 0;
+      if (BumpDeadHost(e, &d) && !dead.Contains(d)) {
+        dead.Add(d);
+        for (auto& [id, set] : readers) {
+          set.Remove(d);
         }
-        for (auto& [id, mask] : writers) {
-          mask &= ~newly;
+        for (auto& [id, set] : writers) {
+          set.Remove(d);
         }
       }
       continue;
@@ -76,29 +87,28 @@ CheckReport CheckSwmr(const std::vector<TraceEvent>& history, uint16_t num_hosts
     if (e.host >= num_hosts) {
       return Violation(i, "kProtSet from out-of-range host " + std::to_string(e.host));
     }
-    const uint64_t bit = 1ULL << e.host;
-    uint64_t& rd = readers[e.minipage];
-    uint64_t& wr = writers[e.minipage];
-    rd &= ~bit;
-    wr &= ~bit;
+    HostSet& rd = readers[e.minipage];
+    HostSet& wr = writers[e.minipage];
+    rd.Remove(e.host);
+    wr.Remove(e.host);
     switch (static_cast<Protection>(e.arg1)) {
       case Protection::kNoAccess:
         break;
       case Protection::kReadOnly:
-        rd |= bit;
+        rd.Add(e.host);
         break;
       case Protection::kReadWrite:
-        wr |= bit;
+        wr.Add(e.host);
         break;
       default:
         return Violation(i, "kProtSet with unknown protection value " +
                                 std::to_string(e.arg1));
     }
-    if (__builtin_popcountll(wr) > 1) {
+    if (wr.Count() > 1) {
       return Violation(i, "SWMR: minipage " + std::to_string(e.minipage) +
                               " writable on multiple hosts {" + HostList(wr) + "}");
     }
-    if (wr != 0 && rd != 0) {
+    if (!wr.Empty() && !rd.Empty()) {
       return Violation(i, "SWMR: minipage " + std::to_string(e.minipage) +
                               " writable on {" + HostList(wr) +
                               "} while read copies survive on {" + HostList(rd) +
@@ -137,16 +147,19 @@ CheckReport CheckLockExclusivity(const std::vector<TraceEvent>& history) {
   // Death implicitly releases: a dead holder can never unlock, and when the
   // holder was also the lock's shard no survivor even knows it held the lock
   // (the adopter's probe only finds LIVE holders), so no release is traced.
-  uint64_t dead = 0;
+  HostSet dead;
   for (size_t i = 0; i < history.size(); ++i) {
     const TraceEvent& e = history[i];
     if (e.kind == TraceEventKind::kEpochBump) {
-      dead |= e.arg2;
+      uint32_t d = 0;
+      if (BumpDeadHost(e, &d)) {
+        dead.Add(d);
+      }
       continue;
     }
     if (e.kind == TraceEventKind::kLockGrant) {
       auto [it, inserted] = held.emplace(e.minipage, e.arg1);
-      if (!inserted && (dead & (1ULL << (it->second & 63u))) != 0) {
+      if (!inserted && dead.Contains(static_cast<uint32_t>(it->second))) {
         it->second = e.arg1;  // the old holder died: implicit release
         inserted = true;
       }
@@ -160,7 +173,7 @@ CheckReport CheckLockExclusivity(const std::vector<TraceEvent>& history) {
       if (it == held.end()) {
         // Repair releases a dead holder's lock idempotently; anything else
         // releasing a free lock is a protocol bug.
-        if ((dead & (1ULL << (e.arg1 & 63u))) != 0) {
+        if (dead.Contains(static_cast<uint32_t>(e.arg1))) {
           continue;
         }
         return Violation(i, "lock " + std::to_string(e.minipage) +
@@ -204,14 +217,17 @@ CheckReport CheckShardAffinity(const std::vector<TraceEvent>& history,
                                uint16_t num_hosts) {
   // The owning shard depends on membership: home slot id % num_hosts,
   // linear-probed past dead hosts. Replay the kEpochBump stream to track the
-  // cumulative dead mask in force at each point (the bump is traced before
+  // cumulative dead set in force at each point (the bump is traced before
   // any repair or adopted-id service on the same host, so trace order is
   // sufficient).
-  uint64_t dead = 0;
+  HostSet dead;
   for (size_t i = 0; i < history.size(); ++i) {
     const TraceEvent& e = history[i];
     if (e.kind == TraceEventKind::kEpochBump) {
-      dead |= e.arg2;
+      uint32_t d = 0;
+      if (BumpDeadHost(e, &d)) {
+        dead.Add(d);
+      }
       continue;
     }
     switch (e.kind) {
@@ -229,7 +245,7 @@ CheckReport CheckShardAffinity(const std::vector<TraceEvent>& history,
     uint16_t owner = static_cast<uint16_t>(e.minipage % num_hosts);
     for (uint16_t probe = 0; probe < num_hosts; ++probe) {
       const uint16_t c = static_cast<uint16_t>((owner + probe) % num_hosts);
-      if ((dead & (1ULL << c)) == 0) {
+      if (!dead.Contains(c)) {
         owner = c;
         break;
       }
@@ -239,8 +255,8 @@ CheckReport CheckShardAffinity(const std::vector<TraceEvent>& history,
                               std::string(TraceEventKindName(e.kind)) + " for id " +
                               std::to_string(e.minipage) + " served by host " +
                               std::to_string(e.host) + ", but the id's shard is host " +
-                              std::to_string(owner) + " (dead mask 0x" +
-                              std::to_string(dead) + ")");
+                              std::to_string(owner) + " (dead {" + HostList(dead) +
+                              "})");
     }
   }
   return CheckReport{};
@@ -249,7 +265,7 @@ CheckReport CheckShardAffinity(const std::vector<TraceEvent>& history,
 CheckReport CheckEpochMonotonicity(const std::vector<TraceEvent>& history,
                                    uint16_t num_hosts) {
   std::vector<uint32_t> epoch(num_hosts, 0);
-  std::vector<uint64_t> dead(num_hosts, 0);
+  std::vector<HostSet> dead(num_hosts);
   // Trace index (plus one; zero = never) of each host's latest kEpochBump.
   // Epochs propagate asynchronously, so the granting shard's local epoch at
   // grant time says nothing about what the requester had observed — the
@@ -267,25 +283,31 @@ CheckReport CheckEpochMonotonicity(const std::vector<TraceEvent>& history,
     switch (e.kind) {
       case TraceEventKind::kEpochBump: {
         const uint32_t new_epoch = static_cast<uint32_t>(e.arg1);
-        const uint64_t new_dead = e.arg2;
         if (new_epoch < epoch[e.host]) {
           return Violation(i, "membership epoch moved backwards on host " +
                                   std::to_string(e.host) + ": " +
                                   std::to_string(epoch[e.host]) + " -> " +
                                   std::to_string(new_epoch));
         }
-        if ((new_dead & dead[e.host]) != dead[e.host]) {
-          return Violation(i, "dead-host mask shrank on host " +
-                                  std::to_string(e.host) + " (hosts {" +
-                                  HostList(dead[e.host] & ~new_dead) +
-                                  "} came back from the dead)");
-        }
-        if ((new_dead & (1ULL << e.host)) != 0) {
-          return Violation(i, "host " + std::to_string(e.host) +
-                                  " declared itself dead");
+        uint32_t d = 0;
+        if (BumpDeadHost(e, &d)) {
+          // One event per newly-dead host: a host a bump re-announces was
+          // either resurrected (the dead set shrank in between, which this
+          // encoding cannot even express) or double-counted by a buggy
+          // newly-dead computation. Either way the per-host trace announces
+          // each death exactly once.
+          if (dead[e.host].Contains(d)) {
+            return Violation(i, "host " + std::to_string(e.host) +
+                                    " announced host " + std::to_string(d) +
+                                    " dead twice (dead set must only grow)");
+          }
+          if (d == e.host) {
+            return Violation(i, "host " + std::to_string(e.host) +
+                                    " declared itself dead");
+          }
+          dead[e.host].Add(d);
         }
         epoch[e.host] = new_epoch;
-        dead[e.host] = new_dead;
         last_bump[e.host] = i + 1;
         break;
       }

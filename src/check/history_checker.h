@@ -55,10 +55,14 @@ CheckReport CheckCoherenceOracle(const std::vector<TraceEvent>& history);
 // has declared dead. A violation means a request was serviced by (or
 // directory state mutated on) the wrong host.
 CheckReport CheckShardAffinity(const std::vector<TraceEvent>& history, uint16_t num_hosts);
-// Membership-epoch invariants for runs with host-death recovery:
-//   * per host, kEpochBump epochs never decrease and dead-host masks only
-//     grow (concurrent detectors may merge the same death at equal epochs,
-//     so equality is legal; shrinking is not);
+// Membership-epoch invariants for runs with host-death recovery. The trace
+// encodes one kEpochBump event per newly-dead host (arg1 = new epoch, arg2 =
+// dead host id + 1; arg2 == 0 when the epoch advanced with no new deaths),
+// so the checker reconstructs each observer's cumulative dead set:
+//   * per host, kEpochBump epochs never decrease (several events at the same
+//     epoch are one multi-death bump; concurrent detectors may also merge
+//     the same death at equal epochs), and no host is declared dead twice —
+//     the per-death trace of a dead set that only grows;
 //   * a host never declares itself dead;
 //   * no pre-death grant is honored after the bump — for every kFaultEnd,
 //     the granting shard's epoch at the latest matching grant must not be

@@ -342,6 +342,12 @@ SimResult SimRun::Run() {
     }
     if (!failure.ok()) {
       res.status = failure;
+      // Other workers may still be parked in wait slots mid-op; without an
+      // abort they would never return to their launch loop and Teardown's
+      // join would hang the whole process.
+      for (auto& node : nodes_) {
+        node->AbortWaiters(Status::Unavailable("sim run aborted: a worker failed"));
+      }
       break;
     }
     // The seeded step picks the kill point; a run too short to reach it

@@ -37,7 +37,8 @@ enum class TraceEventKind : uint8_t {
   kAppRead,         // application-level read (addr, arg1 = value)
   kAppWrite,        // application-level write (addr, arg1 = value)
   kEpochBump,       // host adopted a membership epoch (arg1 = epoch,
-                    // arg2 = cumulative dead-host mask)
+                    // arg2 = newly-dead host id + 1, one event per death;
+                    // arg2 = 0 when the epoch advanced with no new deaths)
   kMinipageLost,    // owning shard degraded a minipage whose sole copy died
                     // (arg1 = dead host)
 };

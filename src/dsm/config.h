@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "src/common/host_set.h"
 #include "src/multiview/allocator.h"
 #include "src/net/message.h"
 
@@ -64,14 +65,14 @@ struct DsmConfig {
   // host with the same live mask agrees on the answer — the property shard
   // failover relies on. Centralized deployments never rehash: losing host 0
   // loses the only directory (and the MPT), which is unrecoverable.
-  HostId ManagerOfLive(uint32_t id, uint64_t live_mask) const {
+  HostId ManagerOfLive(uint32_t id, const HostSet& live) const {
     if (manager_policy == ManagerPolicy::kCentralized) {
       return kManagerHost;
     }
     HostId h = static_cast<HostId>(id % num_hosts);
-    for (uint16_t probe = 0; probe < num_hosts; ++probe) {
+    for (uint32_t probe = 0; probe < num_hosts; ++probe) {
       const HostId c = static_cast<HostId>((h + probe) % num_hosts);
-      if ((live_mask & (1ULL << c)) != 0) {
+      if (live.Contains(c)) {
         return c;
       }
     }

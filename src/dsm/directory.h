@@ -14,6 +14,7 @@
 #include <deque>
 #include <vector>
 
+#include "src/common/host_set.h"
 #include "src/common/logging.h"
 #include "src/common/stats.h"
 #include "src/multiview/minipage.h"
@@ -23,7 +24,7 @@ namespace millipage {
 
 // Directory entry for one minipage.
 struct DirEntry {
-  uint64_t copyset = 0;     // bitmask of hosts holding a copy
+  HostSet copyset;          // hosts holding a copy
   bool writable = false;    // single copyset member holds ReadWrite
   bool in_service = false;  // a request is being serviced (until ACK)
   HostId in_service_for = 0;      // requester of the in-service transaction
@@ -36,12 +37,12 @@ struct DirEntry {
   std::deque<MsgHeader> pending;  // competing requests, FIFO
 
   // Outstanding invalidation round for a write request. The outstanding set
-  // is a host mask (not a count) so copyset repair can retire the
+  // is a host set (not a count) so copyset repair can retire the
   // invalidations a dead host will never answer.
   bool write_pending = false;
   MsgHeader pending_write{};
   HostId write_remaining = 0;  // host that will supply the data
-  uint64_t invalidates_pending_mask = 0;
+  HostSet invalidates_pending;
 
   // Outstanding confirmations for an in-service push-update broadcast.
   uint32_t push_outstanding = 0;
@@ -57,49 +58,37 @@ struct DirEntry {
   // ---- Recovery state ------------------------------------------------------
   // An adopted id whose copyset is being rebuilt: the new owning shard has
   // broadcast kCopysetQuery and is waiting for the hosts in
-  // rebuild_pending_mask to answer. Requests queue in `pending` meanwhile.
+  // rebuild_pending to answer. Requests queue in `pending` meanwhile.
   bool rebuilding = false;
-  uint64_t rebuild_pending_mask = 0;
+  HostSet rebuild_pending;
   // The minipage's sole copy died with its host: every copy is gone and the
   // id is permanently degraded. Requests are answered with a per-minipage
   // error (kFlagAbort data reply), never served — and never a cluster abort.
   bool lost = false;
 
-  // The copyset is a 64-bit mask, so host ids past 63 would shift out of
-  // range (undefined behavior, then silent membership aliasing). Node/cluster
-  // construction rejects num_hosts > 64; these checks catch corrupt ids.
-  bool HasCopy(HostId h) const {
-    MP_CHECK(h < 64) << "copyset host id " << h << " out of 64-bit mask range";
-    return (copyset & (1ULL << h)) != 0;
-  }
-  void AddCopy(HostId h) {
-    MP_CHECK(h < 64) << "copyset host id " << h << " out of 64-bit mask range";
-    copyset |= (1ULL << h);
-  }
-  void RemoveCopy(HostId h) {
-    MP_CHECK(h < 64) << "copyset host id " << h << " out of 64-bit mask range";
-    copyset &= ~(1ULL << h);
-  }
-  int CopyCount() const { return __builtin_popcountll(copyset); }
+  // Host ids come off the wire, so a corrupt id must fail loudly instead of
+  // silently aliasing membership. HostSet fatals on ids ≥ kMaxHosts (the
+  // wire format's 10-bit ceiling); node/cluster construction rejects
+  // num_hosts outside [1, kMaxHosts].
+  bool HasCopy(HostId h) const { return copyset.Contains(h); }
+  void AddCopy(HostId h) { copyset.Add(h); }
+  void RemoveCopy(HostId h) { copyset.Remove(h); }
+  int CopyCount() const { return copyset.Count(); }
   // Any copyset member, preferring one different from `avoid`. `hint`
   // rotates the starting position: when read ACKs are elided the copyset can
   // transiently contain members whose copy is still inbound, and a rotating
   // choice guarantees a re-routed request eventually reaches the (always
   // existing) member with stable data.
   HostId PickReplica(HostId avoid, uint32_t hint = 0) const {
-    // An empty copyset has no replica to pick: hint % 0 divides by zero and
-    // ctzll(0) is undefined, so fail loudly instead of returning garbage.
-    MP_CHECK(copyset != 0) << "PickReplica on an empty copyset (minipage has no holder)";
-    MP_CHECK(avoid < 64) << "copyset host id " << avoid << " out of 64-bit mask range";
-    const uint64_t others = copyset & ~(1ULL << avoid);
-    const uint64_t pool = others != 0 ? others : copyset;
-    const int n = __builtin_popcountll(pool);
-    int skip = static_cast<int>(hint % static_cast<uint32_t>(n));
-    uint64_t bits = pool;
-    while (skip-- > 0) {
-      bits &= bits - 1;  // drop lowest set bit
-    }
-    return static_cast<HostId>(__builtin_ctzll(bits));
+    // An empty copyset has no replica to pick: hint % 0 divides by zero, so
+    // fail loudly instead of returning garbage.
+    MP_CHECK(!copyset.Empty()) << "PickReplica on an empty copyset (minipage has no holder)";
+    HostSet others = copyset;
+    others.Remove(avoid);
+    const HostSet& pool = others.Empty() ? copyset : others;
+    const int n = pool.Count();
+    const int skip = static_cast<int>(hint % static_cast<uint32_t>(n));
+    return static_cast<HostId>(pool.SelectNth(skip));
   }
 };
 
@@ -111,15 +100,33 @@ struct LockEntry {
   // Adopted-lock rebuild: before first grant after a failover, the new
   // owning shard probes every live host for an existing holder (a grant by
   // the dead shard that is still live must be honored, not double-granted).
-  // Acquires queue in `waiters` until the hosts in probe_pending_mask answer.
+  // Acquires queue in `waiters` until the hosts in probe_pending answer.
   // `probed` latches so an adopted lock is probed at most once.
   bool probing = false;
   bool probed = false;
-  uint64_t probe_pending_mask = 0;
+  HostSet probe_pending;
 
   bool HasWaiter(HostId h) const {
     for (const MsgHeader& w : waiters) {
-      if (FromHost(w.from) == h) {
+      // Queued waiters were stripped of their epoch tag at receive time, so
+      // `from` is a pure host id — no FromHost() re-masking (which would
+      // alias ids ≥ 64).
+      if (w.from == h) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Collapses a re-sent acquire into its queued predecessor, keeping the
+  // freshest header: a membership kick re-sends with a new (slot, generation)
+  // seq, and a grant built from the stale queued header would be discarded by
+  // the waiter as an abandoned attempt's reply — wedging the lock. Returns
+  // false if `h.from` was not queued (the caller pushes the header instead).
+  bool RefreshWaiter(const MsgHeader& h) {
+    for (MsgHeader& w : waiters) {
+      if (w.from == h.from) {
+        w = h;
         return true;
       }
     }
@@ -131,10 +138,10 @@ struct BarrierState {
   uint32_t generation = 0;
   // Arrival count, used by the LRC variant's fixed-membership barrier.
   uint32_t arrived = 0;
-  // Arrival mask, used by the DSM barrier: duplicate entries (post-failover
+  // Arrival set, used by the DSM barrier: duplicate entries (post-failover
   // re-sends) collapse instead of double-counting, and release re-evaluates
-  // against the live-host mask when membership shrinks.
-  uint64_t arrived_mask = 0;
+  // against the live-host set when membership shrinks.
+  HostSet arrived_set;
   std::vector<MsgHeader> waiters;
 };
 

@@ -31,11 +31,12 @@ thread_local ThreadSlotCache tls_slots;
 
 Result<std::unique_ptr<DsmNode>> DsmNode::Create(const DsmConfig& config, HostId me,
                                                  Transport* transport) {
+  if (config.num_hosts == 0 || config.num_hosts > kMaxHosts) {
+    return Status::Invalid("DsmNode: num_hosts must be in [1, " + std::to_string(kMaxHosts) +
+                           "] (wire host ids are 10 bits)");
+  }
   if (me >= config.num_hosts) {
     return Status::Invalid("DsmNode: host id out of range");
-  }
-  if (config.num_hosts > 64) {
-    return Status::Invalid("DsmNode: copyset bitmask supports up to 64 hosts");
   }
   auto node = std::unique_ptr<DsmNode>(new DsmNode(config, me, transport));
   MP_ASSIGN_OR_RETURN(node->views_, ViewSet::Create(config.object_size, config.num_views));
@@ -56,7 +57,13 @@ Result<std::unique_ptr<DsmNode>> DsmNode::Create(const DsmConfig& config, HostId
 }
 
 DsmNode::DsmNode(const DsmConfig& config, HostId me, Transport* transport)
-    : config_(config), me_(me), transport_(transport) {
+    : config_(config),
+      codec_(WireCodec::For(config.num_hosts)),
+      me_(me),
+      transport_(transport) {
+  auto init = std::make_unique<Membership>();
+  init->live = HostSet::AllBelow(config.num_hosts);
+  PublishMembership(std::move(init));
   read_fault_ns_ = metrics_.GetHistogram("dsm.read_fault_ns");
   write_fault_ns_ = metrics_.GetHistogram("dsm.write_fault_ns");
   barrier_ns_ = metrics_.GetHistogram("dsm.barrier_ns");
@@ -150,8 +157,7 @@ Status DsmNode::TrySendMsg(HostId to, const MsgHeader& h, const void* payload, s
   // `from`); HandleMessage strips it on receive, so all internal logic sees
   // pure host ids. At epoch 0 the stamped field is bit-identical to the id.
   MsgHeader wire = h;
-  wire.from = PackFromEpoch(FromHost(h.from),
-                            member_epoch_.load(std::memory_order_acquire));
+  wire.from = codec_.Pack(codec_.Host(h.from), member_epoch());
   Status st = transport_->Send(to, wire, payload, len);
   if (!st.ok() && st.code() == StatusCode::kUnavailable) {
     OnPeerDown(to);
@@ -195,8 +201,16 @@ Result<GlobalAddr> DsmNode::SharedMalloc(uint64_t size) {
     return LivenessFailure("SharedMalloc", st);
   }
   // Allocation mutates manager state per request, so it is not idempotent:
-  // bounded by the sync deadline, never re-sent.
+  // bounded by the sync deadline, never re-sent. A membership kick
+  // (kFailedPrecondition) is the one interruption that does not invalidate
+  // the attempt: the allocator is host 0, whose death is fatal, so after a
+  // third host's death the original request/reply pair is still in flight on
+  // an intact path — keep waiting on the same generation instead of
+  // re-sending (which would allocate twice).
   Result<MsgHeader> reply = AwaitReply(slot, gen, config_.sync_timeout_ms, "SharedMalloc");
+  while (!reply.ok() && reply.status().code() == StatusCode::kFailedPrecondition) {
+    reply = AwaitReply(slot, gen, config_.sync_timeout_ms, "SharedMalloc");
+  }
   if (!reply.ok()) {
     return LivenessFailure("SharedMalloc", reply.status());
   }
@@ -245,7 +259,7 @@ Status DsmNode::TryBarrier() {
     h.seq = WaitSlots::MakeSeq(slot, gen);
     h.minipage = kBarrierShardId;
     h.pgsize = expected_gen;
-    const uint32_t epoch_before = member_epoch_.load(std::memory_order_acquire);
+    const uint32_t epoch_before = member_epoch();
     if (Status st = TrySendMsg(LiveManagerOf(kBarrierShardId), h); !st.ok()) {
       if (AwaitMembershipChange(epoch_before)) {
         continue;  // barrier shard moved: re-enter at its successor
@@ -293,7 +307,7 @@ Status DsmNode::TryLock(uint32_t lock_id) {
     h.from = me_;
     h.seq = WaitSlots::MakeSeq(slot, gen);
     h.minipage = lock_id;
-    const uint32_t epoch_before = member_epoch_.load(std::memory_order_acquire);
+    const uint32_t epoch_before = member_epoch();
     if (Status st = TrySendMsg(LiveManagerOf(lock_id), h); !st.ok()) {
       if (AwaitMembershipChange(epoch_before)) {
         continue;  // lock shard moved: re-acquire at its successor
@@ -636,7 +650,7 @@ bool TraceOn() {
 
 void DsmNode::HandleMessage(const MsgHeader& raw) {
   // Strip the membership-epoch tag off the wire `from` field, then gate on
-  // it (the tag is the epoch mod 1024, compared circularly):
+  // it (the tag is the epoch mod the codec's modulus, compared circularly):
   //   * anything from a host now known dead is pre-death traffic — discarded
   //     like a stale generation, so no obsolete grant or arrival from the
   //     dead host can corrupt post-recovery state;
@@ -647,15 +661,15 @@ void DsmNode::HandleMessage(const MsgHeader& raw) {
   //     traffic and are served normally, their replies staled by generation;
   //   * kEpochBump itself is always processed: it is how epochs advance.
   MsgHeader h = raw;
-  h.from = FromHost(raw.from);
+  h.from = codec_.Host(raw.from);
   if (h.msg_type() != MsgType::kEpochBump) {
-    if ((dead_mask_.load(std::memory_order_acquire) & (1ULL << (h.from & 63u))) != 0) {
+    if (dead_set().Contains(h.from)) {
       stale_replies_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    const uint32_t tag = FromEpochTag(raw.from);
-    const uint32_t my_tag = member_epoch_.load(std::memory_order_acquire) & kEpochTagMask;
-    if (tag != my_tag && !EpochTagStale(tag, my_tag)) {
+    const uint32_t tag = codec_.EpochTag(raw.from);
+    const uint32_t my_tag = member_epoch() & codec_.epoch_mask;
+    if (tag != my_tag && !codec_.TagStale(tag, my_tag)) {
       deferred_.push_back(raw);
       return;
     }
@@ -750,8 +764,13 @@ void DsmNode::HandleMessage(const MsgHeader& raw) {
     case MsgType::kShutdown:
       break;
     case MsgType::kEpochBump:
-      // minipage = new epoch, privbase = cumulative dead-host mask.
-      ApplyMembership(h.minipage, h.privbase, /*broadcast=*/false);
+      // minipage = new epoch; privbase = cumulative dead-host mask (≤64-host
+      // clusters) or one dead host id per datagram (>64-host clusters).
+      ApplyMembership(h.minipage,
+                      config_.num_hosts <= 64
+                          ? HostSet::FromWord(h.privbase)
+                          : HostSet::Single(static_cast<uint32_t>(h.privbase)),
+                      /*broadcast=*/false);
       break;
     case MsgType::kCopysetQuery:
       HandleCopysetQuery(h);
@@ -845,7 +864,7 @@ void DsmNode::MgrStartService(MsgHeader h) {
     e.pending.push_back(h);  // adopted id, copyset still being reassembled
     return;
   }
-  if (e.copyset == 0) {
+  if (e.copyset.Empty()) {
     // First request this shard sees for the id. If the id's original home
     // shard is dead, this shard adopted it and cannot know whether the id
     // was ever serviced: rebuild the copyset by querying every live host
@@ -856,13 +875,12 @@ void DsmNode::MgrStartService(MsgHeader h) {
     // ⇒ "still manager-held". Centralized shards never hit either path
     // (MgrHandleAlloc seeds the entry, and they never rehash).
     const HostId home = config_.ManagerOf(h.minipage);
-    if (home != me_ &&
-        (dead_mask_.load(std::memory_order_acquire) & (1ULL << (home & 63u))) != 0) {
+    if (home != me_ && dead_set().Contains(home)) {
       e.pending.push_back(h);
       StartCopysetRebuild(h);
       return;
     }
-    e.copyset = 1ULL << kManagerHost;
+    e.copyset = HostSet::Single(kManagerHost);
     e.writable = true;
   }
   directory_->counters().requests_served++;
@@ -881,7 +899,7 @@ void DsmNode::MgrStartService(MsgHeader h) {
   e.in_service = true;
   e.in_service_for = h.from;
   e.in_service_req = h;
-  Trace(TraceEventKind::kMgrSvcStart, h.minipage, h.addr, h.from, e.copyset);
+  Trace(TraceEventKind::kMgrSvcStart, h.minipage, h.addr, h.from, e.copyset.LowWord());
   MgrProcess(h);
 }
 
@@ -903,11 +921,11 @@ void DsmNode::MgrProcess(const MsgHeader& h) {
 }
 
 void DsmNode::MgrProcessRead(const MsgHeader& h, DirEntry& e) {
-  MP_CHECK(e.copyset != 0) << "minipage with empty copyset";
-  if (e.copyset == (1ULL << h.from)) {
+  MP_CHECK(!e.copyset.Empty()) << "minipage with empty copyset";
+  if (e.CopyCount() == 1 && e.HasCopy(h.from)) {
     // Requester already holds the only copy (prefetch/fault race): grant
     // access without data.
-    Trace(TraceEventKind::kMgrReadGrant, h.minipage, h.addr, h.from, e.copyset);
+    Trace(TraceEventKind::kMgrReadGrant, h.minipage, h.addr, h.from, e.copyset.LowWord());
     MsgHeader reply = h;
     reply.set_type(MsgType::kReadReply);
     reply.flags = static_cast<uint8_t>((h.flags & kFlagPrefetch) | kFlagUpgrade);
@@ -920,7 +938,7 @@ void DsmNode::MgrProcessRead(const MsgHeader& h, DirEntry& e) {
   const HostId replica = e.PickReplica(h.from, replica_rotation_++);
   e.AddCopy(h.from);
   e.writable = false;  // the serving host downgrades itself to ReadOnly
-  Trace(TraceEventKind::kMgrReadGrant, h.minipage, h.addr, h.from, e.copyset);
+  Trace(TraceEventKind::kMgrReadGrant, h.minipage, h.addr, h.from, e.copyset.LowWord());
   MsgHeader fwd = h;
   fwd.flags |= kFlagForwarded;
   ForwardToReplica(replica, fwd);
@@ -930,11 +948,11 @@ void DsmNode::MgrProcessRead(const MsgHeader& h, DirEntry& e) {
 }
 
 void DsmNode::MgrProcessWrite(const MsgHeader& h, DirEntry& e) {
-  MP_CHECK(e.copyset != 0) << "minipage with empty copyset";
-  if (e.copyset == (1ULL << h.from)) {
+  MP_CHECK(!e.copyset.Empty()) << "minipage with empty copyset";
+  if (e.CopyCount() == 1 && e.HasCopy(h.from)) {
     // Sole holder asks for exclusivity: upgrade in place.
     e.writable = true;
-    Trace(TraceEventKind::kMgrWriteGrant, h.minipage, h.addr, h.from, e.copyset);
+    Trace(TraceEventKind::kMgrWriteGrant, h.minipage, h.addr, h.from, e.copyset.LowWord());
     MsgHeader reply = h;
     reply.set_type(MsgType::kWriteReply);
     reply.flags = kFlagUpgrade;
@@ -946,12 +964,15 @@ void DsmNode::MgrProcessWrite(const MsgHeader& h, DirEntry& e) {
   }
   const HostId remaining =
       e.HasCopy(h.from) ? h.from : e.PickReplica(h.from, replica_rotation_++);
-  const uint64_t others = e.copyset & ~(1ULL << remaining) & ~(1ULL << h.from);
-  e.copyset = 1ULL << h.from;
+  HostSet others = e.copyset;
+  others.Remove(remaining);
+  others.Remove(h.from);
+  e.copyset = HostSet::Single(h.from);
   e.writable = true;
-  if (others == 0) {
+  if (others.Empty()) {
     MP_CHECK(remaining != h.from);
-    Trace(TraceEventKind::kMgrWriteGrant, h.minipage, h.addr, h.from, 1ULL << remaining);
+    Trace(TraceEventKind::kMgrWriteGrant, h.minipage, h.addr, h.from,
+          remaining < 64 ? 1ULL << remaining : 0);
     MsgHeader fwd = h;
     fwd.flags |= kFlagForwarded;
     ForwardToReplica(remaining, fwd);
@@ -962,31 +983,32 @@ void DsmNode::MgrProcessWrite(const MsgHeader& h, DirEntry& e) {
   }
   // Invalidate every other replica; the write is forwarded (or upgraded)
   // once all invalidation replies are in (Figure 3, Manager paths). The
-  // outstanding set is a host mask so copyset repair can retire the
+  // outstanding set is a host set so copyset repair can retire the
   // invalidations a host that dies mid-round will never answer.
   e.write_pending = true;
   e.pending_write = h;
   e.write_remaining = remaining;
-  e.invalidates_pending_mask = 0;
+  e.invalidates_pending.Clear();
   directory_->counters().invalidation_rounds++;
-  const uint64_t live = live_mask();
-  for (uint16_t host = 0; host < config_.num_hosts; ++host) {
-    if ((others & live & (1ULL << host)) != 0) {
-      // Protocol-bug injection for the simulator: silently skip one
-      // invalidation, leaving a stale readable replica behind — exactly the
-      // class of bug the offline SWMR checker exists to catch.
-      if (FailpointRegistry::Instance().Fire("dsm.mgr.skip_invalidate").has_value()) {
-        continue;
-      }
-      e.invalidates_pending_mask |= 1ULL << host;
-      Trace(TraceEventKind::kMgrInvalidate, h.minipage, h.addr, host);
-      MsgHeader inv = h;
-      inv.set_type(MsgType::kInvalidateRequest);
-      inv.flags = kFlagForwarded;
-      SendMsg(host, inv);
+  const HostSet& live = live_set();
+  others.ForEach([&](uint32_t host) {
+    if (!live.Contains(host)) {
+      return;
     }
-  }
-  if (e.invalidates_pending_mask == 0) {
+    // Protocol-bug injection for the simulator: silently skip one
+    // invalidation, leaving a stale readable replica behind — exactly the
+    // class of bug the offline SWMR checker exists to catch.
+    if (FailpointRegistry::Instance().Fire("dsm.mgr.skip_invalidate").has_value()) {
+      return;
+    }
+    e.invalidates_pending.Add(host);
+    Trace(TraceEventKind::kMgrInvalidate, h.minipage, h.addr, host);
+    MsgHeader inv = h;
+    inv.set_type(MsgType::kInvalidateRequest);
+    inv.flags = kFlagForwarded;
+    SendMsg(static_cast<HostId>(host), inv);
+  });
+  if (e.invalidates_pending.Empty()) {
     MgrFinishWriteRound(h.minipage);
   }
 }
@@ -994,10 +1016,9 @@ void DsmNode::MgrProcessWrite(const MsgHeader& h, DirEntry& e) {
 void DsmNode::MgrHandleInvalidateReply(const MsgHeader& h) {
   DirEntry& e = directory_->Entry(h.minipage);
   MP_CHECK(e.write_pending) << "stray invalidate reply";
-  const uint64_t bit = 1ULL << (h.from & 63u);
-  MP_CHECK((e.invalidates_pending_mask & bit) != 0) << "duplicate invalidate reply";
-  e.invalidates_pending_mask &= ~bit;
-  if (e.invalidates_pending_mask != 0) {
+  MP_CHECK(e.invalidates_pending.Contains(h.from)) << "duplicate invalidate reply";
+  e.invalidates_pending.Remove(h.from);
+  if (!e.invalidates_pending.Empty()) {
     return;
   }
   MgrFinishWriteRound(h.minipage);
@@ -1007,7 +1028,8 @@ void DsmNode::MgrFinishWriteRound(MinipageId id) {
   DirEntry& e = directory_->Entry(id);
   e.write_pending = false;
   const MsgHeader& w = e.pending_write;
-  Trace(TraceEventKind::kMgrWriteGrant, id, w.addr, w.from, 1ULL << e.write_remaining);
+  Trace(TraceEventKind::kMgrWriteGrant, id, w.addr, w.from,
+        e.write_remaining < 64 ? 1ULL << e.write_remaining : 0);
   if (e.write_remaining == w.from) {
     MsgHeader reply = w;
     reply.set_type(MsgType::kWriteReply);
@@ -1027,7 +1049,7 @@ void DsmNode::MgrProcessPush(const MsgHeader& h, DirEntry& e) {
   // The pusher must still hold the writable copy; it broadcasts and every
   // live host (pusher included) confirms with an ACK before the minipage
   // leaves service and the copyset becomes all-live-hosts.
-  e.push_outstanding = static_cast<uint32_t>(__builtin_popcountll(live_mask()));
+  e.push_outstanding = static_cast<uint32_t>(live_set().Count());
   MsgHeader fwd = h;
   fwd.flags |= kFlagForwarded;
   SendMsg(h.from, fwd);
@@ -1050,7 +1072,7 @@ void DsmNode::MgrHandleAck(const MsgHeader& h) {
     if (--e.push_outstanding > 0) {
       return;
     }
-    e.copyset = live_mask();
+    e.copyset = live_set();
     e.writable = false;
     MgrFinishService(h.minipage);
     return;
@@ -1077,7 +1099,7 @@ void DsmNode::MgrFinishService(MinipageId id) {
   DirEntry& e = directory_->Entry(id);
   e.in_service = false;
   e.fetch_pending = false;
-  Trace(TraceEventKind::kMgrSvcEnd, id, 0, 0, e.copyset);
+  Trace(TraceEventKind::kMgrSvcEnd, id, 0, 0, e.copyset.LowWord());
   if (e.pending.empty()) {
     return;
   }
@@ -1086,7 +1108,8 @@ void DsmNode::MgrFinishService(MinipageId id) {
   e.in_service = true;
   e.in_service_for = next.from;
   e.in_service_req = next;
-  Trace(TraceEventKind::kMgrSvcStart, next.minipage, next.addr, next.from, e.copyset);
+  Trace(TraceEventKind::kMgrSvcStart, next.minipage, next.addr, next.from,
+        e.copyset.LowWord());
   MgrProcess(next);
 }
 
@@ -1118,13 +1141,13 @@ void DsmNode::MgrHandleAlloc(const MsgHeader& h) {
       continue;
     }
     DirEntry& e = directory_->Entry(id);
-    if (e.copyset == 0) {
-      e.copyset = 1ULL << kManagerHost;
+    if (e.copyset.Empty()) {
+      e.copyset = HostSet::Single(kManagerHost);
       e.writable = true;
     }
     // Cover newly added vpages of a growing chunk; safe because chunks close
     // on any non-alloc traffic, so a growing minipage is still manager-held.
-    if (e.copyset == (1ULL << kManagerHost) && e.writable) {
+    if (e.CopyCount() == 1 && e.HasCopy(kManagerHost) && e.writable) {
       MP_CHECK_OK(views_->SetProtection(mpt_->Get(id), Protection::kReadWrite));
     }
   }
@@ -1148,9 +1171,8 @@ void DsmNode::MgrHandleBarrierEnter(const MsgHeader& h) {
     SendMsg(h.from, release);
     return;
   }
-  const uint64_t bit = 1ULL << (h.from & 63u);
-  if ((b.arrived_mask & bit) == 0) {
-    b.arrived_mask |= bit;
+  if (!b.arrived_set.Contains(h.from)) {
+    b.arrived_set.Add(h.from);
     b.waiters.push_back(h);
   } else {
     // Post-failover re-send from an already-arrived host: collapse the
@@ -1163,7 +1185,7 @@ void DsmNode::MgrHandleBarrierEnter(const MsgHeader& h) {
       }
     }
   }
-  b.arrived = static_cast<uint32_t>(__builtin_popcountll(b.arrived_mask));
+  b.arrived = static_cast<uint32_t>(b.arrived_set.Count());
   MaybeReleaseBarrier();
 }
 
@@ -1175,8 +1197,7 @@ void DsmNode::MaybeReleaseBarrier() {
   if (b.waiters.empty()) {
     return;
   }
-  const uint64_t live = live_mask();
-  if ((b.arrived_mask & live) != live) {
+  if (!b.arrived_set.ContainsAll(live_set())) {
     return;  // a live host is still computing (dead hosts no longer count)
   }
   // Release the *oldest* round only, and each waiter with its own expected
@@ -1189,7 +1210,7 @@ void DsmNode::MaybeReleaseBarrier() {
     min_gen = std::min(min_gen, w.pgsize);
   }
   std::vector<MsgHeader> keep;
-  uint64_t kept_mask = 0;
+  HostSet kept;
   for (const MsgHeader& w : b.waiters) {
     if (w.pgsize == min_gen) {
       MsgHeader release = w;
@@ -1198,12 +1219,12 @@ void DsmNode::MaybeReleaseBarrier() {
       SendMsg(w.from, release);
     } else {
       keep.push_back(w);
-      kept_mask |= 1ULL << (w.from & 63u);
+      kept.Add(w.from);
     }
   }
   b.waiters.assign(keep.begin(), keep.end());
-  b.arrived_mask = kept_mask;
-  b.arrived = static_cast<uint32_t>(__builtin_popcountll(kept_mask));
+  b.arrived_set = kept;
+  b.arrived = static_cast<uint32_t>(kept.Count());
   b.generation = min_gen + 1;
 }
 
@@ -1216,7 +1237,7 @@ void DsmNode::MgrHandleLockAcquire(const MsgHeader& h) {
     // Adoption in progress: queue until every live host has answered the
     // holder probe (a grant issued by the dead shard must be honored, not
     // doubled).
-    if (!l.HasWaiter(h.from)) {
+    if (!l.RefreshWaiter(h)) {
       l.waiters.push_back(h);
     }
     return;
@@ -1231,7 +1252,7 @@ void DsmNode::MgrHandleLockAcquire(const MsgHeader& h) {
       SendMsg(h.from, grant);
       return;
     }
-    if (!l.HasWaiter(h.from)) {
+    if (!l.RefreshWaiter(h)) {
       l.waiters.push_back(h);
     }
     return;
@@ -1247,7 +1268,7 @@ void DsmNode::MgrHandleLockAcquire(const MsgHeader& h) {
 void DsmNode::MgrHandleLockRelease(const MsgHeader& h) {
   LockEntry& l = directory_->Lock(h.minipage);
   if (!l.held || l.holder != h.from) {
-    if (dead_mask_.load(std::memory_order_acquire) != 0) {
+    if (!dead_set().Empty()) {
       // Post-failover: the release raced the adoption (duplicate release, or
       // the holder's release reached the dead shard first and repair already
       // freed the lock). Stale — ignore, don't crash the shard.
@@ -1278,32 +1299,29 @@ bool DsmNode::LockNeedsProbe(uint32_t lock_id, const LockEntry& l) const {
   if (l.probed || l.probing || !RecoveryEnabled()) {
     return false;
   }
-  const uint64_t dead = dead_mask_.load(std::memory_order_acquire);
-  if (dead == 0) {
+  const HostSet& dead = dead_set();
+  if (dead.Empty()) {
     return false;
   }
   const HostId home = config_.ManagerOf(lock_id);
   // Only adopted locks are probed: if this shard is the original home, its
   // own state is authoritative.
-  return home != me_ && (dead & (1ULL << (home & 63u))) != 0;
+  return home != me_ && dead.Contains(home);
 }
 
 void DsmNode::StartLockProbe(uint32_t lock_id) {
   LockEntry& l = directory_->Lock(lock_id);
   l.probing = true;
   l.probed = true;
-  l.probe_pending_mask = live_mask() & ~(1ULL << me_);
+  l.probe_pending = live_set();
+  l.probe_pending.Remove(me_);
   MsgHeader probe;
   probe.set_type(MsgType::kLockProbe);
   probe.from = me_;
   probe.seq = kNoWaitSlot;
   probe.minipage = lock_id;
-  for (uint16_t host = 0; host < config_.num_hosts; ++host) {
-    if ((l.probe_pending_mask & (1ULL << host)) != 0) {
-      SendMsg(host, probe);
-    }
-  }
-  // Check our own held set inline (we are not on the wire mask).
+  l.probe_pending.ForEach([&](uint32_t host) { SendMsg(static_cast<HostId>(host), probe); });
+  // Check our own held set inline (we are not in the probed set).
   {
     std::lock_guard<std::mutex> lock(held_mu_);
     if (held_locks_.count(lock_id) != 0) {
@@ -1311,7 +1329,7 @@ void DsmNode::StartLockProbe(uint32_t lock_id) {
       l.holder = me_;
     }
   }
-  if (l.probe_pending_mask == 0) {
+  if (l.probe_pending.Empty()) {
     FinishLockProbe(lock_id);
   }
 }
@@ -1319,7 +1337,7 @@ void DsmNode::StartLockProbe(uint32_t lock_id) {
 void DsmNode::FinishLockProbe(uint32_t lock_id) {
   LockEntry& l = directory_->Lock(lock_id);
   l.probing = false;
-  l.probe_pending_mask = 0;
+  l.probe_pending.Clear();
   if (l.held) {
     return;  // a surviving holder claimed the lock; waiters queue behind it
   }
@@ -1352,14 +1370,14 @@ void DsmNode::MgrHandleLockProbeReply(const MsgHeader& h) {
   if (!l.probing) {
     return;  // stale (probe already resolved)
   }
-  l.probe_pending_mask &= ~(1ULL << (h.from & 63u));
+  l.probe_pending.Remove(h.from);
   if ((h.flags & kFlagUpgrade) != 0) {
     MP_CHECK(!l.held || l.holder == h.from)
         << "two hosts claim lock " << h.minipage << " during adoption probe";
     l.held = true;
     l.holder = h.from;
   }
-  if ((l.probe_pending_mask & live_mask()) == 0) {
+  if (!l.probe_pending.Intersects(live_set())) {
     FinishLockProbe(h.minipage);
   }
 }
@@ -1506,12 +1524,11 @@ void DsmNode::PusherBroadcast(const MsgHeader& h) {
   MsgHeader push = h;
   push.set_type(MsgType::kPushUpdate);
   push.flags = kFlagForwarded;
-  const uint64_t live = live_mask();
-  for (uint16_t host = 0; host < config_.num_hosts; ++host) {
-    if (host != me_ && (live & (1ULL << host)) != 0) {
-      SendMsg(host, push, views_->PrivAddr(mp.offset), mp.length);
+  live_set().ForEach([&](uint32_t host) {
+    if (host != me_) {
+      SendMsg(static_cast<HostId>(host), push, views_->PrivAddr(mp.offset), mp.length);
     }
-  }
+  });
   ack.flags = 0;
   SendMsg(LiveManagerOf(ack.minipage), ack);
 }
@@ -1578,10 +1595,12 @@ void DsmNode::OnPeerDown(HostId peer) {
       stop_.load(std::memory_order_acquire)) {
     return;  // teardown: peers exiting is expected
   }
-  const uint64_t bit = 1ULL << (peer & 63u);
-  const uint64_t prev = peer_down_mask_.fetch_or(bit, std::memory_order_acq_rel);
-  if ((prev & bit) != 0) {
-    return;  // already known
+  {
+    std::lock_guard<std::mutex> lock(peer_down_mu_);
+    if (peer_down_.Contains(peer)) {
+      return;  // already known
+    }
+    peer_down_.Add(peer);
   }
   if (RecoveryEnabled() && peer != kManagerHost) {
     // Recoverable death: schedule membership recovery on the server thread
@@ -1605,57 +1624,99 @@ void DsmNode::OnPeerDown(HostId peer) {
 // ---- Membership / recovery -------------------------------------------------
 
 bool DsmNode::ProcessPendingDeaths() {
-  uint64_t pend = pending_death_mask_.exchange(0, std::memory_order_acq_rel);
-  pend &= ~dead_mask_.load(std::memory_order_acquire);
-  pend &= live_mask();
-  if (pend == 0) {
+  if (!has_pending_deaths_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  HostSet pend;
+  {
+    std::lock_guard<std::mutex> lock(pending_death_mu_);
+    pend = pending_deaths_;
+    pending_deaths_.Clear();
+    has_pending_deaths_.store(false, std::memory_order_release);
+  }
+  const Membership& m = membership();
+  pend.SubtractAll(m.dead);
+  pend.IntersectWith(m.live);
+  if (pend.Empty()) {
     return false;
   }
   ScopedTimer timer(recovery_ns_);
-  ApplyMembership(member_epoch_.load(std::memory_order_acquire) + 1,
-                  dead_mask_.load(std::memory_order_acquire) | pend,
-                  /*broadcast=*/true);
+  HostSet dead = m.dead;
+  dead.UnionWith(pend);
+  ApplyMembership(m.epoch + 1, dead, /*broadcast=*/true);
   return true;
 }
 
-void DsmNode::ApplyMembership(uint32_t epoch, uint64_t dead, bool broadcast) {
-  const uint32_t cur_epoch = member_epoch_.load(std::memory_order_acquire);
-  const uint64_t cur_dead = dead_mask_.load(std::memory_order_acquire);
-  const uint32_t new_epoch = std::max(cur_epoch, epoch);
-  const uint64_t new_dead = cur_dead | dead;
-  if (new_epoch == cur_epoch && new_dead == cur_dead) {
+void DsmNode::PublishMembership(std::unique_ptr<Membership> next) {
+  membership_.store(next.get(), std::memory_order_release);
+  membership_history_.push_back(std::move(next));
+}
+
+void DsmNode::ApplyMembership(uint32_t epoch, const HostSet& dead, bool broadcast) {
+  const Membership& cur = membership();
+  const uint32_t new_epoch = std::max(cur.epoch, epoch);
+  HostSet new_dead = cur.dead;
+  new_dead.UnionWith(dead);
+  if (new_epoch == cur.epoch && new_dead == cur.dead) {
     return;  // idempotent merge: nothing new
   }
-  const uint64_t newly_dead = new_dead & ~cur_dead;
+  HostSet newly_dead = new_dead;
+  newly_dead.SubtractAll(cur.dead);
   // Publish first so every message sent below (bump broadcast, rebuild
   // queries, probes) carries the new epoch and routes by the new live set.
-  dead_mask_.store(new_dead, std::memory_order_release);
-  member_epoch_.store(new_epoch, std::memory_order_release);
+  auto next = std::make_unique<Membership>();
+  next->epoch = new_epoch;
+  next->dead = new_dead;
+  next->live = HostSet::AllBelow(config_.num_hosts);
+  next->live.SubtractAll(new_dead);
+  PublishMembership(std::move(next));
   epoch_bumps_.fetch_add(1, std::memory_order_relaxed);
-  Trace(TraceEventKind::kEpochBump, ~0u, 0, new_epoch, new_dead);
-  MP_LOG(Error) << "host " << me_ << ": membership epoch " << new_epoch
-                << ", dead mask 0x" << std::hex << new_dead << std::dec;
+  // Trace contract: one kEpochBump event per newly-dead host, arg2 = the
+  // dead host id + 1 (0 means the epoch advanced with no new deaths — a
+  // merge of already-known membership). The checker reconstructs each
+  // observer's cumulative dead set from these, at any cluster size.
+  if (newly_dead.Empty()) {
+    Trace(TraceEventKind::kEpochBump, ~0u, 0, new_epoch, 0);
+  } else {
+    newly_dead.ForEach([&](uint32_t d) {
+      Trace(TraceEventKind::kEpochBump, ~0u, 0, new_epoch, static_cast<uint64_t>(d) + 1);
+    });
+  }
+  MP_LOG(Error) << "host " << me_ << ": membership epoch " << new_epoch << ", "
+                << new_dead.Count() << " dead (low mask 0x" << std::hex
+                << new_dead.LowWord() << std::dec << ")";
   if (broadcast) {
     // Tell every live peer before repairing, so per-pair FIFO delivers the
-    // bump ahead of any repair traffic (queries, probes) we send them.
+    // bump ahead of any repair traffic (queries, probes) we send them. Small
+    // clusters broadcast the cumulative dead set as one mask (the original
+    // wire format, bit-identical); large clusters send one bump per dead
+    // host — cumulative, so a receiver that missed an earlier epoch still
+    // converges on the full dead set.
     MsgHeader bump;
     bump.set_type(MsgType::kEpochBump);
     bump.from = me_;
     bump.seq = kNoWaitSlot;
     bump.minipage = new_epoch;
-    bump.privbase = new_dead;
-    const uint64_t live = live_mask();
-    for (uint16_t host = 0; host < config_.num_hosts; ++host) {
-      if (host != me_ && (live & (1ULL << host)) != 0) {
-        SendMsg(host, bump);
-      }
+    if (config_.num_hosts <= 64) {
+      bump.privbase = new_dead.LowWord();
+      live_set().ForEach([&](uint32_t host) {
+        if (host != me_) {
+          SendMsg(static_cast<HostId>(host), bump);
+        }
+      });
+    } else {
+      live_set().ForEach([&](uint32_t host) {
+        if (host == me_) {
+          return;
+        }
+        new_dead.ForEach([&](uint32_t d) {
+          bump.privbase = d;
+          SendMsg(static_cast<HostId>(host), bump);
+        });
+      });
     }
   }
-  for (uint16_t d = 0; d < config_.num_hosts; ++d) {
-    if ((newly_dead & (1ULL << d)) != 0) {
-      RepairAfterDeath(static_cast<HostId>(d));
-    }
-  }
+  newly_dead.ForEach([&](uint32_t d) { RepairAfterDeath(static_cast<HostId>(d)); });
   // Wake app threads: parked waiters re-send against the new membership
   // (their operations are all failover-idempotent), senders blocked in
   // AwaitMembershipChange re-route.
@@ -1675,10 +1736,10 @@ void DsmNode::RepairAfterDeath(HostId dead) {
   // Shard adoption accounting: the dead host's directory slots rehash to the
   // first live host after it in probe order.
   if (config_.manager_policy == ManagerPolicy::kSharded) {
-    const uint64_t live = live_mask();
-    for (uint16_t probe = 1; probe < config_.num_hosts; ++probe) {
+    const HostSet& live = live_set();
+    for (uint32_t probe = 1; probe < config_.num_hosts; ++probe) {
       const HostId c = static_cast<HostId>((dead + probe) % config_.num_hosts);
-      if ((live & (1ULL << c)) != 0) {
+      if (live.Contains(c)) {
         if (c == me_) {
           shards_adopted_.fetch_add(1, std::memory_order_relaxed);
         }
@@ -1686,7 +1747,6 @@ void DsmNode::RepairAfterDeath(HostId dead) {
       }
     }
   }
-  const uint64_t dead_bit = 1ULL << (dead & 63u);
   for (MinipageId id = 0; id < directory_->num_entries(); ++id) {
     DirEntry& e = directory_->Entry(id);
     if (e.lost) {
@@ -1702,8 +1762,8 @@ void DsmNode::RepairAfterDeath(HostId dead) {
       copyset_repairs_.fetch_add(1, std::memory_order_relaxed);
     }
     if (e.rebuilding) {
-      e.rebuild_pending_mask &= ~dead_bit;
-      if ((e.rebuild_pending_mask & live_mask()) == 0) {
+      e.rebuild_pending.Remove(dead);
+      if (!e.rebuild_pending.Intersects(live_set())) {
         FinishCopysetRebuild(id);
       }
       continue;
@@ -1714,8 +1774,9 @@ void DsmNode::RepairAfterDeath(HostId dead) {
     if (e.in_service && !e.write_pending && e.fetch_pending &&
         e.fetch_from == dead) {
       e.fetch_pending = false;
-      const uint64_t stable = e.copyset & ~(1ULL << (e.in_service_for & 63u));
-      if (stable == 0) {
+      HostSet stable = e.copyset;
+      stable.Remove(e.in_service_for);
+      if (stable.Empty()) {
         // No surviving stable copy: the contents are gone. The requester's
         // retry (fresh generation after its membership kick or timeout)
         // finds e.lost and gets the per-minipage error reply.
@@ -1739,7 +1800,7 @@ void DsmNode::RepairAfterDeath(HostId dead) {
     if (e.write_pending && e.write_remaining == dead) {
       e.lost = true;
     }
-    if (had_copy && e.copyset == 0) {
+    if (had_copy && e.copyset.Empty()) {
       // The dead host held the only copy: permanently degraded.
       e.lost = true;
     }
@@ -1749,7 +1810,7 @@ void DsmNode::RepairAfterDeath(HostId dead) {
       if (e.write_pending) {
         ReplyLost(e.pending_write);
         e.write_pending = false;
-        e.invalidates_pending_mask = 0;
+        e.invalidates_pending.Clear();
       }
       e.in_service = false;
       e.push_outstanding = 0;
@@ -1760,9 +1821,9 @@ void DsmNode::RepairAfterDeath(HostId dead) {
       continue;
     }
     // Retire the invalidation the dead host will never answer.
-    if (e.write_pending && (e.invalidates_pending_mask & dead_bit) != 0) {
-      e.invalidates_pending_mask &= ~dead_bit;
-      if (e.invalidates_pending_mask == 0) {
+    if (e.write_pending && e.invalidates_pending.Contains(dead)) {
+      e.invalidates_pending.Remove(dead);
+      if (e.invalidates_pending.Empty()) {
         MgrFinishWriteRound(id);
       }
     }
@@ -1770,7 +1831,7 @@ void DsmNode::RepairAfterDeath(HostId dead) {
     // outstanding per round).
     if (e.push_outstanding > 0) {
       if (--e.push_outstanding == 0) {
-        e.copyset = live_mask();
+        e.copyset = live_set();
         e.writable = false;
         MgrFinishService(id);
         continue;
@@ -1789,8 +1850,8 @@ void DsmNode::RepairAfterDeath(HostId dead) {
       it = (it->from == dead) ? l.waiters.erase(it) : std::next(it);
     }
     if (l.probing) {
-      l.probe_pending_mask &= ~dead_bit;
-      if ((l.probe_pending_mask & live_mask()) == 0) {
+      l.probe_pending.Remove(dead);
+      if (!l.probe_pending.Intersects(live_set())) {
         FinishLockProbe(lock_id);
       }
     }
@@ -1810,12 +1871,12 @@ void DsmNode::RepairAfterDeath(HostId dead) {
   }
   // Barrier: the dead host no longer counts toward (or blocks) release.
   BarrierState& b = directory_->barrier();
-  if ((b.arrived_mask & dead_bit) != 0) {
-    b.arrived_mask &= ~dead_bit;
+  if (b.arrived_set.Contains(dead)) {
+    b.arrived_set.Remove(dead);
     for (auto it = b.waiters.begin(); it != b.waiters.end();) {
       it = (it->from == dead) ? b.waiters.erase(it) : std::next(it);
     }
-    b.arrived = static_cast<uint32_t>(__builtin_popcountll(b.arrived_mask));
+    b.arrived = static_cast<uint32_t>(b.arrived_set.Count());
   }
   MaybeReleaseBarrier();
 }
@@ -1837,15 +1898,14 @@ bool DsmNode::AwaitMembershipChange(uint32_t epoch_before) {
   }
   std::unique_lock<std::mutex> lock(member_mu_);
   const auto changed = [&] {
-    return member_epoch_.load(std::memory_order_acquire) > epoch_before ||
-           slots_.aborted();
+    return member_epoch() > epoch_before || slots_.aborted();
   };
   if (config_.sync_timeout_ms == 0) {
     member_cv_.wait(lock, changed);
   } else {
     member_cv_.wait_for(lock, std::chrono::milliseconds(config_.sync_timeout_ms), changed);
   }
-  return member_epoch_.load(std::memory_order_acquire) > epoch_before;
+  return member_epoch() > epoch_before;
 }
 
 void DsmNode::ReplyLost(const MsgHeader& h) {
@@ -1868,7 +1928,8 @@ void DsmNode::ReplyLost(const MsgHeader& h) {
 void DsmNode::StartCopysetRebuild(const MsgHeader& h) {
   DirEntry& e = directory_->Entry(h.minipage);
   e.rebuilding = true;
-  e.rebuild_pending_mask = live_mask() & ~(1ULL << me_);
+  e.rebuild_pending = live_set();
+  e.rebuild_pending.Remove(me_);
   // Ask every live host whether it holds a copy; the translated geometry
   // travels in the header exactly like a forward, so responders can check
   // their own view protection without an MPT.
@@ -1877,11 +1938,8 @@ void DsmNode::StartCopysetRebuild(const MsgHeader& h) {
   query.from = me_;
   query.seq = kNoWaitSlot;
   query.flags = 0;
-  for (uint16_t host = 0; host < config_.num_hosts; ++host) {
-    if ((e.rebuild_pending_mask & (1ULL << host)) != 0) {
-      SendMsg(host, query);
-    }
-  }
+  e.rebuild_pending.ForEach(
+      [&](uint32_t host) { SendMsg(static_cast<HostId>(host), query); });
   // Count our own copy inline.
   const Minipage mp = MinipageFromHeader(h);
   const Protection mine = views_->GetProtection(mp);
@@ -1889,7 +1947,7 @@ void DsmNode::StartCopysetRebuild(const MsgHeader& h) {
     e.AddCopy(me_);
     e.writable = mine == Protection::kReadWrite;
   }
-  if (e.rebuild_pending_mask == 0) {
+  if (e.rebuild_pending.Empty()) {
     FinishCopysetRebuild(h.minipage);
   }
 }
@@ -1908,7 +1966,7 @@ void DsmNode::MgrHandleCopysetReply(const MsgHeader& h) {
   if (!e.rebuilding) {
     return;  // stale (rebuild already resolved)
   }
-  e.rebuild_pending_mask &= ~(1ULL << (h.from & 63u));
+  e.rebuild_pending.Remove(h.from);
   const auto prot = static_cast<Protection>(h.pgsize);
   if (prot != Protection::kNoAccess) {
     e.AddCopy(h.from);
@@ -1916,7 +1974,7 @@ void DsmNode::MgrHandleCopysetReply(const MsgHeader& h) {
       e.writable = true;
     }
   }
-  if ((e.rebuild_pending_mask & live_mask()) == 0) {
+  if (!e.rebuild_pending.Intersects(live_set())) {
     FinishCopysetRebuild(h.minipage);
   }
 }
@@ -1924,8 +1982,8 @@ void DsmNode::MgrHandleCopysetReply(const MsgHeader& h) {
 void DsmNode::FinishCopysetRebuild(MinipageId id) {
   DirEntry& e = directory_->Entry(id);
   e.rebuilding = false;
-  e.rebuild_pending_mask = 0;
-  if (e.copyset == 0) {
+  e.rebuild_pending.Clear();
+  if (e.copyset.Empty()) {
     // No live host holds a copy: the id died with its owner.
     e.lost = true;
     minipages_lost_.fetch_add(1, std::memory_order_relaxed);
@@ -1937,7 +1995,8 @@ void DsmNode::FinishCopysetRebuild(MinipageId id) {
     return;
   }
   MP_LOG(Error) << "host " << me_ << ": adopted minipage " << id
-                << ", rebuilt copyset 0x" << std::hex << e.copyset << std::dec;
+                << ", rebuilt copyset of " << e.copyset.Count()
+                << " (low mask 0x" << std::hex << e.copyset.LowWord() << std::dec << ")";
   if (!e.pending.empty() && !e.in_service) {
     MsgHeader next = e.pending.front();
     e.pending.pop_front();
@@ -1958,7 +2017,7 @@ std::string DsmNode::LivenessReport() const {
   snprintf(buf, sizeof(buf),
            "liveness{host=%u peers_down=0x%llx timeout_retries=%llu stale_replies=%llu "
            "fault_retries=%llu",
-           me_, (unsigned long long)peer_down_mask_.load(std::memory_order_relaxed),
+           me_, (unsigned long long)peers_down(),
            (unsigned long long)timeout_retries_.load(std::memory_order_relaxed),
            (unsigned long long)stale_replies_.load(std::memory_order_relaxed),
            (unsigned long long)fault_retries_.load(std::memory_order_relaxed));

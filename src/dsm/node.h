@@ -32,6 +32,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/host_set.h"
 #include "src/common/logging.h"
 #include "src/common/metrics.h"
 #include "src/common/stats.h"
@@ -82,7 +83,7 @@ class DsmNode {
   // True when this host's shard serves directory/lock state for `id` under
   // the current membership (live-aware: adopted ids count after a failover).
   bool OwnsShard(uint32_t id) const {
-    return config_.ManagerOfLive(id, live_mask()) == me_;
+    return config_.ManagerOfLive(id, live_set()) == me_;
   }
   const DsmConfig& config() const { return config_; }
   ViewSet& views() { return *views_; }
@@ -161,14 +162,16 @@ class DsmNode {
   // Monotonically increasing membership epoch. Every datagram is stamped
   // with it (high bits of the wire `from` field); pre-death traffic from a
   // host later declared dead is discarded like a stale generation.
-  uint32_t member_epoch() const { return member_epoch_.load(std::memory_order_acquire); }
-  // Bitmask of hosts this node has declared dead (cumulative).
-  uint64_t dead_mask() const { return dead_mask_.load(std::memory_order_acquire); }
-  uint64_t live_mask() const {
-    const uint64_t all =
-        config_.num_hosts == 64 ? ~0ULL : ((1ULL << config_.num_hosts) - 1);
-    return all & ~dead_mask();
-  }
+  uint32_t member_epoch() const { return membership().epoch; }
+  // Hosts this node has declared dead (cumulative) / their complement. The
+  // returned references point into an immutable membership snapshot retained
+  // for the node's lifetime, so they stay valid across concurrent bumps
+  // (readers may just observe a superseded snapshot).
+  const HostSet& dead_set() const { return membership().dead; }
+  const HostSet& live_set() const { return membership().live; }
+  // Legacy mask accessors (hosts 0..63 only) for diagnostics and tests.
+  uint64_t dead_mask() const { return dead_set().LowWord(); }
+  uint64_t live_mask() const { return live_set().LowWord(); }
   // True when a peer death is answered with epoch-bump recovery instead of
   // the sticky whole-cluster abort: sharded directory, recovery enabled. A
   // dead host 0 is always unrecoverable (it owns the MPT and allocator).
@@ -179,7 +182,9 @@ class DsmNode {
   // Marks `peer` for recovery processing (the simulator's injection point;
   // the threaded path arrives through the transport's peer-down callback).
   void InjectPeerDeath(HostId peer) {
-    pending_death_mask_.fetch_or(1ULL << (peer & 63u), std::memory_order_acq_rel);
+    std::lock_guard<std::mutex> lock(pending_death_mu_);
+    pending_deaths_.Add(peer);
+    has_pending_deaths_.store(true, std::memory_order_release);
   }
   // Executes any pending host-death recovery: bumps the membership epoch,
   // broadcasts it, repairs the directory shard (copyset repair, shard
@@ -223,8 +228,16 @@ class DsmNode {
   uint64_t timeout_retries() const { return timeout_retries_.load(std::memory_order_relaxed); }
   // Late replies to abandoned attempts, discarded by generation check.
   uint64_t stale_replies() const { return stale_replies_.load(std::memory_order_relaxed); }
-  // Bitmask of peers this node has observed down.
-  uint64_t peers_down() const { return peer_down_mask_.load(std::memory_order_relaxed); }
+  // Bitmask of peers this node has observed down (hosts 0..63 only — use
+  // peers_down_set() for the full set on large clusters).
+  uint64_t peers_down() const {
+    std::lock_guard<std::mutex> lock(peer_down_mu_);
+    return peer_down_.LowWord();
+  }
+  HostSet peers_down_set() const {
+    std::lock_guard<std::mutex> lock(peer_down_mu_);
+    return peer_down_;
+  }
 
   // One-line snapshot of liveness state (peers down, retry counts, manager
   // directory/barrier occupancy). Best-effort racy read, for diagnostics.
@@ -325,13 +338,13 @@ class DsmNode {
 
   // Owning shard for `id` under the current live set.
   HostId LiveManagerOf(uint32_t id) const {
-    return config_.ManagerOfLive(id, live_mask());
+    return config_.ManagerOfLive(id, live_set());
   }
-  // Merges (epoch, dead mask) into local membership; on change, repairs the
+  // Merges (epoch, dead set) into local membership; on change, repairs the
   // directory for each newly dead host, kicks waiters, and drains deferred
   // messages. `broadcast` additionally announces the new membership to every
   // live peer (the detector path).
-  void ApplyMembership(uint32_t epoch, uint64_t dead, bool broadcast);
+  void ApplyMembership(uint32_t epoch, const HostSet& dead, bool broadcast);
   void RepairAfterDeath(HostId dead);
   void DrainDeferred();
   // App-thread side of recovery: blocks (bounded by sync_timeout_ms) until
@@ -366,6 +379,9 @@ class DsmNode {
   }
 
   const DsmConfig config_;
+  // Wire host/epoch split for this cluster size (v0 ≤64 hosts, v1 above);
+  // every datagram is stamped/stripped through it.
+  const WireCodec codec_;
   const HostId me_;
   Transport* const transport_;
   std::unique_ptr<ViewSet> views_;
@@ -402,15 +418,32 @@ class DsmNode {
   // read elsewhere only for diagnostics.
   std::atomic<uint32_t> slot_gen_[WaitSlots::kMaxSlots] = {};
   std::atomic<bool> draining_{false};
-  std::atomic<uint64_t> peer_down_mask_{0};
+  mutable std::mutex peer_down_mu_;
+  HostSet peer_down_;  // peers observed down (guarded by peer_down_mu_)
   std::atomic<uint64_t> timeout_retries_{0};
   std::atomic<uint64_t> stale_replies_{0};
 
-  // Membership state. Epoch and masks are atomics because app threads route
-  // by them; all mutation happens on the server thread (or the sim driver).
-  std::atomic<uint32_t> member_epoch_{0};
-  std::atomic<uint64_t> dead_mask_{0};
-  std::atomic<uint64_t> pending_death_mask_{0};
+  // Membership: (epoch, dead set, live set) published as an immutable
+  // snapshot behind one atomic pointer, so app threads routing by membership
+  // never see a torn epoch/mask pair and never take a lock. All mutation
+  // happens on the server thread (or the sim driver); superseded snapshots
+  // are retained until node destruction — membership changes at most
+  // num_hosts times, so the history is tiny.
+  struct Membership {
+    uint32_t epoch = 0;
+    HostSet dead;
+    HostSet live;
+  };
+  const Membership& membership() const {
+    return *membership_.load(std::memory_order_acquire);
+  }
+  void PublishMembership(std::unique_ptr<Membership> next);
+
+  std::atomic<const Membership*> membership_{nullptr};
+  std::vector<std::unique_ptr<Membership>> membership_history_;  // server thread only
+  std::mutex pending_death_mu_;
+  HostSet pending_deaths_;  // guarded by pending_death_mu_
+  std::atomic<bool> has_pending_deaths_{false};
   std::deque<MsgHeader> deferred_;  // server thread only: messages from a
                                     // newer epoch, held until the bump lands
   mutable std::mutex member_mu_;

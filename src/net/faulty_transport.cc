@@ -20,11 +20,10 @@ void FaultyTransport::SetPeerDownHandler(PeerDownHandler handler) {
 void FaultyTransport::KillPeer(HostId peer) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    const uint64_t bit = 1ULL << (peer % 64);
-    if ((dead_mask_ & bit) != 0) {
+    if (dead_.Contains(peer)) {
       return;
     }
-    dead_mask_ |= bit;
+    dead_.Add(peer);
   }
   MP_LOG(Info) << "FaultyTransport: peer " << peer << " declared dead";
   NotifyPeerDown(peer);
@@ -32,7 +31,7 @@ void FaultyTransport::KillPeer(HostId peer) {
 
 bool FaultyTransport::peer_dead(HostId peer) const {
   std::lock_guard<std::mutex> lock(mu_);
-  return (dead_mask_ & (1ULL << (peer % 64))) != 0;
+  return dead_.Contains(peer);
 }
 
 void FaultyTransport::DropSends(HostId to, MsgType type, uint32_t count) {
@@ -82,7 +81,7 @@ Status FaultyTransport::Send(HostId to, MsgHeader h, const void* payload, size_t
   uint64_t delay_us = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if ((dead_mask_ & (1ULL << (to % 64))) != 0) {
+    if (dead_.Contains(to)) {
       return Status::Unavailable("host " + std::to_string(to) + " is down (injected)");
     }
     for (Filter& f : send_drops_) {
@@ -115,8 +114,13 @@ Status FaultyTransport::Send(HostId to, MsgHeader h, const void* payload, size_t
 }
 
 bool FaultyTransport::ConsumeReceiveDrop(const MsgHeader& h) {
+  // The header is raw off the wire: `from` still carries the sender's
+  // membership-epoch tag in its high bits, so decode the host id with the
+  // cluster's codec before consulting the dead set (a tagged id fed to
+  // HostSet directly would alias — or fatal past kMaxHosts).
+  const HostId from = WireCodec::For(inner_->num_hosts()).Host(h.from);
   std::lock_guard<std::mutex> lock(mu_);
-  if ((dead_mask_ & (1ULL << (h.from % 64))) != 0) {
+  if (dead_.Contains(from)) {
     receives_dropped_++;
     return true;  // a dead peer's in-flight traffic never arrives
   }

@@ -25,6 +25,7 @@
 #include <mutex>
 #include <vector>
 
+#include "src/common/host_set.h"
 #include "src/net/transport.h"
 
 namespace millipage {
@@ -90,7 +91,7 @@ class FaultyTransport : public Transport {
 
   Transport* const inner_;
   mutable std::mutex mu_;
-  uint64_t dead_mask_ = 0;
+  HostSet dead_;
   std::vector<Filter> send_drops_;
   std::vector<Filter> recv_drops_;
   std::vector<Filter> send_delays_;

@@ -48,8 +48,11 @@ enum class MsgType : uint8_t {
   kDiffAck,        // LRC: home applied the diff
   kShutdown,
   // Membership / recovery protocol (host-death survival).
-  kEpochBump,       // membership epoch advanced: minipage = new epoch,
-                    // privbase = cumulative dead-host mask
+  kEpochBump,       // membership epoch advanced: minipage = new epoch;
+                    // privbase = cumulative dead-host mask (≤64-host
+                    // clusters, wire-compatible with the original format) or
+                    // one newly-dead host id per bump (>64-host clusters,
+                    // one datagram per death)
   kCopysetQuery,    // adopting shard asks "do you hold a copy?" (translated
                     // geometry travels in the header, like a forward)
   kCopysetReply,    // answer: pgsize = local Protection value for the id
@@ -69,29 +72,59 @@ inline constexpr uint8_t kFlagAbort = 0x20;     // push aborted by the pusher
 inline constexpr uint8_t kFlagWriteFetch = 0x40;  // LRC: fetch opens for writing
 inline constexpr uint8_t kFlagHomeGrant = 0x80;   // LRC: requester is the home
 
-// Membership-epoch tag, packed into the high bits of MsgHeader::from. Host
-// ids are capped at 64 (the copyset is a 64-bit mask), so a HostId needs only
-// the low 6 bits of the uint16 field; the remaining 10 carry the sender's
-// membership epoch mod 1024. The tag is stamped on the wire copy at send time
-// and stripped before dispatch, so protocol logic only ever sees pure host
-// ids — and the header stays at 32 bytes.
+// Membership-epoch tag, packed into the high bits of MsgHeader::from. The
+// uint16 field carries both the sender's host id and its membership epoch
+// (mod a power of two); how the 16 bits are split is a property of the
+// cluster *size*, versioned by WireCodec below. The tag is stamped on the
+// wire copy at send time and stripped before dispatch, so protocol logic
+// only ever sees pure host ids — and the header stays at 32 bytes.
+//
+// v0 (clusters of ≤ 64 hosts): low 6 bits host id, high 10 bits epoch mod
+// 1024 — bit-identical to every release since the epoch tag was introduced,
+// so small clusters stay wire-compatible (the golden-bytes regression test
+// pins this). v1 (> 64 hosts): low 10 bits host id (up to kMaxHosts = 1024),
+// high 6 bits epoch mod 64. Both sides of a cluster share one num_hosts, so
+// they always agree on the codec; mod-64 epochs are ample — an epoch bump
+// consumes a host death, so wraparound needs 64 deaths with a 32-epoch-stale
+// datagram still in flight.
 inline constexpr uint16_t kHostIdMask = 0x3f;
 inline constexpr uint32_t kEpochTagShift = 6;
 inline constexpr uint32_t kEpochTagMask = 0x3ff;
 
-inline uint16_t PackFromEpoch(HostId from, uint32_t epoch) {
-  return static_cast<uint16_t>((from & kHostIdMask) |
-                               ((epoch & kEpochTagMask) << kEpochTagShift));
-}
-inline HostId FromHost(uint16_t from) { return from & kHostIdMask; }
-inline uint32_t FromEpochTag(uint16_t from) { return from >> kEpochTagShift; }
+struct WireCodec {
+  uint16_t host_mask;
+  uint32_t epoch_shift;
+  uint32_t epoch_mask;
 
-// True when tag `t` is older than tag `now` under mod-1024 wraparound: the
-// signed circular distance (now - t) lands in (0, 512). Equal tags and tags
-// ahead of `now` (a peer that bumped first) are not stale.
+  static constexpr WireCodec For(uint32_t num_hosts) {
+    return num_hosts <= 64 ? WireCodec{0x3f, 6, 0x3ff}      // v0: legacy split
+                           : WireCodec{0x3ff, 10, 0x3f};    // v1: wide hosts
+  }
+
+  uint16_t Pack(HostId from, uint32_t epoch) const {
+    return static_cast<uint16_t>((from & host_mask) | ((epoch & epoch_mask) << epoch_shift));
+  }
+  HostId Host(uint16_t from) const { return from & host_mask; }
+  uint32_t EpochTag(uint16_t from) const { return from >> epoch_shift; }
+
+  // True when tag `t` is older than tag `now` under modular wraparound: the
+  // signed circular distance (now - t) lands in (0, modulus/2). Equal tags
+  // and tags ahead of `now` (a peer that bumped first) are not stale.
+  bool TagStale(uint32_t t, uint32_t now) const {
+    const uint32_t d = (now - t) & epoch_mask;
+    return d != 0 && d < (epoch_mask + 1) / 2;
+  }
+};
+
+// Legacy free functions: the v0 codec, kept for call sites that are
+// ≤64-host by construction (bench_epoch's tag micro-bench, old tests).
+inline uint16_t PackFromEpoch(HostId from, uint32_t epoch) {
+  return WireCodec::For(64).Pack(from, epoch);
+}
+inline HostId FromHost(uint16_t from) { return WireCodec::For(64).Host(from); }
+inline uint32_t FromEpochTag(uint16_t from) { return WireCodec::For(64).EpochTag(from); }
 inline bool EpochTagStale(uint32_t t, uint32_t now) {
-  const uint32_t d = (now - t) & kEpochTagMask;
-  return d != 0 && d < (kEpochTagMask + 1) / 2;
+  return WireCodec::For(64).TagStale(t, now);
 }
 
 // Canonical shared address: (application view, offset within the memory

@@ -32,21 +32,32 @@ class SimEndpoint : public Transport {
 };
 
 SimNet::SimNet(uint16_t num_hosts, uint64_t seed, SimOptions options)
-    : num_hosts_(num_hosts),
-      options_(options),
-      rng_(seed),
-      queues_(static_cast<size_t>(num_hosts) * num_hosts),
-      pair_tail_us_(static_cast<size_t>(num_hosts) * num_hosts, 0),
-      staged_(num_hosts) {
+    : num_hosts_(num_hosts), options_(options), seed_(seed), rng_(seed), staged_(num_hosts) {
   MP_CHECK(num_hosts > 0);
   MP_CHECK(options_.min_delay_us <= options_.max_delay_us);
-  pair_rng_.reserve(queues_.size());
-  for (size_t pair = 0; pair < queues_.size(); ++pair) {
-    pair_rng_.emplace_back(seed ^ (0x9e3779b97f4a7c15ULL * (pair + 1)));
-  }
   endpoints_.reserve(num_hosts);
   for (uint16_t h = 0; h < num_hosts; ++h) {
     endpoints_.push_back(std::make_unique<SimEndpoint>(this, h));
+  }
+}
+
+SimNet::PairState& SimNet::Pair(size_t pair) {
+  auto it = pairs_.find(pair);
+  if (it == pairs_.end()) {
+    // Same seed formula the eagerly-preallocated fabric used, so a pair's
+    // jitter stream is identical whether it is created up-front or on its
+    // first send.
+    it = pairs_.emplace(pair, PairState(seed_ ^ (0x9e3779b97f4a7c15ULL * (pair + 1)))).first;
+  }
+  return it->second;
+}
+
+void SimNet::UnindexHead(size_t pair, uint64_t arrival) {
+  const auto it = heads_.find(arrival);
+  MP_CHECK(it != heads_.end());
+  it->second.erase(pair);
+  if (it->second.empty()) {
+    heads_.erase(it);
   }
 }
 
@@ -64,10 +75,7 @@ uint64_t SimNet::now_us() const {
 
 size_t SimNet::pending() const {
   std::lock_guard<std::mutex> lock(mu_);
-  size_t n = 0;
-  for (const auto& q : queues_) {
-    n += q.size();
-  }
+  size_t n = queued_;
   for (const auto& q : staged_) {
     n += q.size();
   }
@@ -92,20 +100,34 @@ void SimNet::Drop(HostId dst, MsgType type, uint32_t count) {
 void SimNet::KillHost(HostId v) {
   MP_CHECK(v < num_hosts_);
   std::lock_guard<std::mutex> lock(mu_);
-  dead_mask_ |= 1ULL << v;
-  for (uint16_t peer = 0; peer < num_hosts_; ++peer) {
-    dropped_ += queues_[PairIndex(v, peer)].size();
-    dropped_ += queues_[PairIndex(peer, v)].size();
-    queues_[PairIndex(v, peer)].clear();
-    queues_[PairIndex(peer, v)].clear();
+  dead_.Add(v);
+  // In-flight datagrams die with the host: purge every pair it sends on or
+  // receives on, unhooking their heads from the scheduling index.
+  for (auto it = pairs_.begin(); it != pairs_.end();) {
+    const size_t pair = it->first;
+    const HostId from = static_cast<HostId>(pair / num_hosts_);
+    const HostId to = static_cast<HostId>(pair % num_hosts_);
+    if (from != v && to != v) {
+      ++it;
+      continue;
+    }
+    if (!it->second.q.empty()) {
+      UnindexHead(pair, it->second.q.front().arrival_us);
+      dropped_ += it->second.q.size();
+      queued_ -= it->second.q.size();
+    }
+    // Erase the whole pair state: a dead host's channels carry no further
+    // traffic (SendFrom swallows), so the jitter stream is never consulted
+    // again and the tail clamp is moot.
+    it = pairs_.erase(it);
   }
   dropped_ += staged_[v].size();
   staged_[v].clear();
 }
 
-uint64_t SimNet::dead_mask() const {
+HostSet SimNet::dead_set() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return dead_mask_;
+  return dead_;
 }
 
 Status SimNet::SendFrom(HostId from, HostId to, const MsgHeader& h, const void* payload,
@@ -114,7 +136,7 @@ Status SimNet::SendFrom(HostId from, HostId to, const MsgHeader& h, const void* 
     return Status::Invalid("SimNet: bad destination host");
   }
   std::lock_guard<std::mutex> lock(mu_);
-  if (((dead_mask_ >> from) & 1u) != 0 || ((dead_mask_ >> to) & 1u) != 0) {
+  if (dead_.Contains(from) || dead_.Contains(to)) {
     dropped_++;
     return Status::Ok();  // dead hosts neither send nor receive
   }
@@ -136,45 +158,51 @@ Status SimNet::SendFrom(HostId from, HostId to, const MsgHeader& h, const void* 
   // Jitter explores interleavings; the pair-tail clamp keeps each (sender,
   // receiver) channel FIFO regardless of the draws.
   const size_t pair = PairIndex(from, to);
+  PairState& ps = Pair(pair);
   const uint64_t jitter =
       options_.min_delay_us == options_.max_delay_us
           ? options_.min_delay_us
-          : pair_rng_[pair].Range(options_.min_delay_us, options_.max_delay_us);
-  const uint64_t arrival = std::max(now_us_ + jitter, pair_tail_us_[pair]);
-  pair_tail_us_[pair] = arrival;
+          : ps.rng.Range(options_.min_delay_us, options_.max_delay_us);
+  const uint64_t arrival = std::max(now_us_ + jitter, ps.tail_us);
+  ps.tail_us = arrival;
   m.arrival_us = arrival;
-  queues_[pair].push_back(std::move(m));
+  if (ps.q.empty()) {
+    heads_[arrival].insert(pair);  // this message becomes the pair's head
+  }
+  ps.q.push_back(std::move(m));
+  queued_++;
   return Status::Ok();
 }
 
 bool SimNet::ScheduleNext(HostId* dst) {
   std::lock_guard<std::mutex> lock(mu_);
-  // Collect the pair-queue heads with the globally minimal arrival time.
-  // Iteration order over pairs is fixed, so the candidate list — and with it
-  // the seeded tie-break — is deterministic.
-  uint64_t best = ~0ULL;
-  std::vector<size_t> candidates;
-  for (size_t pair = 0; pair < queues_.size(); ++pair) {
-    if (queues_[pair].empty()) {
-      continue;
-    }
-    const uint64_t a = queues_[pair].front().arrival_us;
-    if (a < best) {
-      best = a;
-      candidates.clear();
-    }
-    if (a == best) {
-      candidates.push_back(pair);
-    }
-  }
-  if (candidates.empty()) {
+  // The heads index keeps pair-queue heads bucketed by arrival time, so the
+  // globally minimal bucket is begin() — no scan over every pair. The bucket
+  // iterates pairs in ascending id order (std::set), the same candidate
+  // order the original linear scan produced, so the seeded tie-break draws
+  // match and schedules stay byte-identical.
+  if (heads_.empty()) {
     return false;
   }
-  const size_t pair = candidates.size() == 1
-                          ? candidates[0]
-                          : candidates[rng_.Below(candidates.size())];
-  SimMsg m = std::move(queues_[pair].front());
-  queues_[pair].pop_front();
+  const auto bucket = heads_.begin();
+  const std::set<size_t>& candidates = bucket->second;
+  size_t pair;
+  if (candidates.size() == 1) {
+    pair = *candidates.begin();
+  } else {
+    size_t skip = rng_.Below(candidates.size());
+    auto it = candidates.begin();
+    std::advance(it, skip);
+    pair = *it;
+  }
+  PairState& ps = pairs_.at(pair);
+  SimMsg m = std::move(ps.q.front());
+  ps.q.pop_front();
+  queued_--;
+  UnindexHead(pair, m.arrival_us);
+  if (!ps.q.empty()) {
+    heads_[ps.q.front().arrival_us].insert(pair);
+  }
   now_us_ = std::max(now_us_, m.arrival_us);
   const HostId to = static_cast<HostId>(pair % num_hosts_);
   staged_[to].push_back(std::move(m));

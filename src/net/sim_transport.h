@@ -21,10 +21,14 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <set>
+#include <unordered_map>
 #include <vector>
 
+#include "src/common/host_set.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/net/message.h"
@@ -77,7 +81,7 @@ class SimNet {
   // failure — so the failure is only observable as missing replies, exactly
   // the signal the node-side failure detector works from.
   void KillHost(HostId v);
-  uint64_t dead_mask() const;
+  HostSet dead_set() const;
 
   // Messages scheduled + dropped so far (diagnostics).
   uint64_t delivered() const;
@@ -98,6 +102,26 @@ class SimNet {
     uint32_t remaining = 0;
   };
 
+  // All live state of one (sender, receiver) channel, created lazily on the
+  // pair's first send. A 1024-host fabric has ~1M pairs, almost all of them
+  // forever idle — preallocating queues and RNGs for each (the original
+  // design) costs hundreds of megabytes; the map holds only pairs that have
+  // ever carried traffic.
+  struct PairState {
+    std::deque<SimMsg> q;
+    // Latency jitter draws come from a per-pair stream, so a message's
+    // arrival time depends only on its position in its own channel — not on
+    // how concurrent senders on other pairs interleave their enqueues.
+    // Without this, the membership-recovery kick (which wakes several hosts'
+    // workers at once) would make delivery schedules race-dependent. The
+    // lazy seed formula matches the old eager preallocation, so schedules
+    // are byte-identical to the fixed-size fabric.
+    Rng rng;
+    uint64_t tail_us = 0;  // last arrival (FIFO clamp)
+
+    explicit PairState(uint64_t seed) : rng(seed) {}
+  };
+
   Status SendFrom(HostId from, HostId to, const MsgHeader& h, const void* payload,
                   size_t len);
   Result<bool> PollStaged(HostId me, MsgHeader* h, const PayloadSink& sink);
@@ -105,25 +129,30 @@ class SimNet {
   size_t PairIndex(HostId from, HostId to) const {
     return static_cast<size_t>(from) * num_hosts_ + to;
   }
+  PairState& Pair(size_t pair);
+  // Removes `pair` from the heads index, dropping the (arrival) bucket when
+  // it empties.
+  void UnindexHead(size_t pair, uint64_t arrival);
 
   const uint16_t num_hosts_;
   const SimOptions options_;
+  const uint64_t seed_;
 
   mutable std::mutex mu_;
   Rng rng_;  // scheduler-side draws (tie-breaks) — driver thread only
-  // Latency jitter draws come from a per-pair stream, so a message's arrival
-  // time depends only on its position in its own (sender, receiver) channel —
-  // not on how concurrent senders on other pairs interleave their enqueues.
-  // Without this, the membership-recovery kick (which wakes several hosts'
-  // workers at once) would make delivery schedules race-dependent.
-  std::vector<Rng> pair_rng_;
   uint64_t now_us_ = 0;
   uint64_t delivered_ = 0;
   uint64_t dropped_ = 0;
-  uint64_t dead_mask_ = 0;
-  std::vector<std::deque<SimMsg>> queues_;      // indexed by PairIndex
-  std::vector<uint64_t> pair_tail_us_;          // last arrival per pair (FIFO clamp)
-  std::vector<std::deque<SimMsg>> staged_;      // per destination
+  size_t queued_ = 0;  // messages in pair queues (not yet staged)
+  HostSet dead_;
+  std::unordered_map<size_t, PairState> pairs_;  // keyed by PairIndex
+  // Scheduling index: head-of-queue arrival time -> pair ids whose head
+  // arrives then. begin() is the globally earliest arrival; the inner set
+  // iterates pairs in ascending id order, which is exactly the candidate
+  // order the original linear scan produced — so the seeded tie-break sees
+  // the same candidate list and schedules stay byte-identical.
+  std::map<uint64_t, std::set<size_t>> heads_;
+  std::vector<std::deque<SimMsg>> staged_;  // per destination
   std::vector<DropRule> drop_rules_;
   std::vector<std::unique_ptr<SimEndpoint>> endpoints_;
 };

@@ -281,22 +281,28 @@ TEST(Sharded, AdoptsDeadShardLockAndBarrierQueues) {
 // ctzll(0) — both UB returning a garbage host. It must die loudly instead.
 TEST(ShardedDeathTest, PickReplicaOnEmptyCopysetDies) {
   DirEntry e;
-  ASSERT_EQ(e.copyset, 0u);
+  ASSERT_TRUE(e.copyset.Empty());
   EXPECT_DEATH((void)e.PickReplica(0), "empty copyset");
 }
 
-// Host ids >= 64 would shift out of the copyset mask (UB, then silent
-// membership aliasing). The accessors reject them...
-TEST(ShardedDeathTest, CopysetHostIdPast64Dies) {
+// Host ids >= kMaxHosts exceed the wire format's 10-bit host field (a corrupt
+// id, not a big cluster). The accessors reject them loudly — ids in
+// [64, kMaxHosts) are now valid and spill into the HostSet bitmap...
+TEST(ShardedDeathTest, CopysetHostIdPastMaxDies) {
   DirEntry e;
-  EXPECT_DEATH(e.AddCopy(64), "out of 64-bit mask range");
-  EXPECT_DEATH((void)e.HasCopy(200), "out of 64-bit mask range");
-  EXPECT_DEATH(e.RemoveCopy(64), "out of 64-bit mask range");
+  e.AddCopy(64);  // used to be fatal: now a legal large-cluster id
+  e.AddCopy(1023);
+  EXPECT_TRUE(e.HasCopy(64));
+  EXPECT_TRUE(e.HasCopy(1023));
+  EXPECT_EQ(e.CopyCount(), 2);
+  EXPECT_DEATH(e.AddCopy(kMaxHosts), "out of range");
+  EXPECT_DEATH((void)e.HasCopy(2000), "out of range");
+  EXPECT_DEATH(e.RemoveCopy(kMaxHosts), "out of range");
 }
 
 // ...and cluster construction refuses deployments that could produce them.
-TEST(Sharded, RejectsMoreThan64Hosts) {
-  DsmConfig cfg = ShardedCfg(65);
+TEST(Sharded, RejectsMoreThanMaxHosts) {
+  DsmConfig cfg = ShardedCfg(static_cast<uint16_t>(kMaxHosts + 1));
   cfg.num_views = 1;
   auto cluster = DsmCluster::Create(cfg);
   ASSERT_FALSE(cluster.ok());

@@ -254,8 +254,10 @@ TEST(DsmSweepExtra, ManySmallAllocationsRoundTrip) {
 
 TEST(DsmSweepExtra, ConfigValidation) {
   DsmConfig cfg;
-  cfg.num_hosts = 65;  // copyset bitmask limit
-  InProcTransport t(65);
+  cfg.num_hosts = static_cast<uint16_t>(kMaxHosts + 1);  // 10-bit wire-host-id limit
+  InProcTransport t(kMaxHosts + 1);
+  EXPECT_FALSE(DsmNode::Create(cfg, 0, &t).ok());
+  cfg.num_hosts = 0;
   EXPECT_FALSE(DsmNode::Create(cfg, 0, &t).ok());
   cfg.num_hosts = 2;
   EXPECT_FALSE(DsmNode::Create(cfg, 7, &t).ok());  // id out of range

@@ -365,22 +365,27 @@ TEST(HistoryChecker, FlagsWrongShard) {
   EXPECT_TRUE(CheckShardAffinity(h, 4).ok);
 }
 
+// kEpochBump trace encoding: arg1 = new epoch, arg2 = newly-dead host id + 1
+// (one event per death; arg2 = 0 when no new host died).
 TEST(HistoryChecker, FlagsEpochRegression) {
   std::vector<TraceEvent> h(2);
-  h[0] = {0, TraceEventKind::kEpochBump, 0, ~0u, 0, 2, 0x4};
-  h[1] = {1, TraceEventKind::kEpochBump, 0, ~0u, 0, 1, 0x4};  // epoch went back
+  h[0] = {0, TraceEventKind::kEpochBump, 0, ~0u, 0, 2, 3};  // host 2 died
+  h[1] = {1, TraceEventKind::kEpochBump, 0, ~0u, 0, 1, 3};  // epoch went back
   const CheckReport r = CheckEpochMonotonicity(h, 3);
   ASSERT_FALSE(r.ok);
   EXPECT_NE(r.message.find("backwards"), std::string::npos) << r.message;
 }
 
-TEST(HistoryChecker, FlagsShrinkingDeadMask) {
+// The old cumulative-mask encoding could express a shrinking dead set; the
+// per-death encoding cannot, so the grow-only invariant is now "each host
+// announces each death at most once".
+TEST(HistoryChecker, FlagsDoubleDeathAnnouncement) {
   std::vector<TraceEvent> h(2);
-  h[0] = {0, TraceEventKind::kEpochBump, 0, ~0u, 0, 1, 0x6};
-  h[1] = {1, TraceEventKind::kEpochBump, 0, ~0u, 0, 2, 0x2};  // host 2 revived
+  h[0] = {0, TraceEventKind::kEpochBump, 0, ~0u, 0, 1, 3};  // host 2 died
+  h[1] = {1, TraceEventKind::kEpochBump, 0, ~0u, 0, 2, 3};  // ...died again?
   const CheckReport r = CheckEpochMonotonicity(h, 3);
   ASSERT_FALSE(r.ok);
-  EXPECT_NE(r.message.find("back from the dead"), std::string::npos) << r.message;
+  EXPECT_NE(r.message.find("dead twice"), std::string::npos) << r.message;
 }
 
 TEST(HistoryChecker, FlagsPreDeathGrantHonoredAfterBump) {
@@ -388,7 +393,7 @@ TEST(HistoryChecker, FlagsPreDeathGrantHonoredAfterBump) {
   // epoch 1 (host 1 died) but still completes the fault against that grant.
   std::vector<TraceEvent> h(3);
   h[0] = {0, TraceEventKind::kMgrReadGrant, 1, 3, 0, 0, 0};
-  h[1] = {1, TraceEventKind::kEpochBump, 0, ~0u, 0, 1, 0x2};
+  h[1] = {1, TraceEventKind::kEpochBump, 0, ~0u, 0, 1, 2};  // host 1 died
   h[2] = {2, TraceEventKind::kFaultEnd, 0, 3, 0, 0, 0};
   const CheckReport r = CheckEpochMonotonicity(h, 2);
   ASSERT_FALSE(r.ok);
@@ -396,8 +401,8 @@ TEST(HistoryChecker, FlagsPreDeathGrantHonoredAfterBump) {
   // The same completion is clean when the grant was traced after the
   // requester's own bump: that is what a kicked retry produces.
   std::vector<TraceEvent> ok(4);
-  ok[0] = {0, TraceEventKind::kEpochBump, 0, ~0u, 0, 1, 0x4};
-  ok[1] = {1, TraceEventKind::kEpochBump, 1, ~0u, 0, 1, 0x4};
+  ok[0] = {0, TraceEventKind::kEpochBump, 0, ~0u, 0, 1, 3};  // host 2 died
+  ok[1] = {1, TraceEventKind::kEpochBump, 1, ~0u, 0, 1, 3};
   ok[2] = {2, TraceEventKind::kMgrReadGrant, 1, 3, 0, 0, 0};
   ok[3] = {3, TraceEventKind::kFaultEnd, 0, 3, 0, 0, 0};
   EXPECT_TRUE(CheckEpochMonotonicity(ok, 3).ok);
@@ -405,7 +410,7 @@ TEST(HistoryChecker, FlagsPreDeathGrantHonoredAfterBump) {
 
 TEST(HistoryChecker, FlagsSelfDeclaredDeath) {
   std::vector<TraceEvent> h(1);
-  h[0] = {0, TraceEventKind::kEpochBump, 1, ~0u, 0, 1, 0x2};  // host 1 says "1 is dead"
+  h[0] = {0, TraceEventKind::kEpochBump, 1, ~0u, 0, 1, 2};  // host 1 says "1 is dead"
   const CheckReport r = CheckEpochMonotonicity(h, 2);
   ASSERT_FALSE(r.ok);
   EXPECT_NE(r.message.find("itself"), std::string::npos) << r.message;
@@ -419,7 +424,7 @@ TEST(HistoryChecker, ShardAffinityFollowsFailover) {
   pre[0] = {0, TraceEventKind::kMgrReadGrant, 2, 5, 0, 0, 0};
   ASSERT_FALSE(CheckShardAffinity(pre, 4).ok);
   std::vector<TraceEvent> post(2);
-  post[0] = {0, TraceEventKind::kEpochBump, 2, ~0u, 0, 1, 0x2};
+  post[0] = {0, TraceEventKind::kEpochBump, 2, ~0u, 0, 1, 2};  // host 1 died
   post[1] = {1, TraceEventKind::kMgrReadGrant, 2, 5, 0, 0, 0};
   EXPECT_TRUE(CheckShardAffinity(post, 4).ok);
   post[1].host = 1;  // the dead shard serving after the bump is a violation
