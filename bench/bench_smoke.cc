@@ -35,6 +35,7 @@ const char* const kBenchBinaries[] = {
     "bench_ext_lrc",
     "bench_ext_composed_views",
     "bench_epoch",
+    "bench_protocol_batching",
     "bench_micro_primitives",
 };
 

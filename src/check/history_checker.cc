@@ -142,11 +142,23 @@ CheckReport CheckBarrierEpochs(const std::vector<TraceEvent>& history,
 }
 
 CheckReport CheckLockExclusivity(const std::vector<TraceEvent>& history) {
-  // lock id -> holder (or no entry when free).
-  std::map<uint32_t, uint64_t> held;
-  // Death implicitly releases: a dead holder can never unlock, and when the
-  // holder was also the lock's shard no survivor even knows it held the lock
-  // (the adopter's probe only finds LIVE holders), so no release is traced.
+  // A grant is attributed to the shard that issued it: when that shard later
+  // dies, its grant becomes unverifiable offline — the grant message may
+  // have been purged in flight (the requester re-acquires at the adopter),
+  // or the holder's release may have died with the shard (releases are
+  // fire-and-forget, so a release sent before the sender learned of the
+  // death leaves no trace). Either way the adopter's holder probe, not this
+  // stale entry, is the ground truth, so a conflicting grant after the
+  // issuing shard's death is an implicit release. Grants issued by live
+  // shards stay strictly exclusive.
+  struct Grant {
+    uint64_t holder = 0;
+    uint16_t shard = 0;
+  };
+  std::map<uint32_t, Grant> held;  // lock id -> current grant (no entry = free)
+  // Death also implicitly releases by holder: a dead holder can never
+  // unlock, and when the holder was the lock's shard no survivor even knows
+  // it held the lock (the adopter's probe only finds LIVE holders).
   HostSet dead;
   for (size_t i = 0; i < history.size(); ++i) {
     const TraceEvent& e = history[i];
@@ -158,16 +170,19 @@ CheckReport CheckLockExclusivity(const std::vector<TraceEvent>& history) {
       continue;
     }
     if (e.kind == TraceEventKind::kLockGrant) {
-      auto [it, inserted] = held.emplace(e.minipage, e.arg1);
-      if (!inserted && dead.Contains(static_cast<uint32_t>(it->second))) {
-        it->second = e.arg1;  // the old holder died: implicit release
-        inserted = true;
+      auto it = held.find(e.minipage);
+      if (it != held.end() && (dead.Contains(static_cast<uint32_t>(it->second.holder)) ||
+                               dead.Contains(it->second.shard))) {
+        held.erase(it);  // implicit release: dead holder or unverifiable grant
+        it = held.end();
       }
-      if (!inserted) {
+      if (it != held.end()) {
         return Violation(i, "lock " + std::to_string(e.minipage) +
                                 " granted to host " + std::to_string(e.arg1) +
-                                " while held by host " + std::to_string(it->second));
+                                " while held by host " +
+                                std::to_string(it->second.holder));
       }
+      held[e.minipage] = Grant{e.arg1, e.host};
     } else if (e.kind == TraceEventKind::kLockRelease) {
       auto it = held.find(e.minipage);
       if (it == held.end()) {
@@ -179,10 +194,11 @@ CheckReport CheckLockExclusivity(const std::vector<TraceEvent>& history) {
         return Violation(i, "lock " + std::to_string(e.minipage) +
                                 " released while free");
       }
-      if (it->second != e.arg1) {
+      if (it->second.holder != e.arg1) {
         return Violation(i, "lock " + std::to_string(e.minipage) +
                                 " released by host " + std::to_string(e.arg1) +
-                                " but held by host " + std::to_string(it->second));
+                                " but held by host " +
+                                std::to_string(it->second.holder));
       }
       held.erase(it);
     }

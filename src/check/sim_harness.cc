@@ -106,6 +106,7 @@ Status SimRun::Setup() {
   config.sync_timeout_ms = 0;
   config.trace = &trace_;
   config.manager_policy = workload_.policy;
+  config.batch_coherence = workload_.batch_coherence;
 
   net_ = std::make_unique<SimNet>(workload_.hosts, seed_);
   nodes_.reserve(workload_.hosts);
@@ -420,6 +421,11 @@ SimResult SimRun::Run() {
         res.minipages_lost += nodes_[h]->minipages_lost();
       }
     }
+  }
+  for (auto& node : nodes_) {
+    const HostCounters c = node->counters();
+    res.batch_frames += c.batch_frames_sent.value();
+    res.batch_records += c.batch_records_sent.value();
   }
   Teardown();
   res.history = trace_.Snapshot();

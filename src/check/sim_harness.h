@@ -59,6 +59,11 @@ struct SimWorkload {
   // kAppWrite is recorded for them). Requires policy == kSharded — with a
   // centralized directory a dead host is unrecoverable by design.
   bool kill_one_host = false;
+  // Coherence-traffic batching under test (DsmConfig::batch_coherence).
+  // Off reproduces the one-datagram-per-minipage paper protocol; batched and
+  // unbatched runs of the same script must agree on every application-level
+  // read and write.
+  bool batch_coherence = true;
 };
 
 struct SimResult {
@@ -72,6 +77,12 @@ struct SimResult {
   uint16_t killed_host = 0;
   uint64_t kill_virtual_us = 0;   // virtual clock at the kill
   uint64_t minipages_lost = 0;    // summed over surviving shards
+
+  // Coherence-batching volume, summed over all hosts: multi-record frames
+  // sent and the records they carried (0/0 when batching is off or no frame
+  // ever coalesced more than one record).
+  uint64_t batch_frames = 0;
+  uint64_t batch_records = 0;
 
   std::string FormattedHistory() const { return FormatTraceHistory(history); }
 };

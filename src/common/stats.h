@@ -35,6 +35,20 @@ struct HostCounters {
   RelaxedCounter work_units;  // app-reported deterministic compute units
   // Requests that queued behind an in-service minipage (manager host only).
   RelaxedCounter competing_requests;
+  // Coherence batching: multi-record frames sent and the records they
+  // carried. records/frames is the realized coalescing factor.
+  RelaxedCounter batch_frames_sent;
+  RelaxedCounter batch_records_sent;
+  // Datagrams carrying coalescer-routed coherence traffic (invalidate
+  // requests and replies, manager-side completion ACKs): multi-record
+  // frames, single-record sends, and — with batching off — the one-datagram-
+  // per-record protocol. coalesced_records / coalesced_msgs_sent compares
+  // the same logical work across batched and unbatched runs.
+  RelaxedCounter coalesced_msgs_sent;
+  RelaxedCounter coalesced_records;
+  // Duplicate or stray invalidate replies dropped idempotently (retransmit
+  // tolerance — these used to be fatal).
+  RelaxedCounter dup_invalidate_replies;
 
   HostCounters& operator+=(const HostCounters& o) {
     read_faults += o.read_faults;
@@ -50,6 +64,11 @@ struct HostCounters {
     prefetch_bytes += o.prefetch_bytes;
     work_units += o.work_units;
     competing_requests += o.competing_requests;
+    batch_frames_sent += o.batch_frames_sent;
+    batch_records_sent += o.batch_records_sent;
+    coalesced_msgs_sent += o.coalesced_msgs_sent;
+    coalesced_records += o.coalesced_records;
+    dup_invalidate_replies += o.dup_invalidate_replies;
     return *this;
   }
 
@@ -68,6 +87,11 @@ struct HostCounters {
     r.prefetch_bytes -= o.prefetch_bytes;
     r.work_units -= o.work_units;
     r.competing_requests -= o.competing_requests;
+    r.batch_frames_sent -= o.batch_frames_sent;
+    r.batch_records_sent -= o.batch_records_sent;
+    r.coalesced_msgs_sent -= o.coalesced_msgs_sent;
+    r.coalesced_records -= o.coalesced_records;
+    r.dup_invalidate_replies -= o.dup_invalidate_replies;
     return r;
   }
 };

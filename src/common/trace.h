@@ -28,7 +28,9 @@ enum class TraceEventKind : uint8_t {
                     // arg2 = copyset before the transaction)
   kMgrSvcEnd,       // manager closed service (arg2 = copyset after)
   kMgrReadGrant,    // manager routed a read (arg1 = requester, arg2 = copyset)
-  kMgrWriteGrant,   // manager granted a write (arg1 = requester, arg2 = copyset)
+  kMgrWriteGrant,   // manager granted a write (arg1 = requester, arg2 = the
+                    // data-source/retaining host id + 1 — an id, not a mask,
+                    // so hosts >= 64 are recorded faithfully)
   kMgrInvalidate,   // manager sent an invalidation (arg1 = target host)
   kBarrierEnter,    // host sent barrier entry
   kBarrierRelease,  // host observed barrier release (arg1 = generation)

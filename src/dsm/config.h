@@ -82,6 +82,15 @@ struct DsmConfig {
   ServiceMode service_mode = ServiceMode::kBlocking;
   uint64_t service_period_us = 1000;  // used by kPeriodic
 
+  // Coalesce coherence traffic (invalidations, invalidate replies, post-
+  // service ACKs, group-fetch requests) into batched frames: one datagram
+  // carries up to kMaxBatchRecords per-minipage records for the same
+  // destination (see BatchRecord in src/net/message.h). Off reproduces the
+  // one-datagram-per-minipage paper protocol exactly; single-record batches
+  // are emitted unbatched either way, so the wire format only changes when
+  // a frame actually carries more than one record.
+  bool batch_coherence = true;
+
   // The paper's post-service ACK (Section 3.3) serializes every request per
   // minipage at the manager, which is what keeps the non-manager protocol
   // buffer- and state-free. Setting this to false elides the ACK for *read*

@@ -143,6 +143,12 @@ struct BarrierState {
   // against the live-host set when membership shrinks.
   HostSet arrived_set;
   std::vector<MsgHeader> waiters;
+  // Adopted-barrier generation probe (see DsmNode::StartBarrierProbe): true
+  // while live hosts' completed-round counts are being collected to seed
+  // `generation` after the original barrier shard died.
+  bool probing = false;
+  bool probed = false;
+  HostSet probe_pending;
 };
 
 class Directory {

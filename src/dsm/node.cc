@@ -132,6 +132,9 @@ MetricsSnapshot DsmNode::SnapshotMetrics() const {
   cs["host.prefetch_bytes"] += c.prefetch_bytes;
   cs["host.work_units"] += c.work_units;
   cs["host.competing_requests"] += c.competing_requests;
+  cs["host.batch_frames_sent"] += c.batch_frames_sent;
+  cs["host.batch_records_sent"] += c.batch_records_sent;
+  cs["host.dup_invalidate_replies"] += c.dup_invalidate_replies;
   cs["dsm.fault_retries"] += fault_retries();
   cs["dsm.timeout_retries"] += timeout_retries();
   cs["dsm.stale_replies"] += stale_replies();
@@ -373,34 +376,95 @@ void DsmNode::Prefetch(GlobalAddr a) {
 size_t DsmNode::FetchGroup(const GlobalAddr* addrs, size_t count) {
   const uint32_t slot = ThreadSlot();
   const uint32_t gen = NextGen(slot);  // one generation covers the whole group
-  size_t issued = 0;
+  // Build the request list first, deduped by (view, vpage): protection only
+  // flips on reply, so the presence check alone cannot filter duplicates
+  // within one group. A view holds at most one minipage per page, so the
+  // vpage key collapses same-minipage duplicates — except for minipages that
+  // span pages, which the ACK-flush below handles.
+  std::vector<MsgHeader> reqs;
+  std::set<std::pair<uint32_t, uint64_t>> requested;
   for (size_t i = 0; i < count; ++i) {
     const uint64_t vpage = addrs[i].offset / PageSize();
     if (views_->GetVpageProtection(addrs[i].view, vpage) != Protection::kNoAccess) {
-      continue;  // already readable (or a duplicate already issued: the
-                 // protection flips only on reply, so same-vpage duplicates
-                 // within one group are filtered by the manager's queueing)
+      continue;  // already readable
+    }
+    if (!requested.insert({addrs[i].view, vpage}).second) {
+      continue;  // duplicate within this group
     }
     MsgHeader h;
     h.set_type(MsgType::kReadRequest);
     h.from = me_;
     h.seq = WaitSlots::MakeSeq(slot, gen);
     h.addr = addrs[i].Pack();
-    if (Status st = TrySendMsg(kManagerHost, h); !st.ok()) {
+    reqs.push_back(h);
+  }
+  // Issue the whole group. With batching on, frames of up to kMaxBatchRecords
+  // untranslated requests share one datagram (all bound for the MPT host, all
+  // carrying the same slot/generation); a single request goes out unbatched,
+  // bit-identical to the historical wire format.
+  size_t issued = 0;
+  while (issued < reqs.size()) {
+    const size_t n = config_.batch_coherence
+                         ? std::min<size_t>(reqs.size() - issued, kMaxBatchRecords)
+                         : 1;
+    Status st;
+    if (n == 1) {
+      st = TrySendMsg(kManagerHost, reqs[issued]);
+    } else {
+      std::vector<BatchRecord> recs;
+      recs.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        recs.push_back(BatchRecord::From(reqs[issued + i]));
+      }
+      MsgHeader frame = reqs[issued];
+      frame.flags |= kFlagBatched;
+      counters_.batch_frames_sent++;
+      counters_.batch_records_sent += n;
+      st = TrySendMsg(kManagerHost, frame, recs.data(), recs.size() * sizeof(BatchRecord));
+    }
+    if (!st.ok()) {
       (void)LivenessFailure("FetchGroup", st);
       break;
     }
-    issued++;
+    issued += n;
   }
   counters_.prefetches += issued;
   // Split transaction: collect the replies (any order) and ACK each one so
-  // the manager releases the minipages. Each reply gets its own deadline; on
-  // failure the group is abandoned (outstanding replies become stale by
-  // generation and are discarded + ACKed by the next wait on this slot).
+  // the manager releases the minipages. ACKs accumulate per owning shard and
+  // flush as batched frames — but a reply for a page-spanning minipage
+  // flushes immediately: its other pages' requests were not deduped above and
+  // are queued at the manager behind this very ACK. Each reply gets its own
+  // deadline; on failure the group is abandoned (outstanding replies become
+  // stale by generation and are discarded + ACKed by the next wait on this
+  // slot), with any accumulated ACKs flushed on the way out.
+  std::vector<std::pair<HostId, std::vector<MsgHeader>>> acks;
+  const auto flush_acks = [&] {
+    for (auto& [to, items] : acks) {
+      if (items.empty()) {
+        continue;
+      }
+      if (items.size() == 1) {
+        SendMsg(to, items[0]);
+      } else {
+        std::vector<BatchRecord> recs;
+        recs.reserve(items.size());
+        for (const MsgHeader& m : items) {
+          recs.push_back(BatchRecord::From(m));
+        }
+        MsgHeader frame = items[0];
+        frame.flags |= kFlagBatched;
+        counters_.batch_frames_sent++;
+        counters_.batch_records_sent += items.size();
+        SendMsg(to, frame, recs.data(), recs.size() * sizeof(BatchRecord));
+      }
+      items.clear();
+    }
+  };
   size_t collected = 0;
   for (size_t i = 0; i < issued; ++i) {
     Result<MsgHeader> reply = AwaitReply(slot, gen, config_.request_timeout_ms, "FetchGroup");
     if (!reply.ok()) {
+      flush_acks();
       (void)LivenessFailure("FetchGroup", reply.status());
       return collected;
     }
@@ -419,9 +483,26 @@ size_t DsmNode::FetchGroup(const GlobalAddr* addrs, size_t count) {
       ack.seq = kNoWaitSlot;
       ack.addr = reply->addr;
       ack.minipage = reply->minipage;
-      SendMsg(LiveManagerOf(ack.minipage), ack);
+      const HostId to = LiveManagerOf(ack.minipage);
+      if (!config_.batch_coherence) {
+        SendMsg(to, ack);
+        continue;
+      }
+      auto it = std::find_if(acks.begin(), acks.end(),
+                             [&](const auto& p) { return p.first == to; });
+      if (it == acks.end()) {
+        acks.emplace_back(to, std::vector<MsgHeader>{});
+        it = acks.end() - 1;
+      }
+      it->second.push_back(ack);
+      const bool spans_pages =
+          reply->privbase / PageSize() != (reply->privbase + reply->pgsize - 1) / PageSize();
+      if (spans_pages || it->second.size() >= kMaxBatchRecords) {
+        flush_acks();
+      }
     }
   }
+  flush_acks();
   return collected;
 }
 
@@ -566,8 +647,28 @@ uint64_t DsmNode::RetryTimeoutMs(const DsmConfig& cfg, HostId host, uint32_t att
 
 // ---- Server thread ---------------------------------------------------------
 
+namespace {
+// A frame whose payload is BatchRecords rather than minipage data. Restricted
+// to the four types the coalescer emits so the 0x40 bit's other meaning
+// (kFlagWriteFetch, LRC-only) can never be misread as a batch.
+bool IsBatchedFrame(const MsgHeader& h) {
+  if ((h.flags & kFlagBatched) == 0) {
+    return false;
+  }
+  const MsgType t = h.msg_type();
+  return t == MsgType::kInvalidateRequest || t == MsgType::kInvalidateReply ||
+         t == MsgType::kAck || t == MsgType::kReadRequest;
+}
+}  // namespace
+
 PayloadSink DsmNode::MakeServerSink() {
   return [this](const MsgHeader& h) -> std::byte* {
+    if (IsBatchedFrame(h)) {
+      // Record payload, not minipage data: land it in the batch scratch
+      // buffer instead of the privileged view.
+      batch_rx_.resize(h.pgsize);
+      return batch_rx_.data();
+    }
     if (h.privbase + h.pgsize > views_->object_size()) {
       return nullptr;
     }
@@ -606,6 +707,16 @@ void DsmNode::ServerLoop() {
         timeout_us = 0;
         break;
     }
+    if (HasOpenBatch()) {
+      // A batch is open: drain the mailbox without blocking so the batch
+      // flushes the moment no more traffic is immediately deliverable —
+      // coalescing collects bursts, it never adds idle latency. This must
+      // test for queued records, not coalesce_.empty(): flushed batches keep
+      // their (to, type) slot in the vector for reuse, and polling with no
+      // timeout on an *idle* node would turn the server into a busy-spinner
+      // and starve every other thread on the box.
+      timeout_us = 0;
+    }
     Result<bool> got = transport_->Poll(me_, &h, sink, timeout_us);
     if (!got.ok()) {
       // A transient receive error (e.g. a reset from a dying peer) must not
@@ -627,10 +738,12 @@ void DsmNode::ServerLoop() {
       HandleMessage(h);
       continue;
     }
+    FlushCoalesced();  // mailbox drained: release any open batches
     if (config_.service_mode == ServiceMode::kPeriodic) {
       ::usleep(static_cast<useconds_t>(config_.service_period_us));
     }
   }
+  FlushCoalesced();  // don't strand fire-and-forget ACKs at teardown
 }
 
 namespace {
@@ -670,7 +783,14 @@ void DsmNode::HandleMessage(const MsgHeader& raw) {
     const uint32_t tag = codec_.EpochTag(raw.from);
     const uint32_t my_tag = member_epoch() & codec_.epoch_mask;
     if (tag != my_tag && !codec_.TagStale(tag, my_tag)) {
-      deferred_.push_back(raw);
+      // A deferred batched frame keeps a private copy of its records:
+      // batch_rx_ is shared scratch and the next poll overwrites it.
+      DeferredMsg d;
+      d.raw = raw;
+      if (IsBatchedFrame(h)) {
+        d.payload.assign(batch_rx_.begin(), batch_rx_.end());
+      }
+      deferred_.push_back(std::move(d));
       return;
     }
   }
@@ -679,6 +799,37 @@ void DsmNode::HandleMessage(const MsgHeader& raw) {
             MsgTypeName(h.msg_type()), h.from, h.seq, h.minipage, h.flags,
             (unsigned long)h.privbase, h.pgsize);
   }
+  if (IsBatchedFrame(h)) {
+    DispatchBatch(h);
+    return;
+  }
+  DispatchOne(h);
+}
+
+void DsmNode::DispatchBatch(const MsgHeader& h) {
+  // Copy the records out of the shared scratch first: dispatching a record
+  // can re-enter the protocol arbitrarily deep (inline serves, coalesced
+  // sends), and a defensive copy keeps the loop immune to anything that
+  // might touch batch_rx_ along the way.
+  MP_CHECK(h.pgsize % sizeof(BatchRecord) == 0 && h.pgsize >= 2 * sizeof(BatchRecord) &&
+           h.pgsize / sizeof(BatchRecord) <= kMaxBatchRecords && batch_rx_.size() >= h.pgsize)
+      << "malformed batched " << MsgTypeName(h.msg_type()) << " frame: payload " << h.pgsize
+      << " bytes";
+  const size_t n = h.pgsize / sizeof(BatchRecord);
+  std::vector<BatchRecord> recs(n);
+  std::memcpy(recs.data(), batch_rx_.data(), n * sizeof(BatchRecord));
+  MsgHeader one = h;
+  one.flags &= static_cast<uint8_t>(~(kFlagBatched | kFlagHasPayload));
+  // In-order dispatch: each record runs the full per-message handler, so the
+  // trace events it emits land in record order and the offline checker sees
+  // exactly the event sequence an unbatched run would have produced.
+  for (const BatchRecord& r : recs) {
+    r.ApplyTo(&one);
+    DispatchOne(one);
+  }
+}
+
+void DsmNode::DispatchOne(const MsgHeader& h) {
   switch (h.msg_type()) {
     case MsgType::kReadRequest:
     case MsgType::kWriteRequest:
@@ -786,7 +937,106 @@ void DsmNode::HandleMessage(const MsgHeader& raw) {
       MP_CHECK(OwnsShard(h.minipage)) << "lock probe reply at non-owning shard";
       MgrHandleLockProbeReply(h);
       break;
+    case MsgType::kFlushHint:
+      // Self-addressed wakeup from SendCoalesced: drain the open batches.
+      MP_CHECK(h.from == me_) << "flush hint from another host";
+      flush_hint_inflight_ = false;
+      FlushCoalesced();
+      break;
+    case MsgType::kBarrierProbe:
+      HandleBarrierProbe(h);
+      break;
+    case MsgType::kBarrierProbeReply:
+      MP_CHECK(OwnsShard(kBarrierShardId)) << "barrier probe reply at non-barrier shard";
+      MgrHandleBarrierProbeReply(h);
+      break;
   }
+}
+
+// ---- Coherence-traffic coalescer -------------------------------------------
+
+void DsmNode::SendCoalesced(HostId to, const MsgHeader& h) {
+  counters_.coalesced_records++;
+  if (!config_.batch_coherence) {
+    counters_.coalesced_msgs_sent++;
+    SendMsg(to, h);
+    return;
+  }
+  PendingBatch* batch = nullptr;
+  bool any_open = false;
+  for (PendingBatch& b : coalesce_) {
+    any_open = any_open || !b.items.empty();
+    if (b.to == to && b.type == h.msg_type()) {
+      batch = &b;
+    }
+  }
+  if (batch == nullptr) {
+    coalesce_.push_back(PendingBatch{to, h.msg_type(), {}});
+    batch = &coalesce_.back();
+  }
+  if (batch->items.size() >= kMaxBatchRecords) {
+    SendBatch(*batch);
+  }
+  batch->items.push_back(h);
+  // Externally-pumped node (no server loop): make sure a flush is coming.
+  // The hint rides the fabric to ourselves, so the simulator's pending-
+  // message count stays nonzero while a batch is open — no false deadlock —
+  // and its delivery is the deterministic flush point.
+  if (!any_open && !flush_hint_inflight_ && !server_.joinable()) {
+    MsgHeader hint;
+    hint.set_type(MsgType::kFlushHint);
+    hint.from = me_;
+    hint.seq = kNoWaitSlot;
+    SendMsg(me_, hint);
+    flush_hint_inflight_ = true;
+  }
+}
+
+bool DsmNode::HasOpenBatch() const {
+  for (const PendingBatch& b : coalesce_) {
+    if (!b.items.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void DsmNode::FlushCoalesced() {
+  for (PendingBatch& b : coalesce_) {
+    SendBatch(b);
+  }
+}
+
+void DsmNode::SendBatch(PendingBatch& b) {
+  if (b.items.empty()) {
+    return;
+  }
+  if (!live_set().Contains(b.to)) {
+    // Destination died while the batch was open. Drop it: repair has already
+    // retired (or will retire) everything these messages would have done.
+    b.items.clear();
+    return;
+  }
+  if (b.items.size() == 1) {
+    // Single record: send the plain header, bit-identical to an unbatched
+    // protocol run (the v0 golden-bytes contract).
+    counters_.coalesced_msgs_sent++;
+    SendMsg(b.to, b.items[0]);
+    b.items.clear();
+    return;
+  }
+  std::vector<BatchRecord> recs;
+  recs.reserve(b.items.size());
+  for (const MsgHeader& m : b.items) {
+    recs.push_back(BatchRecord::From(m));
+  }
+  MsgHeader frame = b.items[0];
+  frame.flags |= kFlagBatched;
+  counters_.batch_frames_sent++;
+  counters_.batch_records_sent += recs.size();
+  counters_.coalesced_msgs_sent++;
+  SendMsg(b.to, frame, recs.data(), recs.size() * sizeof(BatchRecord));
+  b.items.clear();
 }
 
 // ---- Manager role ----------------------------------------------------------
@@ -952,7 +1202,8 @@ void DsmNode::MgrProcessWrite(const MsgHeader& h, DirEntry& e) {
   if (e.CopyCount() == 1 && e.HasCopy(h.from)) {
     // Sole holder asks for exclusivity: upgrade in place.
     e.writable = true;
-    Trace(TraceEventKind::kMgrWriteGrant, h.minipage, h.addr, h.from, e.copyset.LowWord());
+    Trace(TraceEventKind::kMgrWriteGrant, h.minipage, h.addr, h.from,
+          static_cast<uint64_t>(h.from) + 1);
     MsgHeader reply = h;
     reply.set_type(MsgType::kWriteReply);
     reply.flags = kFlagUpgrade;
@@ -972,7 +1223,7 @@ void DsmNode::MgrProcessWrite(const MsgHeader& h, DirEntry& e) {
   if (others.Empty()) {
     MP_CHECK(remaining != h.from);
     Trace(TraceEventKind::kMgrWriteGrant, h.minipage, h.addr, h.from,
-          remaining < 64 ? 1ULL << remaining : 0);
+          static_cast<uint64_t>(remaining) + 1);
     MsgHeader fwd = h;
     fwd.flags |= kFlagForwarded;
     ForwardToReplica(remaining, fwd);
@@ -1006,7 +1257,7 @@ void DsmNode::MgrProcessWrite(const MsgHeader& h, DirEntry& e) {
     MsgHeader inv = h;
     inv.set_type(MsgType::kInvalidateRequest);
     inv.flags = kFlagForwarded;
-    SendMsg(static_cast<HostId>(host), inv);
+    SendCoalesced(static_cast<HostId>(host), inv);
   });
   if (e.invalidates_pending.Empty()) {
     MgrFinishWriteRound(h.minipage);
@@ -1015,8 +1266,15 @@ void DsmNode::MgrProcessWrite(const MsgHeader& h, DirEntry& e) {
 
 void DsmNode::MgrHandleInvalidateReply(const MsgHeader& h) {
   DirEntry& e = directory_->Entry(h.minipage);
-  MP_CHECK(e.write_pending) << "stray invalidate reply";
-  MP_CHECK(e.invalidates_pending.Contains(h.from)) << "duplicate invalidate reply";
+  // A reply for a round that already closed (no write pending) or a second
+  // reply from the same host is a duplicate delivery — a retransmitting
+  // transport, or a reply that raced with copyset repair retiring the round.
+  // Invalidation is idempotent at the replica, so the extra reply carries no
+  // information; drop it instead of taking the whole cluster down.
+  if (!e.write_pending || !e.invalidates_pending.Contains(h.from)) {
+    counters_.dup_invalidate_replies++;
+    return;
+  }
   e.invalidates_pending.Remove(h.from);
   if (!e.invalidates_pending.Empty()) {
     return;
@@ -1029,7 +1287,7 @@ void DsmNode::MgrFinishWriteRound(MinipageId id) {
   e.write_pending = false;
   const MsgHeader& w = e.pending_write;
   Trace(TraceEventKind::kMgrWriteGrant, id, w.addr, w.from,
-        e.write_remaining < 64 ? 1ULL << e.write_remaining : 0);
+        static_cast<uint64_t>(e.write_remaining) + 1);
   if (e.write_remaining == w.from) {
     MsgHeader reply = w;
     reply.set_type(MsgType::kWriteReply);
@@ -1159,6 +1417,9 @@ void DsmNode::MgrHandleAlloc(const MsgHeader& h) {
 
 void DsmNode::MgrHandleBarrierEnter(const MsgHeader& h) {
   BarrierState& b = directory_->barrier();
+  if (BarrierNeedsProbe()) {
+    StartBarrierProbe();
+  }
   if (h.pgsize < b.generation) {
     // Entry for a round this shard already released: the host's original
     // release crossed a membership kick and was staled, so it re-sent. The
@@ -1226,6 +1487,101 @@ void DsmNode::MaybeReleaseBarrier() {
   b.arrived_set = kept;
   b.arrived = static_cast<uint32_t>(kept.Count());
   b.generation = min_gen + 1;
+}
+
+// ---- Adopted-barrier generation probe ---------------------------------------
+//
+// When the barrier shard dies mid-release — some hosts of round k released,
+// others' releases lost with the shard — the released hosts may be past their
+// final barrier and will never enter again, so the adopting shard's
+// wait-for-all-live release rule deadlocks the stragglers. The probe asks
+// every live host for its completed-round count: any host past round k proves
+// round k's quorum was met at the dead shard, and the stragglers re-sending
+// round k can be released without a fresh quorum.
+
+bool DsmNode::BarrierNeedsProbe() const {
+  const BarrierState& b = static_cast<const Directory*>(directory_.get())->barrier();
+  if (b.probed || b.probing || !RecoveryEnabled()) {
+    return false;
+  }
+  const HostSet& dead = dead_set();
+  if (dead.Empty()) {
+    return false;
+  }
+  const HostId home = config_.BarrierManager();
+  // Only an adopted barrier is probed: the original home's state is
+  // authoritative.
+  return home != me_ && dead.Contains(home);
+}
+
+void DsmNode::StartBarrierProbe() {
+  BarrierState& b = directory_->barrier();
+  b.probing = true;
+  b.probed = true;
+  b.probe_pending = live_set();
+  b.probe_pending.Remove(me_);
+  // Our own completed-round count seeds the generation (we are not probed).
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    b.generation = std::max(b.generation, epoch_);
+  }
+  MsgHeader probe;
+  probe.set_type(MsgType::kBarrierProbe);
+  probe.from = me_;
+  probe.seq = kNoWaitSlot;
+  probe.minipage = kBarrierShardId;
+  b.probe_pending.ForEach([&](uint32_t host) { SendMsg(static_cast<HostId>(host), probe); });
+  if (b.probe_pending.Empty()) {
+    FinishBarrierProbe();
+  }
+}
+
+void DsmNode::FinishBarrierProbe() {
+  BarrierState& b = directory_->barrier();
+  b.probing = false;
+  b.probe_pending.Clear();
+  // Rounds below the probed generation met quorum at the dead shard: release
+  // their stragglers now — the hosts released back then may never re-enter.
+  std::vector<MsgHeader> keep;
+  HostSet kept;
+  for (const MsgHeader& w : b.waiters) {
+    if (w.pgsize < b.generation) {
+      MsgHeader release = w;
+      release.set_type(MsgType::kBarrierRelease);
+      release.minipage = w.pgsize;
+      SendMsg(w.from, release);
+    } else {
+      keep.push_back(w);
+      kept.Add(w.from);
+    }
+  }
+  b.waiters.assign(keep.begin(), keep.end());
+  b.arrived_set = kept;
+  b.arrived = static_cast<uint32_t>(kept.Count());
+  MaybeReleaseBarrier();
+}
+
+void DsmNode::HandleBarrierProbe(const MsgHeader& h) {
+  MsgHeader reply = h;
+  reply.set_type(MsgType::kBarrierProbeReply);
+  reply.from = me_;
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    reply.pgsize = epoch_;
+  }
+  SendMsg(h.from, reply);
+}
+
+void DsmNode::MgrHandleBarrierProbeReply(const MsgHeader& h) {
+  BarrierState& b = directory_->barrier();
+  if (!b.probing) {
+    return;  // stale (probe already resolved)
+  }
+  b.probe_pending.Remove(h.from);
+  b.generation = std::max(b.generation, h.pgsize);
+  if (!b.probe_pending.Intersects(live_set())) {
+    FinishBarrierProbe();
+  }
 }
 
 void DsmNode::MgrHandleLockAcquire(const MsgHeader& h) {
@@ -1439,7 +1795,9 @@ void DsmNode::HandleInvalidateRequest(const MsgHeader& h) {
   // carry this host's id, not the writer's that the request was stamped with.
   reply.from = me_;
   reply.flags = 0;
-  SendMsg(LiveManagerOf(h.minipage), reply);
+  // A batched invalidate request dispatches N of these back-to-back; the
+  // coalescer folds the replies for one shard into one batched frame.
+  SendCoalesced(LiveManagerOf(h.minipage), reply);
 }
 
 void DsmNode::HandleReply(const MsgHeader& h) {
@@ -1491,7 +1849,7 @@ void DsmNode::HandleReply(const MsgHeader& h) {
       ack.set_type(MsgType::kAck);
       ack.from = me_;
       ack.flags = 0;
-      SendMsg(LiveManagerOf(ack.minipage), ack);
+      SendCoalesced(LiveManagerOf(ack.minipage), ack);
     }
     return;
   }
@@ -1505,7 +1863,7 @@ void DsmNode::ApplyPush(const MsgHeader& h) {
   ack.set_type(MsgType::kAck);
   ack.from = me_;
   ack.flags = 0;
-  SendMsg(LiveManagerOf(ack.minipage), ack);
+  SendCoalesced(LiveManagerOf(ack.minipage), ack);
 }
 
 void DsmNode::PusherBroadcast(const MsgHeader& h) {
@@ -1660,6 +2018,11 @@ void DsmNode::ApplyMembership(uint32_t epoch, const HostSet& dead, bool broadcas
   if (new_epoch == cur.epoch && new_dead == cur.dead) {
     return;  // idempotent merge: nothing new
   }
+  // Drain open batches before publishing the new membership: a queued frame
+  // was routed (and its shard chosen) under the old live set, so it must
+  // leave stamped with the old epoch and behave exactly like traffic that
+  // was already in flight when the bump landed.
+  FlushCoalesced();
   HostSet newly_dead = new_dead;
   newly_dead.SubtractAll(cur.dead);
   // Publish first so every message sent below (bump broadcast, rebuild
@@ -1871,6 +2234,12 @@ void DsmNode::RepairAfterDeath(HostId dead) {
   }
   // Barrier: the dead host no longer counts toward (or blocks) release.
   BarrierState& b = directory_->barrier();
+  if (b.probing) {
+    b.probe_pending.Remove(dead);
+    if (!b.probe_pending.Intersects(live_set())) {
+      FinishBarrierProbe();
+    }
+  }
   if (b.arrived_set.Contains(dead)) {
     b.arrived_set.Remove(dead);
     for (auto it = b.waiters.begin(); it != b.waiters.end();) {
@@ -1885,10 +2254,15 @@ void DsmNode::DrainDeferred() {
   if (deferred_.empty()) {
     return;
   }
-  std::deque<MsgHeader> q;
+  std::deque<DeferredMsg> q;
   q.swap(deferred_);
-  for (const MsgHeader& h : q) {
-    HandleMessage(h);  // re-gates: still-newer messages re-defer
+  for (const DeferredMsg& d : q) {
+    // A batched frame's records were stashed alongside the header; restore
+    // the receive buffer HandleMessage reads them from before replaying.
+    if (!d.payload.empty()) {
+      batch_rx_.assign(d.payload.begin(), d.payload.end());
+    }
+    HandleMessage(d.raw);  // re-gates: still-newer messages re-defer
   }
 }
 

@@ -267,6 +267,20 @@ class DsmNode {
   void ServerLoop();
   PayloadSink MakeServerSink();
   void HandleMessage(const MsgHeader& h);
+  // Post-epoch-gate dispatch: DispatchOne runs the per-type switch on a
+  // single logical message; DispatchBatch unpacks a kFlagBatched frame from
+  // batch_rx_ and dispatches its records in order.
+  void DispatchOne(const MsgHeader& h);
+  void DispatchBatch(const MsgHeader& h);
+
+  // ---- Coherence-traffic coalescer (server thread only) ------------------
+  // Queues `h` for `to` in a per-(destination, type) batch instead of sending
+  // immediately; falls back to SendMsg when batching is disabled. Batches
+  // drain via FlushCoalesced() — called whenever the server runs out of
+  // immediately-deliverable messages, so coalescing never delays traffic
+  // behind idle waiting.
+  void SendCoalesced(HostId to, const MsgHeader& h);
+  void FlushCoalesced();
 
   // Manager role.
   bool MgrTranslate(MsgHeader* h);
@@ -364,6 +378,16 @@ class DsmNode {
   void FinishLockProbe(uint32_t lock_id);
   void HandleLockProbe(const MsgHeader& h);
   void MgrHandleLockProbeReply(const MsgHeader& h);
+  // Adopted-barrier generation probe: a shard that inherits the barrier asks
+  // every live host how many rounds it has completed. Any host past round k
+  // proves round k's quorum was met at the dead shard, so a straggler
+  // re-sending round k can be released even if the released hosts have
+  // finished their scripts and will never enter the barrier again.
+  bool BarrierNeedsProbe() const;
+  void StartBarrierProbe();
+  void FinishBarrierProbe();
+  void HandleBarrierProbe(const MsgHeader& h);
+  void MgrHandleBarrierProbeReply(const MsgHeader& h);
   // Releases the barrier's oldest round once every live host has arrived.
   void MaybeReleaseBarrier();
 
@@ -444,8 +468,30 @@ class DsmNode {
   std::mutex pending_death_mu_;
   HostSet pending_deaths_;  // guarded by pending_death_mu_
   std::atomic<bool> has_pending_deaths_{false};
-  std::deque<MsgHeader> deferred_;  // server thread only: messages from a
-                                    // newer epoch, held until the bump lands
+  // Server thread only: messages from a newer epoch, held until the bump
+  // lands. A deferred batched frame keeps a copy of its record payload —
+  // batch_rx_ is shared scratch and will be overwritten before the replay.
+  struct DeferredMsg {
+    MsgHeader raw;
+    std::vector<std::byte> payload;
+  };
+  std::deque<DeferredMsg> deferred_;
+
+  // ---- Coalescer state (server thread only) ------------------------------
+  struct PendingBatch {
+    HostId to = 0;
+    MsgType type = MsgType::kAck;
+    std::vector<MsgHeader> items;
+  };
+  void SendBatch(PendingBatch& b);
+  bool HasOpenBatch() const;
+  std::vector<PendingBatch> coalesce_;
+  // Receive scratch for a batched frame's record payload.
+  std::vector<std::byte> batch_rx_;
+  // Externally-pumped (sim) nodes have no poll loop to notice an open batch,
+  // so the first enqueue sends a self-addressed kFlushHint through the fabric
+  // — it keeps the network non-quiescent and triggers the flush on delivery.
+  bool flush_hint_inflight_ = false;
   mutable std::mutex member_mu_;
   std::condition_variable member_cv_;
   mutable std::mutex held_mu_;

@@ -60,6 +60,16 @@ void FaultyTransport::DelaySends(HostId to, MsgType type, uint64_t us, uint32_t 
   }
 }
 
+void FaultyTransport::DuplicateReceives(HostId from, MsgType type, uint32_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recv_dups_.push_back({from, static_cast<uint8_t>(type), count, 0});
+}
+
+uint64_t FaultyTransport::receives_duplicated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return receives_duplicated_;
+}
+
 uint64_t FaultyTransport::sends_dropped() const {
   std::lock_guard<std::mutex> lock(mu_);
   return sends_dropped_;
@@ -139,6 +149,17 @@ Result<bool> FaultyTransport::Poll(HostId me, MsgHeader* h, const PayloadSink& s
   if (FailpointRegistry::Instance().Fire("net.poll.eintr").has_value()) {
     return false;  // spurious wakeup: the caller's poll loop retries
   }
+  // Re-deliver a stashed duplicate ahead of fresh traffic: the original was
+  // already handed to the node, so this Poll replays a retransmit.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!dup_queue_.empty()) {
+      *h = dup_queue_.front();
+      dup_queue_.erase(dup_queue_.begin());
+      receives_duplicated_++;
+      return true;
+    }
+  }
   // Drop decisions must be made where the payload destination is chosen: a
   // discarded data message is received into scratch so (a) the inner stream
   // stays framed and (b) the real sink's memory is never touched.
@@ -163,6 +184,19 @@ Result<bool> FaultyTransport::Poll(HostId me, MsgHeader* h, const PayloadSink& s
   }
   if (dropped) {
     return false;  // as if nothing arrived; the caller polls again
+  }
+  if (!h->has_payload()) {
+    // Stash a copy for re-delivery if a duplication rule matches. Match on
+    // the decoded host id: the raw header still carries the epoch tag.
+    const HostId from = WireCodec::For(inner_->num_hosts()).Host(h->from);
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Filter& f : recv_dups_) {
+      if (f.remaining > 0 && Matches(f, from, h->type)) {
+        f.remaining--;
+        dup_queue_.push_back(*h);
+        break;
+      }
+    }
   }
   return true;
 }

@@ -70,8 +70,16 @@ class FaultyTransport : public Transport {
   // matching sends, after which it expires; 0 means until cleared.
   void DelaySends(HostId to, MsgType type, uint64_t us, uint32_t count = 0);
 
+  // Delivers the next `count` inbound messages matching (from, type) twice:
+  // once normally, then again on a later Poll — the shape of a retransmit
+  // whose original was not lost. Header-only messages only (a duplicated
+  // data message would need its payload stashed; the protocol's coherence
+  // control traffic is all header-only).
+  void DuplicateReceives(HostId from, MsgType type, uint32_t count);
+
   uint64_t sends_dropped() const;
   uint64_t receives_dropped() const;
+  uint64_t receives_duplicated() const;
 
  private:
   struct Filter {
@@ -95,8 +103,12 @@ class FaultyTransport : public Transport {
   std::vector<Filter> send_drops_;
   std::vector<Filter> recv_drops_;
   std::vector<Filter> send_delays_;
+  std::vector<Filter> recv_dups_;
+  // Stashed copies (raw wire headers, epoch tag intact) awaiting re-delivery.
+  std::vector<MsgHeader> dup_queue_;
   uint64_t sends_dropped_ = 0;
   uint64_t receives_dropped_ = 0;
+  uint64_t receives_duplicated_ = 0;
 };
 
 }  // namespace millipage

@@ -16,6 +16,8 @@
 
 namespace millipage {
 
+class Histogram;
+
 class InProcTransport : public Transport {
  public:
   explicit InProcTransport(uint16_t num_hosts);
@@ -37,6 +39,9 @@ class InProcTransport : public Transport {
   };
 
   std::vector<std::unique_ptr<Mailbox>> boxes_;
+  // Datagram-size distribution ("net.send_bytes", global registry): header +
+  // payload per Send, the figure batching compresses.
+  Histogram* send_bytes_ = nullptr;
 };
 
 }  // namespace millipage

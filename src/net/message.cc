@@ -50,6 +50,12 @@ const char* MsgTypeName(MsgType t) {
       return "LOCK_PROBE";
     case MsgType::kLockProbeReply:
       return "LOCK_PROBE_REPLY";
+    case MsgType::kFlushHint:
+      return "FLUSH_HINT";
+    case MsgType::kBarrierProbe:
+      return "BARRIER_PROBE";
+    case MsgType::kBarrierProbeReply:
+      return "BARRIER_PROBE_REPLY";
   }
   return "UNKNOWN";
 }

@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <cstring>
 
+#include "src/common/logging.h"
+
 namespace millipage {
 
 using HostId = uint16_t;
@@ -58,6 +60,12 @@ enum class MsgType : uint8_t {
   kCopysetReply,    // answer: pgsize = local Protection value for the id
   kLockProbe,       // adopting shard asks "do you hold lock <minipage>?"
   kLockProbeReply,  // answer: kFlagUpgrade set when the lock is held locally
+  kFlushHint,       // self-addressed marker: "drain the coalescer now". Never
+                    // crosses hosts; exists so single-stepped (sim) nodes get
+                    // a poll wakeup while a batch is pending.
+  kBarrierProbe,       // adopting barrier shard asks "how many rounds have
+                       // you completed?"
+  kBarrierProbeReply,  // answer: pgsize = locally completed barrier rounds
 };
 
 const char* MsgTypeName(MsgType t);
@@ -71,6 +79,12 @@ inline constexpr uint8_t kFlagBounced = 0x10;   // returned unserved to manager
 inline constexpr uint8_t kFlagAbort = 0x20;     // push aborted by the pusher
 inline constexpr uint8_t kFlagWriteFetch = 0x40;  // LRC: fetch opens for writing
 inline constexpr uint8_t kFlagHomeGrant = 0x80;   // LRC: requester is the home
+// Batched frame: the payload is N BatchRecords, each one minipage the header
+// operation applies to (see BatchRecord below). Shares bit 0x40 with
+// kFlagWriteFetch — safe because the LRC layer never batches and the SC
+// coherence types that batch (invalidate/reply/ACK/read-request) never carry
+// kFlagWriteFetch.
+inline constexpr uint8_t kFlagBatched = 0x40;
 
 // Membership-epoch tag, packed into the high bits of MsgHeader::from. The
 // uint16 field carries both the sender's host id and its membership epoch
@@ -134,7 +148,14 @@ struct GlobalAddr {
   uint32_t view = 0;
   uint64_t offset = 0;
 
-  uint64_t Pack() const { return (static_cast<uint64_t>(view) << 48) | offset; }
+  // 16 bits of view id, 48 bits of offset. A view id that doesn't fit would
+  // silently alias another view's addresses on the wire, so it is fatal here
+  // at the pack site rather than a corruption three hops later.
+  uint64_t Pack() const {
+    MP_CHECK(view < (1u << 16)) << "view id " << view << " overflows the 16-bit wire field";
+    MP_CHECK(offset < (1ULL << 48)) << "offset overflows the 48-bit wire field";
+    return (static_cast<uint64_t>(view) << 48) | offset;
+  }
   static GlobalAddr Unpack(uint64_t packed) {
     return GlobalAddr{static_cast<uint32_t>(packed >> 48), packed & ((1ULL << 48) - 1)};
   }
@@ -163,6 +184,43 @@ struct MsgHeader {
 };
 
 static_assert(sizeof(MsgHeader) == 32, "header must stay at 32 bytes, as in the paper");
+
+// Batched second-stage format. A frame whose header carries kFlagBatched is
+// an ordinary 32-byte MsgHeader whose payload is N BatchRecords instead of
+// minipage data: one record per minipage the operation applies to, in send
+// order. Every record (including the first) lives in the payload — the
+// header's per-minipage fields are not load-bearing on a batched frame, since
+// transports overwrite pgsize with the payload length at send time. A
+// 1-record batch is never emitted: the coalescer sends it as a plain
+// unbatched message, keeping single-record frames bit-identical to the v0
+// wire format. type/flags/from/seq are shared by every record; the types
+// that batch either ignore from/seq on receive (kInvalidateRequest) or carry
+// a uniform value per destination (kInvalidateReply's from, kAck's
+// kNoWaitSlot seq, a group fetch's slot/gen).
+struct BatchRecord {
+  uint64_t addr = 0;      // packed GlobalAddr
+  uint64_t privbase = 0;  // object offset of the minipage base
+  uint32_t minipage = kNoMinipage;
+  uint32_t pgsize = 0;
+
+  static BatchRecord From(const MsgHeader& h) {
+    return BatchRecord{h.addr, h.privbase, h.minipage, h.pgsize};
+  }
+  // Overwrites the per-minipage fields, leaving type/flags/from/seq alone.
+  void ApplyTo(MsgHeader* h) const {
+    h->addr = addr;
+    h->privbase = privbase;
+    h->minipage = minipage;
+    h->pgsize = pgsize;
+  }
+  bool operator==(const BatchRecord&) const = default;
+};
+
+static_assert(sizeof(BatchRecord) == 24, "batch records are a fixed 24-byte wire format");
+
+// Cap on records per frame: 64 records = 1536 payload bytes, comfortably one
+// datagram on every transport. A round needing more flushes mid-batch.
+inline constexpr uint32_t kMaxBatchRecords = 64;
 
 }  // namespace millipage
 

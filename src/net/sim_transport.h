@@ -43,6 +43,7 @@ struct SimOptions {
   uint64_t max_delay_us = 100;
 };
 
+class Histogram;
 class SimEndpoint;
 
 class SimNet {
@@ -137,6 +138,9 @@ class SimNet {
   const uint16_t num_hosts_;
   const SimOptions options_;
   const uint64_t seed_;
+  // Datagram-size distribution ("net.send_bytes", global registry): one
+  // sample per SendFrom, so a batched frame counts as a single datagram.
+  Histogram* send_bytes_ = nullptr;
 
   mutable std::mutex mu_;
   Rng rng_;  // scheduler-side draws (tie-breaks) — driver thread only

@@ -69,6 +69,39 @@ struct FaultyPair {
   }
 };
 
+// Three nodes over one InProcTransport, same shape one host wider: the
+// duplicate-delivery scenario needs a requester, a copy holder, and a
+// manager that are three distinct hosts.
+struct FaultyTrio {
+  InProcTransport inner{3};
+  FaultyTransport t0{&inner};
+  FaultyTransport t1{&inner};
+  FaultyTransport t2{&inner};
+  std::unique_ptr<DsmNode> nodes[3];
+
+  explicit FaultyTrio(const DsmConfig& cfg) {
+    FaultyTransport* ts[3] = {&t0, &t1, &t2};
+    for (HostId h = 0; h < 3; ++h) {
+      Result<std::unique_ptr<DsmNode>> r = DsmNode::Create(cfg, h, ts[h]);
+      MP_CHECK(r.ok()) << r.status().ToString();
+      nodes[h] = std::move(*r);
+    }
+    for (auto& n : nodes) {
+      n->Start();
+    }
+  }
+  ~FaultyTrio() {
+    for (auto& n : nodes) {
+      n->BeginShutdown();
+    }
+    for (int h = 2; h >= 0; --h) {
+      nodes[h]->Stop();
+    }
+  }
+
+  DsmNode& node(HostId h) { return *nodes[h]; }
+};
+
 // ---- Forked: a host dies mid-run ------------------------------------------
 
 TEST(Chaos, HostDeathMidRunFailsSurvivorsWithinBudget) {
@@ -310,6 +343,61 @@ TEST(Chaos, InjectedPeerDeathAbortsBlockedBarrier) {
   // The diagnostic snapshot names the failure state.
   const std::string report = pair.n1->LivenessReport();
   EXPECT_NE(report.find("peers_down=0x1"), std::string::npos) << report;
+}
+
+// ---- In-process: a duplicated invalidate reply is absorbed, not fatal ------
+
+// A retransmitted or stray kInvalidateReply must be idempotent at the
+// manager. Before the fix, the second delivery tripped a fatal MP_CHECK in
+// MgrHandleInvalidateReply (write_pending / invalidates_pending already
+// cleared), killing the manager's server thread mid-round; now it bumps
+// dup_invalidate_replies and the write round completes normally.
+TEST(Chaos, DuplicateInvalidateReplyIsAbsorbedByManager) {
+  FaultyTrio trio(ChaosConfig(3));
+  DsmNode& n0 = trio.node(0);
+  DsmNode& n1 = trio.node(1);
+  DsmNode& n2 = trio.node(2);
+
+  Result<GlobalAddr> addr = n0.SharedMalloc(16 * sizeof(int));
+  ASSERT_TRUE(addr.ok()) << addr.status().ToString();
+  int* data0 = reinterpret_cast<int*>(n0.AppPtr(*addr));
+  for (int i = 0; i < 16; ++i) {
+    data0[i] = 6100 + i;
+  }
+
+  // Host 1 takes a read copy, so host 2's upcoming write runs an
+  // invalidation round: the manager keeps one replica as the data source and
+  // invalidates the other (which of {0, 1} depends on the replica rotation).
+  ASSERT_TRUE(n1.OnFault(addr->view, addr->offset, /*is_write=*/false));
+
+  // Whoever replies, the manager hears the invalidate reply twice.
+  trio.t0.DuplicateReceives(kAnyHost, MsgType::kInvalidateReply, 1);
+
+  ASSERT_TRUE(n2.OnFault(addr->view, addr->offset, /*is_write=*/true));
+  int* data2 = reinterpret_cast<int*>(n2.AppPtr(*addr));
+  for (int i = 0; i < 16; ++i) {
+    data2[i] = 6200 + i;
+  }
+
+  // The duplicate arrives on the manager's next poll; wait until it has been
+  // counted (absorbed) rather than fatally checked.
+  const uint64_t t0 = MonotonicNowNs();
+  while (n0.counters().dup_invalidate_replies.value() == 0) {
+    ASSERT_LT((MonotonicNowNs() - t0) / 1000000, kDetectBudgetMs)
+        << "duplicate reply never reached the idempotence path";
+    ::usleep(1000);
+  }
+  EXPECT_EQ(trio.t0.receives_duplicated(), 1u);
+
+  // The cluster stays fully operational: host 1 re-fetches host 2's values.
+  ASSERT_TRUE(n1.OnFault(addr->view, addr->offset, /*is_write=*/false));
+  const int* data1 = reinterpret_cast<const int*>(n1.AppPtr(*addr));
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_EQ(data1[i], 6200 + i) << "index " << i;
+  }
+  EXPECT_TRUE(n0.health().ok());
+  EXPECT_TRUE(n1.health().ok());
+  EXPECT_TRUE(n2.health().ok());
 }
 
 }  // namespace

@@ -135,5 +135,45 @@ TEST(WireFormat, TagStaleCircularity) {
   }
 }
 
+// The packed-address format has a 16-bit view field: a view id of 65535
+// round-trips, 65536 would silently alias view 0 and must die at the pack
+// site instead.
+TEST(WireFormat, GlobalAddrViewBoundary) {
+  const GlobalAddr max{65535, 0x123456789abcULL};
+  EXPECT_EQ(GlobalAddr::Unpack(max.Pack()), max);
+  EXPECT_DEATH((GlobalAddr{65536, 0}).Pack(), "view id 65536 overflows");
+  EXPECT_DEATH((GlobalAddr{0, 1ULL << 48}).Pack(), "offset overflows");
+}
+
+// Batched frames: fixed 24-byte records, shared-bit flag discipline, and a
+// lossless header round-trip through From/ApplyTo.
+TEST(WireFormat, BatchRecordLayoutAndRoundTrip) {
+  static_assert(sizeof(BatchRecord) == 24);
+  EXPECT_EQ(kMaxBatchRecords * sizeof(BatchRecord), 1536u);  // one datagram
+
+  MsgHeader h;
+  h.set_type(MsgType::kInvalidateRequest);
+  h.flags = kFlagForwarded;
+  h.from = 7;
+  h.seq = 42;
+  h.addr = (GlobalAddr{3, 0x1000}).Pack();
+  h.minipage = 17;
+  h.pgsize = 256;
+  h.privbase = 0x2000;
+
+  const BatchRecord r = BatchRecord::From(h);
+  MsgHeader out;
+  out.set_type(MsgType::kInvalidateRequest);
+  out.flags = kFlagForwarded;
+  out.from = 7;
+  out.seq = 42;
+  r.ApplyTo(&out);
+  EXPECT_EQ(0, std::memcmp(&h, &out, sizeof(MsgHeader)));
+
+  // kFlagBatched shares 0x40 with the LRC-only kFlagWriteFetch; the batching
+  // layer must stay off LRC types, so the constant itself must not move.
+  EXPECT_EQ(kFlagBatched, kFlagWriteFetch);
+}
+
 }  // namespace
 }  // namespace millipage
