@@ -2,17 +2,19 @@
 // round, batched (DsmConfig::batch_coherence, multi-record frames behind
 // kFlagBatched) vs the paper's one-datagram-per-minipage protocol.
 //
-// Workload: `hosts` hosts share kArraysPerHost·hosts single-minipage
-// arrays. Each round, every host reads every array (building an all-host
-// copyset per array, fan-out = hosts - 1 ≥ 8), then every host write-faults
-// its own block of kArraysPerHost arrays simultaneously. The concurrent
-// write bursts put many invalidation rounds in flight at the same manager,
-// so the coalescer can fold same-destination invalidate requests — and
-// their replies, and the completion ACKs — into multi-record frames. The
-// block assignment (array a is written by host a/kArraysPerHost, but served
-// by shard a mod hosts) keeps each shard's arrays on *different* writers,
-// so the sharded directory coalesces too; a worker blocks inside each
-// fault, so one writer alone can never put two rounds in the air.
+// Workload: `hosts` hosts share hosts·hosts single-minipage arrays. Each
+// round, every host reads every array (building an all-host copyset per
+// array, fan-out = hosts - 1 ≥ 5), then every host write-faults its own
+// block of `hosts` arrays simultaneously. The concurrent write bursts put
+// many invalidation rounds in flight at the same manager, so the coalescer
+// can fold same-destination invalidate requests — and their replies, and
+// the completion ACKs — into multi-record frames. The block size equals the
+// host count on purpose: array a is written by host a/hosts but served by
+// shard a mod hosts, so at write step k every writer is in a round at shard
+// k mod hosts — the full writer population stacks at one shard at a time,
+// the burst depth the linger window (DsmConfig::batch_linger_us) exists to
+// fold. (A worker blocks inside each fault, so one writer alone can never
+// put two rounds in the air; depth comes only from distinct writers.)
 //
 // Reported per (policy, batching) cell: wall time, write-segment datagrams
 // and bytes per write op (one host's write of one array — i.e., one
@@ -33,10 +35,11 @@ namespace {
 
 int g_rounds = 30;
 
-// Arrays written per host per burst — the depth of concurrent invalidation
-// rounds available for folding. 8 keeps every directory shard fed by ~8
-// distinct simultaneous writers under both manager policies.
-constexpr int kArraysPerHost = 8;
+// Arrays written per host per burst. Equal to the host count so lockstep
+// writers converge on one shard per step (see the header comment): the
+// concurrent-round depth available for folding is then `hosts` under both
+// manager policies, instead of gcd(block, hosts) writers per shard.
+int ArraysPerHost(uint16_t hosts) { return hosts; }
 
 DsmConfig Cfg(uint16_t hosts, ManagerPolicy policy, bool batch) {
   DsmConfig cfg;
@@ -62,7 +65,7 @@ struct BatchingResult {
 BatchingResult RunBatching(uint16_t hosts, ManagerPolicy policy, bool batch) {
   auto cluster = DsmCluster::Create(Cfg(hosts, policy, batch));
   MP_CHECK(cluster.ok()) << cluster.status().ToString();
-  const int arrays = kArraysPerHost * hosts;
+  const int arrays = ArraysPerHost(hosts) * hosts;
   std::vector<GlobalPtr<int>> ptrs(arrays);
   (*cluster)->RunOnManager([&](DsmNode&) {
     for (int a = 0; a < arrays; ++a) {
@@ -103,7 +106,7 @@ BatchingResult RunBatching(uint16_t hosts, ManagerPolicy policy, bool batch) {
       node.Barrier();
       // Write burst: every host invalidates the full copyset of its two
       // arrays, concurrently with every other host's burst.
-      for (int a = kArraysPerHost * host; a < kArraysPerHost * (host + 1); ++a) {
+      for (int a = ArraysPerHost(hosts) * host; a < ArraysPerHost(hosts) * (host + 1); ++a) {
         ptrs[a][0] = ptrs[a][0] + r + 1;
       }
       node.Barrier();

@@ -36,6 +36,7 @@ const char* const kBenchBinaries[] = {
     "bench_ext_composed_views",
     "bench_epoch",
     "bench_protocol_batching",
+    "bench_fault_service",
     "bench_micro_primitives",
 };
 

@@ -86,6 +86,7 @@ class SimRun {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<Region> regions_;
   int fault_slot_ = -1;
+  bool uffd_mode_ = false;  // views actually bound to the uffd backend
 
   // Written by the host-0 worker during kAlloc, read by every worker after
   // the first barrier (the barrier's semaphores order the accesses).
@@ -107,6 +108,11 @@ Status SimRun::Setup() {
   config.trace = &trace_;
   config.manager_policy = workload_.policy;
   config.batch_coherence = workload_.batch_coherence;
+  config.fault_backend = workload_.backend;
+
+  // Install the backend before any node exists: each ViewSet binds to the
+  // backend active at creation (with runtime fallback to sigsegv).
+  MP_RETURN_IF_ERROR(FaultHandler::Instance().Install(config.fault_backend));
 
   net_ = std::make_unique<SimNet>(workload_.hosts, seed_);
   nodes_.reserve(workload_.hosts);
@@ -122,7 +128,8 @@ Status SimRun::Setup() {
                                 vs.object_size(), node.get(), v});
     }
   }
-  MP_RETURN_IF_ERROR(FaultHandler::Instance().Install());
+  uffd_mode_ = !nodes_.empty() &&
+               nodes_[0]->views().fault_backend() == FaultBackend::kUserfaultfd;
   fault_slot_ = FaultHandler::Instance().Register(&FaultTrampoline, this);
   if (fault_slot_ < 0) {
     return Status::Exhausted("no free fault-handler slots");
@@ -223,12 +230,18 @@ bool SimRun::ExecuteOp(uint16_t h, const SimOp& op, Status* failure) {
 bool SimRun::AccessCell(uint16_t h, uint32_t cell, bool is_write, Status* failure) {
   const GlobalAddr a = cell_addr_[cell];
   DsmNode& node = *nodes_[h];
-  if (workload_.kill_one_host) {
+  if (workload_.kill_one_host || uffd_mode_) {
     // With host death in play a fault can end in "minipage lost" — an error
     // the SIGSEGV path cannot absorb (the access itself is unservable). Call
     // the fault service explicitly first: on loss, skip the op without
     // recording an application event, so the coherence oracle never sees a
     // read of vanished data.
+    //
+    // Under the uffd backend the pre-fault is a determinism requirement: a
+    // worker blocked inside a kernel minor/WP fault never reaches a wait
+    // slot, so the driver could not tell "parked" from "wedged", and the
+    // poller thread would race the seeded scheduler. Pre-faulting keeps
+    // every pte present before the access, so no uffd event ever fires.
     const Protection p =
         node.views().GetVpageProtection(a.view, a.offset / PageSize());
     const bool sufficient =

@@ -22,6 +22,14 @@ DsmNode* CurrentNode() {
 
 Result<std::unique_ptr<DsmCluster>> DsmCluster::Create(const DsmConfig& config) {
   auto cluster = std::unique_ptr<DsmCluster>(new DsmCluster(config));
+  // Install the fault backend BEFORE creating any node: each node's ViewSet
+  // wires its views to whichever backend is active at creation time (and
+  // Install falls back to sigsegv when userfaultfd is unsupported).
+  MP_RETURN_IF_ERROR(FaultHandler::Instance().Install(config.fault_backend));
+  if (config.fault_backend == FaultBackend::kUserfaultfd &&
+      FaultHandler::Instance().active_backend() != FaultBackend::kUserfaultfd) {
+    MP_LOG(Error) << "userfaultfd backend unavailable; falling back to sigsegv";
+  }
   cluster->transport_ = std::make_unique<InProcTransport>(config.num_hosts);
   cluster->nodes_.reserve(config.num_hosts);
   for (uint16_t h = 0; h < config.num_hosts; ++h) {
@@ -45,7 +53,6 @@ Result<std::unique_ptr<DsmCluster>> DsmCluster::Create(const DsmConfig& config) 
   std::sort(cluster->regions_.begin(), cluster->regions_.end(),
             [](const Region& a, const Region& b) { return a.base < b.base; });
 
-  MP_RETURN_IF_ERROR(FaultHandler::Instance().Install());
   cluster->fault_slot_ = FaultHandler::Instance().Register(&FaultTrampoline, cluster.get());
   if (cluster->fault_slot_ < 0) {
     return Status::Exhausted("no free fault-handler slots");

@@ -9,6 +9,7 @@
 #include "src/common/host_set.h"
 #include "src/multiview/allocator.h"
 #include "src/net/message.h"
+#include "src/os/fault_handler.h"
 
 namespace millipage {
 
@@ -90,6 +91,24 @@ struct DsmConfig {
   // are emitted unbatched either way, so the wire format only changes when
   // a frame actually carries more than one record.
   bool batch_coherence = true;
+
+  // Coalescer linger (threaded mode only): when the mailbox drains, a batch
+  // younger than this that holds fewer than batch_linger_min_records keeps
+  // accumulating instead of flushing — per-shard bursts otherwise drain one
+  // or two records at a time and never stack. Bounded: the server flushes
+  // any batch at its deadline even with no further traffic, so the worst
+  // case is one linger of added latency on a round's last record. 0 restores
+  // flush-on-every-drain. The deterministic sim ignores the linger (its
+  // kFlushHint flushes are forced), so checker-verified results are
+  // unchanged by construction.
+  uint64_t batch_linger_us = 100;
+  uint32_t batch_linger_min_records = 8;
+
+  // Fault-delivery backend for the application views (src/os/fault_handler.h).
+  // kUserfaultfd removes the signal frame + ucontext decode from every miss
+  // and the mprotect from every protection change; it silently falls back to
+  // kSigsegv when the kernel lacks UFFD minor+WP shmem support.
+  FaultBackend fault_backend = FaultBackend::kSigsegv;
 
   // The paper's post-service ACK (Section 3.3) serializes every request per
   // minipage at the manager, which is what keeps the non-manager protocol

@@ -19,11 +19,17 @@ namespace {
 
 // Per-thread (node -> wait slot) cache. A thread may talk to several nodes
 // in one process (the in-process cluster), so the cache is a tiny map.
+// Entries are keyed by a process-unique node id, not the pointer: a node at
+// a recycled address must not inherit a dead node's slot. Long-lived service
+// threads (the userfaultfd poller) touch every node the process ever
+// creates, so a full cache recycles entries round-robin instead of failing;
+// returning to an evicted node just acquires a fresh slot there.
 struct ThreadSlotCache {
   static constexpr int kMax = 16;
-  const DsmNode* node[kMax] = {};
+  uint64_t uid[kMax] = {};
   uint32_t slot[kMax] = {};
   int n = 0;
+  int next_evict = 0;
 };
 thread_local ThreadSlotCache tls_slots;
 
@@ -60,6 +66,10 @@ DsmNode::DsmNode(const DsmConfig& config, HostId me, Transport* transport)
     : config_(config),
       codec_(WireCodec::For(config.num_hosts)),
       me_(me),
+      uid_([] {
+        static std::atomic<uint64_t> next{1};
+        return next.fetch_add(1, std::memory_order_relaxed);
+      }()),
       transport_(transport) {
   auto init = std::make_unique<Membership>();
   init->live = HostSet::AllBelow(config.num_hosts);
@@ -92,15 +102,20 @@ void DsmNode::Stop() {
 uint32_t DsmNode::ThreadSlot() {
   ThreadSlotCache& c = tls_slots;
   for (int i = 0; i < c.n; ++i) {
-    if (c.node[i] == this) {
+    if (c.uid[i] == uid_) {
       return c.slot[i];
     }
   }
-  MP_CHECK(c.n < ThreadSlotCache::kMax) << "thread uses too many nodes";
   const uint32_t slot = slots_.Acquire();
-  c.node[c.n] = this;
-  c.slot[c.n] = slot;
-  c.n++;
+  int i;
+  if (c.n < ThreadSlotCache::kMax) {
+    i = c.n++;
+  } else {
+    i = c.next_evict;
+    c.next_evict = (c.next_evict + 1) % ThreadSlotCache::kMax;
+  }
+  c.uid[i] = uid_;
+  c.slot[i] = slot;
   return slot;
 }
 
@@ -708,14 +723,18 @@ void DsmNode::ServerLoop() {
         break;
     }
     if (HasOpenBatch()) {
-      // A batch is open: drain the mailbox without blocking so the batch
-      // flushes the moment no more traffic is immediately deliverable —
-      // coalescing collects bursts, it never adds idle latency. This must
-      // test for queued records, not coalesce_.empty(): flushed batches keep
-      // their (to, type) slot in the vector for reuse, and polling with no
-      // timeout on an *idle* node would turn the server into a busy-spinner
-      // and starve every other thread on the box.
-      timeout_us = 0;
+      // A batch is open: cap the wait at the earliest open batch's linger
+      // deadline, so coalescing collects bursts without ever holding a
+      // record past batch_linger_us (0 — a ripe batch — restores the old
+      // drain-and-flush). This must test for queued records, not
+      // coalesce_.empty(): flushed batches keep their (to, type) slot in
+      // the vector for reuse, and polling with no timeout on an *idle* node
+      // would turn the server into a busy-spinner and starve every other
+      // thread on the box.
+      const uint64_t delay_us = NextFlushDelayUs(MonotonicNowNs());
+      if (delay_us < timeout_us) {
+        timeout_us = delay_us;
+      }
     }
     Result<bool> got = transport_->Poll(me_, &h, sink, timeout_us);
     if (!got.ok()) {
@@ -738,7 +757,12 @@ void DsmNode::ServerLoop() {
       HandleMessage(h);
       continue;
     }
-    FlushCoalesced();  // mailbox drained: release any open batches
+    // Mailbox drained: release the batches past the linger policy. Young,
+    // small batches keep accumulating — per-shard bursts otherwise flush one
+    // or two records at a time and never stack — bounded by the poll-timeout
+    // cap above, so the worst case is batch_linger_us of added latency on a
+    // round's final record.
+    FlushRipeCoalesced(MonotonicNowNs());
     if (config_.service_mode == ServiceMode::kPeriodic) {
       ::usleep(static_cast<useconds_t>(config_.service_period_us));
     }
@@ -820,9 +844,28 @@ void DsmNode::DispatchBatch(const MsgHeader& h) {
   std::memcpy(recs.data(), batch_rx_.data(), n * sizeof(BatchRecord));
   MsgHeader one = h;
   one.flags &= static_cast<uint8_t>(~(kFlagBatched | kFlagHasPayload));
+  if (h.msg_type() == MsgType::kInvalidateRequest) {
+    // Apply the whole frame's protection drops as ONE ranged call before
+    // dispatching the records: invalidations covering contiguous vpages
+    // collapse into a single mprotect (or uffd ioctl) instead of one per
+    // minipage. Revoking earlier than the per-record handler would is
+    // strictly safe under SWMR — access is only ever removed — and the
+    // checker replays per-minipage kProtSet events, which the batch emits
+    // in full. Each record's own SetProtection then hits the shadow-table
+    // fast-path and costs no syscall.
+    std::vector<Minipage> drops;
+    drops.reserve(n);
+    MsgHeader probe = one;
+    for (const BatchRecord& r : recs) {
+      r.ApplyTo(&probe);
+      drops.push_back(MinipageFromHeader(probe));
+    }
+    MP_CHECK_OK(views_->SetProtectionBatch(drops.data(), drops.size(),
+                                           Protection::kNoAccess));
+  }
   // In-order dispatch: each record runs the full per-message handler, so the
   // trace events it emits land in record order and the offline checker sees
-  // exactly the event sequence an unbatched run would have produced.
+  // the same per-record event sequence an unbatched run would have produced.
   for (const BatchRecord& r : recs) {
     r.ApplyTo(&one);
     DispatchOne(one);
@@ -971,11 +1014,17 @@ void DsmNode::SendCoalesced(HostId to, const MsgHeader& h) {
     }
   }
   if (batch == nullptr) {
-    coalesce_.push_back(PendingBatch{to, h.msg_type(), {}});
+    coalesce_.push_back(PendingBatch{to, h.msg_type(), 0, {}});
     batch = &coalesce_.back();
   }
   if (batch->items.size() >= kMaxBatchRecords) {
     SendBatch(*batch);
+  }
+  if (batch->items.empty()) {
+    // First record since the last flush: start this batch's linger clock.
+    // (Unused on externally-pumped nodes — their kFlushHint flushes are
+    // forced — so the wall-clock read never influences a simulated run.)
+    batch->opened_ns = MonotonicNowNs();
   }
   batch->items.push_back(h);
   // Externally-pumped node (no server loop): make sure a flush is coming.
@@ -1005,6 +1054,38 @@ void DsmNode::FlushCoalesced() {
   for (PendingBatch& b : coalesce_) {
     SendBatch(b);
   }
+}
+
+void DsmNode::FlushRipeCoalesced(uint64_t now_ns) {
+  const uint64_t linger_ns = config_.batch_linger_us * 1000;
+  for (PendingBatch& b : coalesce_) {
+    if (b.items.empty()) {
+      continue;
+    }
+    if (linger_ns == 0 || b.items.size() >= config_.batch_linger_min_records ||
+        now_ns - b.opened_ns >= linger_ns) {
+      SendBatch(b);
+    }
+  }
+}
+
+uint64_t DsmNode::NextFlushDelayUs(uint64_t now_ns) const {
+  const uint64_t linger_ns = config_.batch_linger_us * 1000;
+  uint64_t best_ns = ~0ull;
+  for (const PendingBatch& b : coalesce_) {
+    if (b.items.empty()) {
+      continue;
+    }
+    if (linger_ns == 0 || b.items.size() >= config_.batch_linger_min_records) {
+      return 0;  // already ripe: drain without blocking, flush immediately
+    }
+    const uint64_t age = now_ns - b.opened_ns;
+    if (age >= linger_ns) {
+      return 0;
+    }
+    best_ns = std::min(best_ns, linger_ns - age);
+  }
+  return best_ns == ~0ull ? 0 : (best_ns + 999) / 1000;
 }
 
 void DsmNode::SendBatch(PendingBatch& b) {
@@ -1045,6 +1126,12 @@ bool DsmNode::MgrTranslate(MsgHeader* h) {
   const GlobalAddr a = h->global_addr();
   const Minipage* mp = mpt_->Lookup(a.view, a.offset);
   directory_->counters().mpt_lookups++;
+  if (mp == nullptr && a.offset % PageSize() == 0) {
+    // The userfaultfd backend reports fault addresses page-masked, so a
+    // fault on a vpage whose minipage starts mid-page misses the byte-exact
+    // lookup. The vpage holds at most one minipage, so this is unambiguous.
+    mp = mpt_->LookupVpage(a.view, a.offset);
+  }
   if (mp == nullptr) {
     MP_LOG(Fatal) << "fault at unmapped shared address view=" << a.view
                   << " offset=" << a.offset << " (wild pointer into a layout gap?)";
@@ -1315,6 +1402,30 @@ void DsmNode::MgrProcessPush(const MsgHeader& h, DirEntry& e) {
 
 void DsmNode::MgrHandleAck(const MsgHeader& h) {
   DirEntry& e = directory_->Entry(h.minipage);
+  if ((h.flags & kFlagAbort) != 0 && e.push_outstanding == 0) {
+    // Renounced grant: the grantee's protection install failed, so the copy
+    // the directory just granted does not exist. Drop the grantee from the
+    // copyset; when that empties it, the data now lives nowhere reachable —
+    // degrade the id with the same lost-minipage machinery as sole-copy
+    // host death (per-access kNotFound for future requesters) instead of
+    // wedging or aborting the cluster.
+    e.copyset.Remove(h.from);
+    if (e.copyset.Empty() && !e.lost) {
+      e.lost = true;
+      e.writable = false;
+      minipages_lost_.fetch_add(1, std::memory_order_relaxed);
+      MP_LOG(Error) << "host " << me_ << ": minipage " << h.minipage
+                    << " lost: host " << h.from << " renounced the only copy";
+      while (!e.pending.empty()) {
+        ReplyLost(e.pending.front());
+        e.pending.pop_front();
+      }
+    }
+    if (e.in_service) {
+      MgrFinishService(h.minipage);
+    }
+    return;
+  }
   if (!e.in_service) {
     // Repair already closed this transaction (its data source died and the
     // service was restarted or the id declared lost): the ACK answers a
@@ -1349,7 +1460,15 @@ void DsmNode::MgrHandleBounced(const MsgHeader& h) {
     ForwardToReplica(e.write_remaining, fwd);
     return;
   }
-  // Reads: re-route from the current copyset.
+  // Reads: re-route from the current copyset. When the bounce came from a
+  // serve-side protection failure the transaction is still in service (its
+  // ACK is pending) — re-dispatch it directly; funneling it through
+  // MgrStartService would queue the request behind itself and wedge the
+  // minipage forever.
+  if (e.in_service && e.in_service_for == h.from) {
+    MgrProcess(h);
+    return;
+  }
   MgrStartService(h);
 }
 
@@ -1385,6 +1504,8 @@ void DsmNode::MgrHandleAlloc(const MsgHeader& h) {
     SendMsg(h.from, reply);
     return;
   }
+  std::vector<Minipage> grants;
+  grants.reserve(alloc->minipages.size());
   for (MinipageId id : alloc->minipages) {
     if (!OwnsShard(id)) {
       // Sharded: the id's directory entry lives on another host and
@@ -1394,7 +1515,7 @@ void DsmNode::MgrHandleAlloc(const MsgHeader& h) {
       // would undo a downgrade the owning shard ordered.
       const bool routed = id < mp_routed_.size() && mp_routed_[id];
       if (!routed) {
-        MP_CHECK_OK(views_->SetProtection(mpt_->Get(id), Protection::kReadWrite));
+        grants.push_back(mpt_->Get(id));
       }
       continue;
     }
@@ -1406,9 +1527,14 @@ void DsmNode::MgrHandleAlloc(const MsgHeader& h) {
     // Cover newly added vpages of a growing chunk; safe because chunks close
     // on any non-alloc traffic, so a growing minipage is still manager-held.
     if (e.CopyCount() == 1 && e.HasCopy(kManagerHost) && e.writable) {
-      MP_CHECK_OK(views_->SetProtection(mpt_->Get(id), Protection::kReadWrite));
+      grants.push_back(mpt_->Get(id));
     }
   }
+  // One ranged protection call opens the whole round: an allocation's
+  // minipages pack vpage-contiguously, so an N-minipage grant costs one
+  // mprotect (or uffd ioctl) instead of N.
+  MP_CHECK_OK(
+      views_->SetProtectionBatch(grants.data(), grants.size(), Protection::kReadWrite));
   reply.addr = GlobalAddr{alloc->view, alloc->offset}.Pack();
   reply.pgsize = static_cast<uint32_t>(alloc->size);
   reply.privbase = alloc->offset;
@@ -1748,7 +1874,16 @@ void DsmNode::ServeReadRequest(const MsgHeader& h) {
     return;
   }
   if (have == Protection::kReadWrite) {
-    MP_CHECK_OK(views_->SetProtection(mp, Protection::kReadOnly));
+    if (Status st = views_->SetProtection(mp, Protection::kReadOnly); !st.ok()) {
+      // Self-downgrade failed: serving anyway could let a local writer tear
+      // the outbound copy. Bounce for re-routing (the shard re-dispatches an
+      // in-service bounce, so this never wedges the minipage) instead of
+      // taking the cluster down over one failed protection change.
+      MP_LOG(Error) << "host " << me_ << ": read-serve downgrade of minipage "
+                    << h.minipage << " failed: " << st.ToString() << "; bouncing";
+      Bounce(h);
+      return;
+    }
   }
   MsgHeader reply = h;
   reply.set_type(MsgType::kReadReply);
@@ -1762,7 +1897,15 @@ void DsmNode::ServeWriteRequest(const MsgHeader& h) {
     Bounce(h);
     return;
   }
-  MP_CHECK_OK(views_->SetProtection(mp, Protection::kNoAccess));
+  if (Status st = views_->SetProtection(mp, Protection::kNoAccess); !st.ok()) {
+    // Relinquish failed: sending the copy while it is still locally writable
+    // would break SWMR. Bounce — the shard re-forwards a bounced write to
+    // this same host, so a transient failure resolves on the retry.
+    MP_LOG(Error) << "host " << me_ << ": write-serve relinquish of minipage "
+                  << h.minipage << " failed: " << st.ToString() << "; bouncing";
+    Bounce(h);
+    return;
+  }
   MsgHeader reply = h;
   reply.set_type(MsgType::kWriteReply);
   reply.flags = 0;
@@ -1840,7 +1983,29 @@ void DsmNode::HandleReply(const MsgHeader& h) {
   const Minipage mp = MinipageFromHeader(h);
   const Protection prot = h.msg_type() == MsgType::kReadReply ? Protection::kReadOnly
                                                               : Protection::kReadWrite;
-  MP_CHECK_OK(views_->SetProtection(mp, prot));
+  if (Status st = views_->SetProtection(mp, prot); !st.ok()) {
+    // The grant arrived but raising local protection failed (ENOMEM from a
+    // VMA split, an injected fault-path failure). A protection change on the
+    // fault path is a per-access problem, not a cluster-fatal one: renounce
+    // the grant with an abort-flagged ACK so the owning shard drops this
+    // host from the copyset (and degrades the id to lost when ours would
+    // have been the only copy — the same policy as sole-copy host death),
+    // then deliver an abort verdict so the waiting access fails kNotFound
+    // while every other minipage keeps working.
+    MP_LOG(Error) << "host " << me_ << ": installing minipage " << h.minipage
+                  << " grant failed: " << st.ToString() << "; degrading this access";
+    MsgHeader ack = h;
+    ack.set_type(MsgType::kAck);
+    ack.from = me_;
+    ack.flags = kFlagAbort;
+    SendMsg(LiveManagerOf(ack.minipage), ack);
+    if (h.seq != kNoWaitSlot) {
+      MsgHeader verdict = h;
+      verdict.flags |= kFlagAbort;
+      slots_.Post(WaitSlots::SeqSlot(h.seq), verdict);
+    }
+    return;
+  }
   if (h.seq == kNoWaitSlot) {
     // Prefetch completion: account and ACK on behalf of the (absent) waiter.
     counters_.prefetch_bytes += h.has_payload() ? h.pgsize : 0;

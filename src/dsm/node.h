@@ -281,6 +281,13 @@ class DsmNode {
   // behind idle waiting.
   void SendCoalesced(HostId to, const MsgHeader& h);
   void FlushCoalesced();
+  // Linger-policy flush (threaded server only): sends the batches that are
+  // ripe — older than batch_linger_us or holding at least
+  // batch_linger_min_records — and leaves young, small ones accumulating.
+  // NextFlushDelayUs bounds the server's poll timeout so a lingering batch
+  // is never left waiting past its deadline.
+  void FlushRipeCoalesced(uint64_t now_ns);
+  uint64_t NextFlushDelayUs(uint64_t now_ns) const;
 
   // Manager role.
   bool MgrTranslate(MsgHeader* h);
@@ -407,6 +414,9 @@ class DsmNode {
   // every datagram is stamped/stripped through it.
   const WireCodec codec_;
   const HostId me_;
+  // Process-unique id keying per-thread wait-slot caches (never reused, so
+  // a node allocated at a dead node's address cannot inherit its slots).
+  const uint64_t uid_;
   Transport* const transport_;
   std::unique_ptr<ViewSet> views_;
   WaitSlots slots_;
@@ -481,6 +491,7 @@ class DsmNode {
   struct PendingBatch {
     HostId to = 0;
     MsgType type = MsgType::kAck;
+    uint64_t opened_ns = 0;  // MonotonicNowNs when the first record landed
     std::vector<MsgHeader> items;
   };
   void SendBatch(PendingBatch& b);

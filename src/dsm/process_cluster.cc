@@ -33,6 +33,12 @@ bool ChildFaultTrampoline(void* ctx, void* addr, bool is_write) {
 [[noreturn]] void ChildMain(const DsmConfig& config, HostId me, std::vector<int> fds,
                             const std::function<void(DsmNode&, HostId)>& fn) {
   SocketTransport transport(me, std::move(fds));
+  // Pin the backend BEFORE any view registers. Forked children must use the
+  // SIGSEGV backend even if the parent had userfaultfd active at fork time:
+  // the uffd descriptor survives the fork but the poller thread does not, so
+  // a view registered against the inherited mode would fault into a queue
+  // nobody drains.
+  MP_CHECK_OK(FaultHandler::Instance().Install(FaultBackend::kSigsegv));
   Result<std::unique_ptr<DsmNode>> node = DsmNode::Create(config, me, &transport);
   if (!node.ok()) {
     MP_LOG(Error) << "host " << me << ": " << node.status().ToString();
@@ -40,7 +46,6 @@ bool ChildFaultTrampoline(void* ctx, void* addr, bool is_write) {
   }
   static ChildFaultCtx fault_ctx;
   fault_ctx.node = node->get();
-  MP_CHECK_OK(FaultHandler::Instance().Install());
   const int slot = FaultHandler::Instance().Register(&ChildFaultTrampoline, &fault_ctx);
   MP_CHECK(slot >= 0);
   (*node)->Start();

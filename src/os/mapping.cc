@@ -4,6 +4,7 @@
 
 #include <utility>
 
+#include "src/common/failpoint.h"
 #include "src/os/page.h"
 
 namespace millipage {
@@ -66,6 +67,11 @@ Status Mapping::Protect(size_t offset, size_t len, Protection prot) const {
   }
   if (offset + len > length_) {
     return Status::OutOfRange("Protect: range exceeds mapping");
+  }
+  // Chaos hook: models mprotect failing with ENOMEM/EACCES (split-VMA
+  // exhaustion) so the fault-service degradation path has a regression.
+  if (FailpointRegistry::Instance().Fire("os.mapping.protect")) {
+    return Status::Exhausted("mprotect: injected failure (os.mapping.protect)");
   }
   if (::mprotect(base_ + offset, len, ProtFlags(prot)) != 0) {
     return Status::Errno("mprotect");

@@ -9,6 +9,7 @@
 #include <string>
 #include <thread>
 
+#include "src/common/failpoint.h"
 #include "src/common/time_util.h"
 #include "src/dsm/cluster.h"
 #include "src/dsm/global_ptr.h"
@@ -31,6 +32,9 @@ DsmConfig Cfg(uint16_t hosts) {
   if (policy != nullptr && std::string(policy) == "sharded") {
     cfg.manager_policy = ManagerPolicy::kSharded;
   }
+  // MILLIPAGE_FAULT_BACKEND=uffd likewise re-runs the suite with views wired
+  // to the userfaultfd backend (falls back to sigsegv on old kernels).
+  cfg.fault_backend = FaultBackendFromEnv();
   return cfg;
 }
 
@@ -98,8 +102,13 @@ TEST(Protocol, CompetingRequestsAreCountedAndServed) {
   });
   const ManagerCounters mc = (*cluster)->TotalManagerCounters();
   EXPECT_GE(mc.requests_served, 5u);
-  // At least some of the simultaneous faults must have queued.
-  EXPECT_GE(uint64_t{(*cluster)->TotalCounters().competing_requests}, 1u);
+  // At least some of the simultaneous faults must have queued. Under the
+  // userfaultfd backend the in-process cluster funnels every host's faults
+  // through one poller thread, so requests are serialized before they reach
+  // the manager and nothing can queue — the counter stays 0 by construction.
+  if (FaultBackendFromEnv() != FaultBackend::kUserfaultfd) {
+    EXPECT_GE(uint64_t{(*cluster)->TotalCounters().competing_requests}, 1u);
+  }
 }
 
 TEST(Protocol, PrefetchAvoidsBlockingFault) {
@@ -415,6 +424,59 @@ TEST(Protocol, StaleReplyAfterRetryIsDiscardedAndAcked) {
   n1->BeginShutdown();
   n1->Stop();
   n0->Stop();
+}
+
+// Regression (fault-path degradation): a protection change failing INSIDE
+// fault service — on the grant install, the one protect whose failure is
+// recoverable — must degrade that single access to kNotFound, the same
+// policy as sole-copy host death, instead of aborting the cluster. The
+// requester renounces the grant (abort-flagged ACK) so the directory drops
+// it from the copyset and the minipage stays serveable from the old holder.
+TEST(Protocol, GrantInstallFailureDegradesAccessNotCluster) {
+  auto cluster = DsmCluster::Create(Cfg(2));
+  ASSERT_TRUE(cluster.ok());
+  GlobalPtr<int> ctl;
+  GlobalPtr<int> victim;
+  (*cluster)->RunOnManager([&](DsmNode&) {
+    ctl = SharedAlloc<int>(4);
+    victim = SharedAlloc<int>(4);
+    ctl[0] = 1;
+    victim[0] = 2;
+  });
+  DsmNode& n1 = (*cluster)->node(1);
+  const GlobalAddr va = victim.addr();
+
+  {
+    // skip=1 lets the holder's serve-side downgrade of its own copy pass;
+    // times=1 then fails exactly one protect — the requester's install.
+    FailpointAction fail;
+    fail.kind = FailpointAction::Kind::kReturn;
+    fail.skip = 1;
+    fail.max_hits = 1;
+    FailpointScope scope("os.mapping.protect", fail);
+    const Status st = n1.FaultService(va.view, va.offset, /*is_write=*/false);
+    ASSERT_FALSE(st.ok()) << "injected install failure must fail the access";
+    EXPECT_EQ(st.code(), StatusCode::kNotFound) << st.ToString();
+    EXPECT_EQ(FailpointRegistry::Instance().hits("os.mapping.protect"), 1u)
+        << "the injection was meant to hit the grant install exactly once";
+  }
+
+  // The old holder kept its copy, so the directory never emptied: nothing
+  // was declared lost cluster-wide, and the SAME access succeeds once the
+  // (transient, one-shot) failure clears.
+  EXPECT_EQ((*cluster)->node(0).minipages_lost(), 0u);
+  const Status again = n1.FaultService(va.view, va.offset, /*is_write=*/false);
+  ASSERT_TRUE(again.ok()) << again.ToString();
+  EXPECT_EQ(*reinterpret_cast<const int*>(n1.AppPtr(va)), 2);
+
+  // The degradation was per-access: other minipages were never affected,
+  // and both hosts remain healthy — no cluster abort, no wedged service.
+  const Status ctl_read = n1.FaultService(ctl.addr().view, ctl.addr().offset,
+                                          /*is_write=*/false);
+  ASSERT_TRUE(ctl_read.ok()) << ctl_read.ToString();
+  EXPECT_EQ(*reinterpret_cast<const int*>(n1.AppPtr(ctl.addr())), 1);
+  EXPECT_TRUE(n1.health().ok());
+  EXPECT_TRUE((*cluster)->node(0).health().ok());
 }
 
 TEST(Protocol, SequentialConsistencyStress) {

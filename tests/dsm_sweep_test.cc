@@ -46,6 +46,9 @@ TEST_P(DsmSweep, RotatingOwnershipIntegrity) {
   cfg.num_views = p.views;
   cfg.chunking_level = p.chunking;
   cfg.page_based = p.page_based;
+  // MILLIPAGE_FAULT_BACKEND=uffd re-runs the sweep grid with the views wired
+  // to the userfaultfd backend (the CI backend matrix sets it).
+  cfg.fault_backend = FaultBackendFromEnv();
   auto cluster = DsmCluster::Create(cfg);
   ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
 
@@ -113,6 +116,7 @@ TEST_P(RandomSoup, MatchesSerialReplay) {
   cfg.num_hosts = 4;
   cfg.object_size = 2 << 20;
   cfg.num_views = 8;
+  cfg.fault_backend = FaultBackendFromEnv();
   auto cluster = DsmCluster::Create(cfg);
   ASSERT_TRUE(cluster.ok());
 
@@ -182,6 +186,7 @@ TEST_P(LockedSoup, TotalsAddUp) {
   DsmConfig cfg;
   cfg.num_hosts = 3;
   cfg.object_size = 1 << 20;
+  cfg.fault_backend = FaultBackendFromEnv();
   auto cluster = DsmCluster::Create(cfg);
   ASSERT_TRUE(cluster.ok());
   constexpr int kCells = 8;
@@ -221,6 +226,7 @@ TEST(DsmSweepExtra, ManySmallAllocationsRoundTrip) {
   cfg.num_hosts = 2;
   cfg.object_size = 8 << 20;
   cfg.num_views = 32;
+  cfg.fault_backend = FaultBackendFromEnv();
   auto cluster = DsmCluster::Create(cfg);
   ASSERT_TRUE(cluster.ok());
   constexpr int kAllocs = 300;
@@ -269,6 +275,7 @@ TEST(DsmSweepExtra, MultipleAppThreadsPerHost) {
   DsmConfig cfg;
   cfg.num_hosts = 2;
   cfg.object_size = 1 << 20;
+  cfg.fault_backend = FaultBackendFromEnv();
   auto cluster = DsmCluster::Create(cfg);
   ASSERT_TRUE(cluster.ok());
   GlobalPtr<int> a;

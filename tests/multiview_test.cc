@@ -9,6 +9,9 @@
 #include <csignal>
 #include <map>
 #include <utility>
+#include <vector>
+
+#include "src/common/metrics.h"
 
 #include "src/multiview/allocator.h"
 #include "src/multiview/minipage.h"
@@ -396,6 +399,50 @@ TEST(ViewSetTest, ResolveFindsViewAndOffset) {
   EXPECT_FALSE((*vs)->Resolve(&local, &view, &offset));
   // The privileged view is not an application view.
   EXPECT_FALSE((*vs)->Resolve((*vs)->PrivAddr(0), &view, &offset));
+}
+
+// A grant round over N contiguous vpages must collapse into ONE ranged
+// protection call — mv.prot_sets is the syscall counter, so the delta is the
+// proof (N pages, 1 call instead of N).
+TEST(ViewSetTest, ContiguousBatchCoalescesToOneRangedCall) {
+  constexpr uint64_t kPages = 16;
+  auto vs = ViewSet::Create(PageSize() * kPages, 1);
+  ASSERT_TRUE(vs.ok());
+  MetricsRegistry local;
+  (*vs)->SetMetrics(&local);
+
+  std::vector<Minipage> mps(kPages);
+  for (uint64_t i = 0; i < kPages; ++i) {
+    mps[i].view = 0;
+    mps[i].offset = i * PageSize();
+    mps[i].length = PageSize();
+  }
+  ASSERT_TRUE((*vs)->SetProtectionBatch(mps.data(), mps.size(), Protection::kReadWrite).ok());
+
+  const MetricsSnapshot snap = local.Snapshot();
+  EXPECT_EQ(snap.counters.at("mv.prot_sets"), 1u)
+      << "a contiguous " << kPages << "-vpage round must cost one ranged call";
+  EXPECT_EQ(snap.counters.at("mv.prot_set_pages"), kPages);
+  for (const Minipage& mp : mps) {
+    EXPECT_EQ((*vs)->GetProtection(mp), Protection::kReadWrite);
+  }
+
+  // Re-applying the same protection is a shadow-table no-op: no extra call.
+  ASSERT_TRUE((*vs)->SetProtectionBatch(mps.data(), mps.size(), Protection::kReadWrite).ok());
+  EXPECT_EQ(local.Snapshot().counters.at("mv.prot_sets"), 1u);
+
+  // A gap splits the run: dropping every other vpage back to NoAccess must
+  // cost one call per disjoint single-page run, not one giant call.
+  std::vector<Minipage> odd;
+  for (uint64_t i = 1; i < kPages; i += 2) {
+    odd.push_back(mps[i]);
+  }
+  ASSERT_TRUE((*vs)->SetProtectionBatch(odd.data(), odd.size(), Protection::kNoAccess).ok());
+  EXPECT_EQ(local.Snapshot().counters.at("mv.prot_sets"), 1u + odd.size());
+  for (uint64_t i = 0; i < kPages; ++i) {
+    EXPECT_EQ((*vs)->GetProtection(mps[i]),
+              i % 2 == 1 ? Protection::kNoAccess : Protection::kReadWrite);
+  }
 }
 
 }  // namespace

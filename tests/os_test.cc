@@ -226,6 +226,134 @@ TEST(FaultHandlerDeathTest, NestedFaultInHandlerIsRejected) {
       "nested fault in handler");
 }
 
+// ---- userfaultfd backend ---------------------------------------------------
+
+// Upgrade-on-fault context for the uffd backend: protection changes go
+// through the FaultHandler range ops instead of mprotect.
+struct UffdUpgradeCtx {
+  std::byte* base = nullptr;
+  size_t len = 0;
+  std::atomic<int> read_faults{0};
+  std::atomic<int> write_faults{0};
+};
+
+bool UffdUpgradeOnFault(void* ctx_raw, void* addr, bool is_write) {
+  auto* ctx = static_cast<UffdUpgradeCtx*>(ctx_raw);
+  auto* a = static_cast<std::byte*>(addr);
+  if (a < ctx->base || a >= ctx->base + ctx->len) {
+    return false;
+  }
+  FaultHandler& fh = FaultHandler::Instance();
+  if (is_write) {
+    ctx->write_faults.fetch_add(1);
+    return fh.UffdEnsureRange(ctx->base, ctx->len, /*write_protect=*/false).ok();
+  }
+  ctx->read_faults.fetch_add(1);
+  return fh.UffdEnsureRange(ctx->base, ctx->len, /*write_protect=*/true).ok();
+}
+
+// Full round trip through the poller: a zapped pte minor-faults on read and
+// is installed write-protected; the subsequent store WP-faults and the range
+// is un-protected — no SIGSEGV, no mprotect, same backing pages.
+TEST(UffdBackendTest, MinorAndWpFaultsResolveThroughPoller) {
+  FaultHandler& fh = FaultHandler::Instance();
+  if (!fh.UffdSupported()) {
+    GTEST_SKIP() << "kernel lacks userfaultfd minor+WP shmem support";
+  }
+  ASSERT_TRUE(fh.Install(FaultBackend::kUserfaultfd).ok());
+  ASSERT_EQ(fh.active_backend(), FaultBackend::kUserfaultfd);
+  auto obj = MemoryObject::Create(PageSize());
+  ASSERT_TRUE(obj.ok());
+  auto priv = Mapping::MapObject(*obj, 0, PageSize(), Protection::kReadWrite);
+  auto app = Mapping::MapObject(*obj, 0, PageSize(), Protection::kReadWrite);
+  ASSERT_TRUE(priv.ok() && app.ok());
+  // UFFDIO_CONTINUE resolves from the page cache, so the object's pages must
+  // exist there before the first minor fault (ViewSet does the same).
+  std::memset(priv->base(), 0, PageSize());
+  reinterpret_cast<int*>(priv->base())[0] = 41;
+
+  UffdUpgradeCtx ctx;
+  ctx.base = app->base();
+  ctx.len = PageSize();
+  ASSERT_TRUE(fh.UffdRegisterRange(app->base(), PageSize()).ok());
+  ASSERT_TRUE(fh.UffdZapRange(app->base(), PageSize()).ok());
+  const int slot = fh.Register(&UffdUpgradeOnFault, &ctx);
+  ASSERT_GE(slot, 0);
+
+  volatile int* p = reinterpret_cast<volatile int*>(app->base());
+  EXPECT_EQ(*p, 41);  // minor fault: pte installed ReadOnly via the poller
+  EXPECT_EQ(ctx.read_faults.load(), 1);
+  EXPECT_EQ(ctx.write_faults.load(), 0);
+  *p = 17;  // write-protect fault: WP bit dropped via the poller
+  EXPECT_EQ(*p, 17);
+  EXPECT_EQ(ctx.write_faults.load(), 1);
+  EXPECT_EQ(reinterpret_cast<int*>(priv->base())[0], 17) << "views must share backing";
+
+  fh.Unregister(slot);
+  EXPECT_TRUE(fh.UffdUnregisterRange(app->base(), PageSize()).ok());
+  // Restore the default mode for the rest of the binary.
+  ASSERT_TRUE(fh.Install(FaultBackend::kSigsegv).ok());
+}
+
+// Requesting uffd must never fail Install: on kernels without minor+WP shmem
+// support it falls back to sigsegv and says so via active_backend().
+TEST(UffdBackendTest, InstallFallsBackWhenUnsupported) {
+  FaultHandler& fh = FaultHandler::Instance();
+  ASSERT_TRUE(fh.Install(FaultBackend::kUserfaultfd).ok());
+  if (fh.UffdSupported()) {
+    EXPECT_EQ(fh.active_backend(), FaultBackend::kUserfaultfd);
+  } else {
+    EXPECT_EQ(fh.active_backend(), FaultBackend::kSigsegv);
+    // Range ops fail cleanly when the backend never came up.
+    EXPECT_FALSE(fh.UffdZapRange(nullptr, PageSize()).ok());
+  }
+  ASSERT_TRUE(fh.Install(FaultBackend::kSigsegv).ok());
+  EXPECT_EQ(fh.active_backend(), FaultBackend::kSigsegv);
+}
+
+// A SIGSEGV raised *on the poller thread itself* (a buggy callback chasing a
+// wild pointer) can never be serviced — the only thread that could resolve
+// it is the one that faulted. The handler's poller guard must report and die
+// instead of deadlocking in the kernel.
+//
+// "threadsafe" death-test style is required: the default fork-based child
+// would inherit uffd_state_ == available with no poller thread (fork keeps
+// only the calling thread), so the bring-up must happen inside the death
+// statement in a re-executed child.
+TEST(FaultHandlerDeathTest, FaultOnUffdPollerThreadDies) {
+#ifdef MILLIPAGE_TSAN
+  GTEST_SKIP() << "nested-SIGSEGV death message is unobservable under tsan";
+#endif
+  if (!FaultHandler::Instance().UffdSupported()) {
+    GTEST_SKIP() << "kernel lacks userfaultfd minor+WP shmem support";
+  }
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        FaultHandler& fh = FaultHandler::Instance();
+        ASSERT_TRUE(fh.Install(FaultBackend::kUserfaultfd).ok());
+        auto obj = MemoryObject::Create(PageSize());
+        ASSERT_TRUE(obj.ok());
+        auto priv = Mapping::MapObject(*obj, 0, PageSize(), Protection::kReadWrite);
+        auto app = Mapping::MapObject(*obj, 0, PageSize(), Protection::kReadWrite);
+        ASSERT_TRUE(priv.ok() && app.ok());
+        std::memset(priv->base(), 0, PageSize());
+        ASSERT_TRUE(fh.UffdRegisterRange(app->base(), PageSize()).ok());
+        ASSERT_TRUE(fh.UffdZapRange(app->base(), PageSize()).ok());
+        fh.Register(
+            +[](void*, void*, bool) {
+              // Wild deref at poller depth (volatile so the compiler can't
+              // prove the address constant and warn it out).
+              volatile uintptr_t wild = 1;
+              (void)*reinterpret_cast<volatile int*>(wild);
+              return true;
+            },
+            nullptr);
+        (void)*reinterpret_cast<volatile int*>(app->base());
+      },
+      "nested fault on uffd poller");
+}
+
 TEST(FaultHandlerTest, RegisterUnregisterSlots) {
   ASSERT_TRUE(FaultHandler::Instance().Install().ok());
   int slots[FaultHandler::kMaxSlots];

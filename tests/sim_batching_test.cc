@@ -93,6 +93,9 @@ void SweepEquivalence(ManagerPolicy policy) {
   w.cells = 16;  // two cells per shard, so sharded runs can coalesce too
   w.rounds = 2;
   w.policy = policy;
+  // MILLIPAGE_FAULT_BACKEND=uffd re-runs the sweep with the views wired to
+  // the userfaultfd backend (the CI backend matrix sets it).
+  w.backend = FaultBackendFromEnv();
   const std::vector<std::vector<SimOp>> script = PhasedScript(w);
 
   uint64_t batched_frames = 0;
@@ -138,6 +141,7 @@ TEST(SimBatching, SameSeedSameHistoryWithBatching) {
   w.cells = 4;
   w.rounds = 2;
   w.ops_per_round = 4;
+  w.backend = FaultBackendFromEnv();
   for (uint64_t seed : {3ull, 17ull}) {
     const SimResult a = RunSim(seed, w);
     const SimResult b = RunSim(seed, w);
@@ -162,6 +166,7 @@ void SweepGenerated(uint16_t hosts, ManagerPolicy policy, uint64_t first_seed,
   w.ops_per_round = hosts >= 128 ? 2 : 4;
   w.use_locks = true;
   w.policy = policy;
+  w.backend = FaultBackendFromEnv();
   uint64_t batched_frames = 0;
   for (uint64_t seed = first_seed; seed < first_seed + static_cast<uint64_t>(seeds);
        ++seed) {
@@ -210,6 +215,7 @@ void SweepKill(uint16_t hosts, uint64_t first_seed, int seeds) {
   w.use_locks = true;
   w.policy = ManagerPolicy::kSharded;  // failover needs a sharded directory
   w.kill_one_host = true;
+  w.backend = FaultBackendFromEnv();
   for (uint64_t seed = first_seed; seed < first_seed + static_cast<uint64_t>(seeds);
        ++seed) {
     const SimResult r = RunSim(seed, w);
