@@ -37,6 +37,7 @@ const char* const kBenchBinaries[] = {
     "bench_epoch",
     "bench_protocol_batching",
     "bench_fault_service",
+    "bench_transport",
     "bench_micro_primitives",
 };
 

@@ -2,10 +2,11 @@
 """Validate a merged BENCH.json and compare it against the checked-in baseline.
 
 Hard failures (exit 1) are reserved for a broken harness: missing file,
-unparseable JSON, wrong schema, or a bench document without the required
-fields. Performance swings are *soft*: CI runners are noisy shared VMs, so a
->3x ns/op change versus ci/bench_baseline.json only prints a warning (and a
-::warning:: annotation when running under GitHub Actions) and still exits 0.
+unparseable JSON, wrong schema, a bench document without the required
+fields — or a >10x ns/op regression versus ci/bench_baseline.json, which no
+amount of runner noise explains. Smaller swings are *soft*: CI runners are
+noisy shared VMs, so a >3x change only prints a warning (and a ::warning::
+annotation when running under GitHub Actions) and still exits 0.
 
 Rows with ns_per_op <= 0 are structural (e.g. the Table 2 application
 characterization rows) and are skipped by the comparison.
@@ -23,6 +24,11 @@ SCHEMA = "millipage-bench-v1"
 # Ratio beyond which a row is flagged. Generous on purpose: smoke runs are
 # short and CI machines are heterogeneous.
 SWING = 3.0
+# Ratio beyond which a *regression* fails the job: an order of magnitude is a
+# broken code path (an accidental O(n^2), a backend silently falling back),
+# not scheduler noise. Only slowdowns hard-fail; a 10x speedup is suspicious
+# but legitimate (warned, and absorbed at the next --update).
+HARD_SWING = 10.0
 
 
 def fail(msg):
@@ -123,14 +129,20 @@ def main():
     }
 
     swings = 0
+    regressions = []
     for key, ns in sorted(rows.items()):
         base = base_rows.get(key)
         if base is None:
             continue  # new row: becomes part of the baseline on next --update
         ratio = ns / base
-        if ratio > SWING or ratio < 1.0 / SWING:
+        bench, name, params = key
+        if ratio > HARD_SWING:
+            regressions.append(
+                f"{bench} / {name} [{params}]: {ns:.1f} ns/op vs baseline "
+                f"{base:.1f} ns/op ({ratio:.2f}x, hard limit {HARD_SWING}x)"
+            )
+        elif ratio > SWING or ratio < 1.0 / SWING:
             swings += 1
-            bench, name, params = key
             warn(
                 f"{bench} / {name} [{params}]: {ns:.1f} ns/op vs baseline "
                 f"{base:.1f} ns/op ({ratio:.2f}x)"
@@ -145,8 +157,16 @@ def main():
             f"{len(missing)} missing row(s) — soft warning only (CI noise is real); "
             "refresh with --update if the change is intentional"
         )
-    else:
+    elif not regressions:
         print(f"check_bench: all {len(rows)} rows within {SWING}x of baseline")
+    if regressions:
+        for msg in regressions:
+            print(f"::error::{msg}")
+        fail(
+            f"{len(regressions)} regression(s) beyond {HARD_SWING}x — this is a "
+            "broken code path, not runner noise; fix it or regenerate the "
+            "baseline with ci/update_baseline.py if the slowdown is intentional"
+        )
 
 
 if __name__ == "__main__":

@@ -9,6 +9,7 @@
 #include "src/common/host_set.h"
 #include "src/multiview/allocator.h"
 #include "src/net/message.h"
+#include "src/net/transport_factory.h"
 #include "src/os/fault_handler.h"
 
 namespace millipage {
@@ -103,6 +104,16 @@ struct DsmConfig {
   // unchanged by construction.
   uint64_t batch_linger_us = 100;
   uint32_t batch_linger_min_records = 8;
+
+  // Mesh transport backend for the multi-process mode
+  // (src/net/transport_factory.h). kUring drives the same SEQPACKET mesh
+  // through io_uring — multishot receive plus batched send submission — and
+  // silently falls back to kSocket when the kernel lacks support. The
+  // in-process and sim modes ignore it.
+  TransportBackend transport_backend = TransportBackend::kSocket;
+  // io_uring only: kernel-side SQ polling so bursts submit with zero
+  // syscalls. Opt-in — it burns a core per host process.
+  bool uring_sqpoll = false;
 
   // Fault-delivery backend for the application views (src/os/fault_handler.h).
   // kUserfaultfd removes the signal frame + ucontext decode from every miss

@@ -1051,13 +1051,19 @@ bool DsmNode::HasOpenBatch() const {
 }
 
 void DsmNode::FlushCoalesced() {
+  // Burst window: a flush that emits frames for several destinations hands
+  // them to the kernel in one submission on transports that batch (io_uring);
+  // a no-op elsewhere.
+  transport_->BeginBurst();
   for (PendingBatch& b : coalesce_) {
     SendBatch(b);
   }
+  transport_->EndBurst();
 }
 
 void DsmNode::FlushRipeCoalesced(uint64_t now_ns) {
   const uint64_t linger_ns = config_.batch_linger_us * 1000;
+  transport_->BeginBurst();
   for (PendingBatch& b : coalesce_) {
     if (b.items.empty()) {
       continue;
@@ -1067,6 +1073,7 @@ void DsmNode::FlushRipeCoalesced(uint64_t now_ns) {
       SendBatch(b);
     }
   }
+  transport_->EndBurst();
 }
 
 uint64_t DsmNode::NextFlushDelayUs(uint64_t now_ns) const {
@@ -1329,6 +1336,10 @@ void DsmNode::MgrProcessWrite(const MsgHeader& h, DirEntry& e) {
   e.invalidates_pending.Clear();
   directory_->counters().invalidation_rounds++;
   const HostSet& live = live_set();
+  // Burst window: with coalescing off (or single-record batches) this
+  // fan-out is one datagram per copyset member; a batching transport submits
+  // them to the kernel in one go.
+  transport_->BeginBurst();
   others.ForEach([&](uint32_t host) {
     if (!live.Contains(host)) {
       return;
@@ -1346,6 +1357,7 @@ void DsmNode::MgrProcessWrite(const MsgHeader& h, DirEntry& e) {
     inv.flags = kFlagForwarded;
     SendCoalesced(static_cast<HostId>(host), inv);
   });
+  transport_->EndBurst();
   if (e.invalidates_pending.Empty()) {
     MgrFinishWriteRound(h.minipage);
   }

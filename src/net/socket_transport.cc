@@ -16,6 +16,13 @@ namespace {
 
 constexpr int kSocketBufBytes = 1 << 20;
 
+// Uniform kernel-entry counter shared with the uring backend so
+// bench_transport can compare syscalls-per-message across backends.
+Counter* SyscallCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter("net.syscalls");
+  return c;
+}
+
 Status SetBufferSizes(int fd) {
   const int sz = kSocketBufBytes;
   if (setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &sz, sizeof(sz)) != 0 ||
@@ -32,6 +39,7 @@ Status SetBufferSizes(int fd) {
 // undetected (the excess bytes simply vanish).
 Status RecvDatagram(int fd, void* buf, size_t len) {
   for (;;) {
+    SyscallCounter()->Inc();
     const ssize_t n = ::recv(fd, buf, len, MSG_TRUNC);
     if (n < 0) {
       if (errno == EINTR) {
@@ -65,6 +73,7 @@ Status RecvDatagram(int fd, void* buf, size_t len) {
 // process with SIGPIPE — the caller turns it into a peer-down event.
 Status SendDatagram(int fd, const void* buf, size_t len) {
   for (;;) {
+    SyscallCounter()->Inc();
     const ssize_t n = ::send(fd, buf, len, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) {
@@ -257,6 +266,9 @@ Result<bool> SocketTransport::Poll(HostId me, MsgHeader* h, const PayloadSink& s
     }
     const bool fake_eintr =
         FailpointRegistry::Instance().Fire("socket.poll.eintr").has_value();
+    if (!fake_eintr) {
+      SyscallCounter()->Inc();
+    }
     ready = fake_eintr ? -1 : ::poll(pfds.data(), pfds.size(), timeout_ms);
     if (ready >= 0) {
       break;

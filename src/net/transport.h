@@ -1,10 +1,13 @@
 // Transport: the reliable, FIFO, message-boundary-preserving service the DSM
 // needs from its messaging layer (the role Illinois FastMessages plays in
-// the paper). Two implementations:
+// the paper). Three implementations:
 //   * InProcTransport  — per-host mailboxes inside one process (the
 //     in-process cluster mode);
 //   * SocketTransport  — AF_UNIX SOCK_SEQPACKET full mesh (one process per
-//     host, the paper's deployment shape).
+//     host, the paper's deployment shape);
+//   * UringTransport   — the same SEQPACKET mesh driven through io_uring:
+//     multishot receive with a registered buffer ring and batched send
+//     submission, so a burst of messages costs one syscall (or none).
 
 #ifndef SRC_NET_TRANSPORT_H_
 #define SRC_NET_TRANSPORT_H_
@@ -41,6 +44,14 @@ class Transport {
                             uint64_t timeout_us) = 0;
 
   virtual uint16_t num_hosts() const = 0;
+
+  // Send-burst window. Between BeginBurst and EndBurst a transport MAY defer
+  // handing queued sends to the kernel; EndBurst releases everything at once
+  // (UringTransport turns a coalescer flush of N frames into one
+  // io_uring_enter). Nestable — only the outermost EndBurst releases — and a
+  // no-op on transports that submit eagerly. Decorators must forward both.
+  virtual void BeginBurst() {}
+  virtual void EndBurst() {}
 
   // Liveness: invoked (from whichever thread detects it, typically the
   // poller) when the transport discovers that `peer` is unreachable — its

@@ -1,6 +1,8 @@
 // Unit tests for the messaging layer: header format, in-process transport,
-// and the SOCK_SEQPACKET transport with its two-stage (header, payload)
-// receive.
+// and the SEQPACKET mesh transports (socket and io_uring) with their
+// two-stage (header, payload) receive. The mesh edge cases run parameterized
+// over both backends — the uring leg self-skips on kernels without multishot
+// receive support, which is also what CI's probe step keys off.
 
 #include <gtest/gtest.h>
 
@@ -19,6 +21,8 @@
 #include "src/net/inproc_transport.h"
 #include "src/net/message.h"
 #include "src/net/socket_transport.h"
+#include "src/net/transport_factory.h"
+#include "src/net/uring_transport.h"
 
 namespace millipage {
 namespace {
@@ -106,25 +110,6 @@ TEST(InProcTransportTest, BasicSendReceive) {
   });
 }
 
-TEST(SocketTransportTest, BasicSendReceive) {
-  ExerciseTransport([](uint16_t n) {
-    auto mesh = SocketMesh::Create(n);
-    MP_CHECK(mesh.ok());
-    std::vector<std::shared_ptr<Transport>> out;
-    // TakeRow consumes the mesh, so pull all rows first.
-    std::vector<std::vector<int>> rows(n);
-    for (uint16_t i = 0; i < n; ++i) {
-      rows[i] = std::move(mesh->fds[i]);
-      mesh->fds[i].clear();
-    }
-    mesh->fds.clear();
-    for (uint16_t i = 0; i < n; ++i) {
-      out.push_back(std::make_shared<SocketTransport>(i, std::move(rows[i])));
-    }
-    return out;
-  });
-}
-
 TEST(InProcTransportTest, BlockingPollWakesOnSend) {
   InProcTransport t(2);
   std::thread sender([&t] {
@@ -149,14 +134,68 @@ TEST(InProcTransportTest, RejectsBadHost) {
   EXPECT_FALSE(t.Poll(5, &h, [](const MsgHeader&) -> std::byte* { return nullptr; }, 0).ok());
 }
 
-TEST(SocketTransportTest, LargePayloadRoundTrip) {
-  auto mesh = SocketMesh::Create(2);
-  ASSERT_TRUE(mesh.ok());
-  std::vector<int> row0 = std::move(mesh->fds[0]);
-  std::vector<int> row1 = std::move(mesh->fds[1]);
-  mesh->fds.clear();
-  SocketTransport t0(0, std::move(row0));
-  SocketTransport t1(1, std::move(row1));
+// ---------------------------------------------------------------------------
+// Mesh transports, parameterized over backend. Every test here runs once on
+// the socket backend and once on io_uring; the shared mesh semantics —
+// two-datagram framing, truncation detection, EOF-as-peer-down, FIFO under
+// backpressure — must hold identically.
+// ---------------------------------------------------------------------------
+
+class MeshTransportTest : public ::testing::TestWithParam<TransportBackend> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == TransportBackend::kUring && !UringTransportSupported()) {
+      GTEST_SKIP() << "kernel lacks io_uring multishot receive / buffer rings";
+    }
+  }
+
+  std::unique_ptr<Transport> MakeOne(HostId me, std::vector<int> row) {
+    MeshTransport mt = MakeMeshTransport(GetParam(), me, std::move(row));
+    MP_CHECK(mt.transport != nullptr);
+    // SetUp skipped unsupported kernels, so the request is always honoured.
+    EXPECT_EQ(mt.active, GetParam());
+    return std::move(mt.transport);
+  }
+
+  std::vector<std::unique_ptr<Transport>> MakeCluster(uint16_t n) {
+    auto mesh = SocketMesh::Create(n);
+    MP_CHECK(mesh.ok());
+    std::vector<std::vector<int>> rows(n);
+    for (uint16_t i = 0; i < n; ++i) {
+      rows[i] = std::move(mesh->fds[i]);
+      mesh->fds[i].clear();
+    }
+    mesh->fds.clear();
+    std::vector<std::unique_ptr<Transport>> out;
+    for (uint16_t i = 0; i < n; ++i) {
+      out.push_back(MakeOne(i, std::move(rows[i])));
+    }
+    return out;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Backends, MeshTransportTest,
+                         ::testing::Values(TransportBackend::kSocket,
+                                           TransportBackend::kUring),
+                         [](const ::testing::TestParamInfo<TransportBackend>& info) {
+                           return std::string(TransportBackendName(info.param));
+                         });
+
+TEST_P(MeshTransportTest, BasicSendReceive) {
+  ExerciseTransport([this](uint16_t n) {
+    auto owned = MakeCluster(n);
+    std::vector<std::shared_ptr<Transport>> out;
+    for (auto& t : owned) {
+      out.emplace_back(std::move(t));
+    }
+    return out;
+  });
+}
+
+TEST_P(MeshTransportTest, LargePayloadRoundTrip) {
+  auto cluster = MakeCluster(2);
+  Transport& t0 = *cluster[0];
+  Transport& t1 = *cluster[1];
 
   std::vector<char> payload(64 * 1024);
   for (size_t i = 0; i < payload.size(); ++i) {
@@ -176,14 +215,10 @@ TEST(SocketTransportTest, LargePayloadRoundTrip) {
   EXPECT_EQ(dest, payload);
 }
 
-TEST(SocketTransportTest, DroppedPayloadIsDrained) {
-  auto mesh = SocketMesh::Create(2);
-  ASSERT_TRUE(mesh.ok());
-  std::vector<int> row0 = std::move(mesh->fds[0]);
-  std::vector<int> row1 = std::move(mesh->fds[1]);
-  mesh->fds.clear();
-  SocketTransport t0(0, std::move(row0));
-  SocketTransport t1(1, std::move(row1));
+TEST_P(MeshTransportTest, DroppedPayloadIsDrained) {
+  auto cluster = MakeCluster(2);
+  Transport& t0 = *cluster[0];
+  Transport& t1 = *cluster[1];
 
   char payload[64] = {1, 2, 3};
   MsgHeader h;
@@ -208,23 +243,24 @@ TEST(SocketTransportTest, DroppedPayloadIsDrained) {
 // Without MSG_TRUNC the kernel silently truncates an oversized SEQPACKET
 // datagram to the receive buffer: recv returns sizeof(MsgHeader), the excess
 // bytes vanish, and a corrupt/mismatched sender goes undetected. The
-// receiver must surface the oversize as an error instead.
-TEST(SocketTransportTest, OversizedDatagramIsDetected) {
+// receiver must surface the oversize as an error instead — on both backends
+// (the uring side reads the real size out of io_uring_recvmsg_out).
+TEST_P(MeshTransportTest, OversizedDatagramIsDetected) {
   auto mesh = SocketMesh::Create(2);
   ASSERT_TRUE(mesh.ok());
   std::vector<int> row0 = std::move(mesh->fds[0]);
   std::vector<int> row1 = std::move(mesh->fds[1]);
   mesh->fds.clear();
   // Host 0 stays a raw fd so the test can send a malformed datagram that
-  // SocketTransport::Send would never produce.
-  SocketTransport t1(1, std::move(row1));
+  // Transport::Send would never produce.
+  auto t1 = MakeOne(1, std::move(row1));
 
   char oversized[sizeof(MsgHeader) + 16] = {};
   ASSERT_EQ(::send(row0[1], oversized, sizeof(oversized), MSG_NOSIGNAL),
             static_cast<ssize_t>(sizeof(oversized)));
 
   MsgHeader got;
-  const auto polled = t1.Poll(
+  const auto polled = t1->Poll(
       1, &got, [](const MsgHeader&) -> std::byte* { return nullptr; }, 2000000);
   ASSERT_FALSE(polled.ok()) << "oversized header datagram was silently truncated";
   EXPECT_NE(polled.status().ToString().find("oversized"), std::string::npos)
@@ -238,20 +274,20 @@ TEST(SocketTransportTest, OversizedDatagramIsDetected) {
 }
 
 // The mirror case: a datagram shorter than a header is reported, not padded.
-TEST(SocketTransportTest, ShortDatagramIsDetected) {
+TEST_P(MeshTransportTest, ShortDatagramIsDetected) {
   auto mesh = SocketMesh::Create(2);
   ASSERT_TRUE(mesh.ok());
   std::vector<int> row0 = std::move(mesh->fds[0]);
   std::vector<int> row1 = std::move(mesh->fds[1]);
   mesh->fds.clear();
-  SocketTransport t1(1, std::move(row1));
+  auto t1 = MakeOne(1, std::move(row1));
 
   char runt[8] = {};
   ASSERT_EQ(::send(row0[1], runt, sizeof(runt), MSG_NOSIGNAL),
             static_cast<ssize_t>(sizeof(runt)));
 
   MsgHeader got;
-  const auto polled = t1.Poll(
+  const auto polled = t1->Poll(
       1, &got, [](const MsgHeader&) -> std::byte* { return nullptr; }, 2000000);
   ASSERT_FALSE(polled.ok());
   EXPECT_NE(polled.status().ToString().find("short"), std::string::npos)
@@ -268,14 +304,10 @@ TEST(SocketTransportTest, ShortDatagramIsDetected) {
 // SEQPACKET stream (the peer would parse the next header as payload). The
 // sender must instead shut the connection down so the peer sees a clean EOF
 // — a peer-down event, not garbage.
-TEST(SocketTransportTest, PayloadSendFailureClosesConnection) {
-  auto mesh = SocketMesh::Create(2);
-  ASSERT_TRUE(mesh.ok());
-  std::vector<int> row0 = std::move(mesh->fds[0]);
-  std::vector<int> row1 = std::move(mesh->fds[1]);
-  mesh->fds.clear();
-  SocketTransport t0(0, std::move(row0));
-  SocketTransport t1(1, std::move(row1));
+TEST_P(MeshTransportTest, PayloadSendFailureClosesConnection) {
+  auto cluster = MakeCluster(2);
+  Transport& t0 = *cluster[0];
+  Transport& t1 = *cluster[1];
 
   std::atomic<int> peer_down{-1};
   t1.SetPeerDownHandler([&peer_down](HostId peer) { peer_down.store(peer); });
@@ -292,7 +324,7 @@ TEST(SocketTransportTest, PayloadSendFailureClosesConnection) {
     ASSERT_FALSE(st.ok());
     EXPECT_EQ(st.code(), StatusCode::kUnavailable);
   }
-  // The receiver drains the orphaned header, hits EOF, and reports host 0
+  // The receiver drains any orphaned header, hits EOF, and reports host 0
   // down instead of misparsing the stream.
   MsgHeader got;
   for (int i = 0; i < 10 && peer_down.load() < 0; ++i) {
@@ -305,16 +337,32 @@ TEST(SocketTransportTest, PayloadSendFailureClosesConnection) {
   EXPECT_FALSE(t0.Send(1, h, payload, sizeof(payload)).ok());
 }
 
+// A peer whose process dies (transport destroyed) must surface as an EOF-
+// driven peer-down event on every surviving host.
+TEST_P(MeshTransportTest, PeerDeathDeliversEof) {
+  auto cluster = MakeCluster(2);
+  Transport& t1 = *cluster[1];
+
+  std::atomic<int> peer_down{-1};
+  t1.SetPeerDownHandler([&peer_down](HostId peer) { peer_down.store(peer); });
+
+  cluster[0].reset();  // host 0 "dies"
+
+  MsgHeader got;
+  for (int i = 0; i < 20 && peer_down.load() < 0; ++i) {
+    auto polled =
+        t1.Poll(1, &got, [](const MsgHeader&) -> std::byte* { return nullptr; }, 100000);
+    ASSERT_TRUE(polled.ok()) << polled.status().ToString();
+    EXPECT_FALSE(*polled);
+  }
+  EXPECT_EQ(peer_down.load(), 0);
+}
+
 // An EINTR storm must not restart the poll budget from scratch each time:
 // the wait resumes with the remaining time, so the caller's deadline holds.
-TEST(SocketTransportTest, PollEintrStormKeepsDeadline) {
-  auto mesh = SocketMesh::Create(2);
-  ASSERT_TRUE(mesh.ok());
-  std::vector<int> row1 = std::move(mesh->fds[1]);
-  std::vector<int> row0 = std::move(mesh->fds[0]);
-  mesh->fds.clear();
-  SocketTransport t0(0, std::move(row0));
-  SocketTransport t1(1, std::move(row1));
+TEST_P(MeshTransportTest, PollEintrStormKeepsDeadline) {
+  auto cluster = MakeCluster(2);
+  Transport& t1 = *cluster[1];
 
   FailpointAction inject;
   inject.kind = FailpointAction::Kind::kReturn;
@@ -329,6 +377,123 @@ TEST(SocketTransportTest, PollEintrStormKeepsDeadline) {
   EXPECT_FALSE(*polled);
   // 100 ms budget; a restart-per-EINTR bug would take ~50x that.
   EXPECT_LT(elapsed_ms, 2000u);
+}
+
+// Backpressure: flood far more data than the 1 MiB socket buffer holds while
+// the receiver drains concurrently. The socket backend blocks in send(2)
+// until space frees (no partial datagrams under EAGAIN); the uring backend
+// queues chains in user space and its parked SQEs complete as space frees.
+// Either way: nothing lost, nothing reordered, nothing truncated.
+TEST_P(MeshTransportTest, BackpressureFloodPreservesFifo) {
+  auto cluster = MakeCluster(2);
+  Transport& t0 = *cluster[0];
+  Transport& t1 = *cluster[1];
+
+  constexpr uint32_t kMessages = 2000;
+  constexpr size_t kPayload = 2048;  // ~4 MiB total, 4x the socket buffer
+  std::atomic<bool> all_received{false};
+  std::thread sender([&] {
+    std::vector<char> payload(kPayload);
+    MsgHeader h;
+    h.set_type(MsgType::kWriteReply);
+    MsgHeader scratch;
+    const auto drop = [](const MsgHeader&) -> std::byte* { return nullptr; };
+    for (uint32_t i = 0; i < kMessages; ++i) {
+      h.seq = i;
+      std::memcpy(payload.data(), &i, sizeof(i));
+      ASSERT_TRUE(t0.Send(1, h, payload.data(), payload.size()).ok());
+    }
+    // Deferred-submission transports need their owner to keep polling for
+    // queued chains to finish (in the DSM the server thread does this).
+    while (!all_received.load()) {
+      (void)t0.Poll(0, &scratch, drop, 1000);
+    }
+  });
+
+  std::vector<char> dest(kPayload);
+  MsgHeader got;
+  for (uint32_t i = 0; i < kMessages; ++i) {
+    auto polled = t1.Poll(1, &got,
+                          [&dest](const MsgHeader&) -> std::byte* {
+                            return reinterpret_cast<std::byte*>(dest.data());
+                          },
+                          5000000);
+    ASSERT_TRUE(polled.ok()) << polled.status().ToString();
+    ASSERT_TRUE(*polled) << "flood stalled at message " << i;
+    ASSERT_EQ(got.seq, i) << "reordered under backpressure";
+    uint32_t tag = 0;
+    std::memcpy(&tag, dest.data(), sizeof(tag));
+    ASSERT_EQ(tag, i) << "payload mismatched its header";
+  }
+  all_received.store(true);
+  sender.join();
+}
+
+// A burst window delivers everything exactly once, in order, regardless of
+// backend (socket treats Begin/EndBurst as no-ops; uring defers submission
+// and releases the whole burst with one enter).
+TEST_P(MeshTransportTest, BurstWindowDeliversInOrder) {
+  auto cluster = MakeCluster(3);
+  Transport& t0 = *cluster[0];
+
+  t0.BeginBurst();
+  t0.BeginBurst();  // nested: only the outermost end releases
+  for (uint32_t i = 0; i < 32; ++i) {
+    MsgHeader h;
+    h.set_type(MsgType::kAck);
+    h.seq = i;
+    ASSERT_TRUE(t0.Send(1 + (i % 2), h, nullptr, 0).ok());
+  }
+  t0.EndBurst();
+  t0.EndBurst();
+
+  for (HostId dst = 1; dst <= 2; ++dst) {
+    uint32_t expect = dst - 1;
+    MsgHeader got;
+    for (int i = 0; i < 16; ++i) {
+      auto polled = cluster[dst]->Poll(
+          dst, &got, [](const MsgHeader&) -> std::byte* { return nullptr; }, 2000000);
+      ASSERT_TRUE(polled.ok() && *polled);
+      EXPECT_EQ(got.seq, expect);
+      expect += 2;
+    }
+  }
+}
+
+TEST(UringTransportTest, ProbeReportsSupport) {
+  // Informational: always passes, but prints the verdict CI's probe greps.
+  MP_LOG(Info) << "io_uring transport supported: "
+               << (UringTransportSupported() ? "yes" : "no");
+  SUCCEED();
+}
+
+TEST(UringTransportTest, FallsBackToSocketWhenUnsupported) {
+  // The factory must produce a working transport no matter what was asked
+  // for; on kernels with uring support this verifies the request is
+  // honoured, elsewhere that the socket fallback engages.
+  auto mesh = SocketMesh::Create(2);
+  ASSERT_TRUE(mesh.ok());
+  std::vector<int> row0 = std::move(mesh->fds[0]);
+  std::vector<int> row1 = std::move(mesh->fds[1]);
+  mesh->fds.clear();
+  MeshTransport mt0 = MakeMeshTransport(TransportBackend::kUring, 0, std::move(row0));
+  MeshTransport mt1 = MakeMeshTransport(TransportBackend::kUring, 1, std::move(row1));
+  ASSERT_NE(mt0.transport, nullptr);
+  ASSERT_NE(mt1.transport, nullptr);
+  const TransportBackend expect = UringTransportSupported() ? TransportBackend::kUring
+                                                            : TransportBackend::kSocket;
+  EXPECT_EQ(mt0.active, expect);
+  EXPECT_EQ(mt1.active, expect);
+
+  MsgHeader h;
+  h.set_type(MsgType::kAck);
+  h.seq = 41;
+  ASSERT_TRUE(mt0.transport->Send(1, h, nullptr, 0).ok());
+  MsgHeader got;
+  auto polled = mt1.transport->Poll(
+      1, &got, [](const MsgHeader&) -> std::byte* { return nullptr; }, 1000000);
+  ASSERT_TRUE(polled.ok() && *polled);
+  EXPECT_EQ(got.seq, 41u);
 }
 
 TEST(FaultyTransportTest, DropAndDelayFilters) {
